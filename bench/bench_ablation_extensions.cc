@@ -1,0 +1,154 @@
+// §8 (future work) extensions implemented by this library, measured:
+//
+//  * Weighted DisC — total captured relevance and size versus uniform
+//    weights, for both weighted objectives.
+//  * Multi-radius DisC — representation density near vs far from a query
+//    point as the radius band [r_min, r_max] widens.
+//
+// These are forward-looking features without paper-reported numbers; the
+// bench records their cost and behavior so future changes are comparable.
+
+#include "bench/common.h"
+
+#include <cmath>
+
+#include "core/weighted.h"
+#include "eval/quality.h"
+
+namespace disc {
+namespace bench {
+namespace {
+
+const Dataset& Data() {
+  static const Dataset& dataset = Clustered(4000, 2);
+  return dataset;
+}
+
+std::vector<double> Relevance() {
+  const Dataset& dataset = Data();
+  const Point query{0.3, 0.6};
+  std::vector<double> relevance(dataset.size());
+  for (ObjectId i = 0; i < dataset.size(); ++i) {
+    relevance[i] =
+        std::exp(-3.0 * Euclidean().Distance(dataset.point(i), query));
+  }
+  return relevance;
+}
+
+TableCollector* WeightedTable() {
+  static TableCollector table(
+      "Extension — weighted DisC (Clustered 4000, r=0.06)",
+      "ablation_weighted.csv",
+      {"objective", "size", "total-relevance", "relevance-per-object"});
+  return &table;
+}
+
+void BM_Weighted(benchmark::State& state, int mode) {
+  const Dataset& dataset = Data();
+  std::vector<double> relevance = Relevance();
+  std::vector<double> weights = relevance;
+  for (double& w : weights) w += 0.05;
+  const char* name = mode == 0   ? "uniform"
+                     : mode == 1 ? "max-weight"
+                                 : "weight-x-coverage";
+  std::vector<ObjectId> solution;
+  for (auto _ : state) {
+    Result<std::vector<ObjectId>> result =
+        mode == 0
+            ? GreedyWeightedDisc(dataset, Euclidean(), 0.06,
+                                 std::vector<double>(dataset.size(), 1.0),
+                                 WeightedObjective::kMaxWeight)
+            : GreedyWeightedDisc(dataset, Euclidean(), 0.06, weights,
+                                 mode == 1
+                                     ? WeightedObjective::kMaxWeight
+                                     : WeightedObjective::kWeightTimesCoverage);
+    if (result.ok()) solution = std::move(result).value();
+  }
+  double total = TotalWeight(solution, relevance);
+  state.counters["size"] = static_cast<double>(solution.size());
+  state.counters["relevance"] = total;
+  WeightedTable()->AddRow(
+      {name, std::to_string(solution.size()), FormatDouble(total, 5),
+       FormatDouble(solution.empty() ? 0.0 : total / solution.size(), 4)});
+}
+
+TableCollector* MultiRadiusTable() {
+  static TableCollector table(
+      "Extension — multi-radius DisC density near/far from the query "
+      "(Clustered 4000)",
+      "ablation_multiradius.csv",
+      {"radius-band", "size", "objects-per-rep (near)",
+       "objects-per-rep (far)"});
+  return &table;
+}
+
+void BM_MultiRadius(benchmark::State& state, double r_min, double r_max) {
+  const Dataset& dataset = Data();
+  std::vector<double> relevance = Relevance();
+  const Point query{0.3, 0.6};
+  std::vector<ObjectId> solution;
+  for (auto _ : state) {
+    auto radii = RelevanceRadii(relevance, r_min, r_max);
+    if (!radii.ok()) continue;
+    auto result = MultiRadiusDisc(dataset, Euclidean(), *radii, relevance);
+    if (result.ok()) solution = std::move(result).value();
+  }
+  size_t near_total = 0, far_total = 0, near_reps = 0, far_reps = 0;
+  for (ObjectId i = 0; i < dataset.size(); ++i) {
+    bool near = Euclidean().Distance(dataset.point(i), query) < 0.3;
+    (near ? near_total : far_total)++;
+  }
+  for (ObjectId s : solution) {
+    bool near = Euclidean().Distance(dataset.point(s), query) < 0.3;
+    (near ? near_reps : far_reps)++;
+  }
+  double near_density =
+      near_reps ? static_cast<double>(near_total) / near_reps : 0.0;
+  double far_density =
+      far_reps ? static_cast<double>(far_total) / far_reps : 0.0;
+  state.counters["size"] = static_cast<double>(solution.size());
+  state.counters["near_density"] = near_density;
+  state.counters["far_density"] = far_density;
+  std::string band_label = "[";
+  band_label += FormatDouble(r_min, 3);
+  band_label += ", ";
+  band_label += FormatDouble(r_max, 3);
+  band_label += "]";
+  MultiRadiusTable()->AddRow({band_label, std::to_string(solution.size()),
+                              FormatDouble(near_density, 4),
+                              FormatDouble(far_density, 4)});
+}
+
+[[maybe_unused]] const bool registered = [] {
+  for (int mode : {0, 1, 2}) {
+    std::string name = "Extension/Weighted/mode=" + std::to_string(mode);
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [mode](benchmark::State& state) {
+                                   BM_Weighted(state, mode);
+                                 })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  struct Band {
+    double r_min, r_max;
+  };
+  for (Band band : {Band{0.06, 0.06}, Band{0.04, 0.12}, Band{0.02, 0.2}}) {
+    std::string name = "Extension/MultiRadius/band=" +
+                       FormatDouble(band.r_min, 3) + "-" +
+                       FormatDouble(band.r_max, 3);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [band](benchmark::State& state) {
+          BM_MultiRadius(state, band.r_min, band.r_max);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  return true;
+}();
+
+}  // namespace
+}  // namespace bench
+}  // namespace disc
+
+DISC_BENCH_MAIN()

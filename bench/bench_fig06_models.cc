@@ -1,0 +1,114 @@
+// Figure 6: quantitative counterpart of the qualitative model comparison.
+//
+// On the Clustered dataset, runs r-DisC, MaxSum, MaxMin, k-medoids and r-C
+// at equal k (k = |DisC solution|, as in the paper) and scores each with
+// the §4 quality measures. Expected shapes: DisC and r-C cover the dataset
+// fully; MaxSum concentrates on the outskirts (coverage collapses, largest
+// fSum); MaxMin covers better but under-represents dense areas; k-medoids
+// minimizes the mean representation distance yet ignores outliers
+// (incomplete coverage).
+
+#include "bench/common.h"
+
+#include "baselines/kmedoids.h"
+#include "baselines/maxmin.h"
+#include "baselines/maxsum.h"
+#include "eval/quality.h"
+
+namespace disc {
+namespace bench {
+namespace {
+
+const double kRadius = 0.07;
+
+TableCollector* Table() {
+  static TableCollector table(
+      "Figure 6 — diversification model comparison (Clustered, r=0.07, "
+      "equal k)",
+      "fig06_models.csv",
+      {"model", "size", "coverage@r", "fMin", "fSum", "mean-rep-dist"});
+  return &table;
+}
+
+void Score(benchmark::State& state, const char* name,
+           const std::vector<ObjectId>& set) {
+  const Dataset& dataset = Clustered10k();
+  const DistanceMetric& metric = Euclidean();
+  double coverage = CoverageFraction(dataset, metric, kRadius, set);
+  double fmin = FMin(dataset, metric, set);
+  double fsum = FSum(dataset, metric, set);
+  double rep = MeanRepresentationDistance(dataset, metric, set);
+  state.counters["size"] = static_cast<double>(set.size());
+  state.counters["coverage"] = coverage;
+  state.counters["fmin"] = fmin;
+  state.counters["fsum"] = fsum;
+  state.counters["mean_rep"] = rep;
+  Table()->AddRow({name, std::to_string(set.size()),
+                   FormatDouble(coverage, 4), FormatDouble(fmin, 4),
+                   FormatDouble(fsum, 6), FormatDouble(rep, 4)});
+}
+
+size_t EqualK() {
+  static const size_t k = [] {
+    MTree* tree = CachedTree(Clustered10k(), Euclidean());
+    return GreedyDisc(tree, kRadius, {}).size();
+  }();
+  return k;
+}
+
+void BM_DisC(benchmark::State& state) {
+  MTree* tree = CachedTree(Clustered10k(), Euclidean());
+  std::vector<ObjectId> solution;
+  for (auto _ : state) {
+    solution = GreedyDisc(tree, kRadius, {}).solution;
+  }
+  Score(state, "r-DisC", solution);
+}
+
+void BM_RC(benchmark::State& state) {
+  MTree* tree = CachedTree(Clustered10k(), Euclidean());
+  std::vector<ObjectId> solution;
+  for (auto _ : state) {
+    solution = GreedyC(tree, kRadius).solution;
+  }
+  Score(state, "r-C", solution);
+}
+
+void BM_MaxSum(benchmark::State& state) {
+  std::vector<ObjectId> solution;
+  for (auto _ : state) {
+    auto result = GreedyMaxSum(Clustered10k(), Euclidean(), EqualK());
+    if (result.ok()) solution = std::move(result).value();
+  }
+  Score(state, "MaxSum", solution);
+}
+
+void BM_MaxMin(benchmark::State& state) {
+  std::vector<ObjectId> solution;
+  for (auto _ : state) {
+    auto result = GreedyMaxMin(Clustered10k(), Euclidean(), EqualK());
+    if (result.ok()) solution = std::move(result).value();
+  }
+  Score(state, "MaxMin", solution);
+}
+
+void BM_KMedoids(benchmark::State& state) {
+  std::vector<ObjectId> solution;
+  for (auto _ : state) {
+    auto result = KMedoids(Clustered10k(), Euclidean(), EqualK());
+    if (result.ok()) solution = std::move(result).value().medoids;
+  }
+  Score(state, "k-medoids", solution);
+}
+
+BENCHMARK(BM_DisC)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MaxSum)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MaxMin)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KMedoids)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RC)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace disc
+
+DISC_BENCH_MAIN()

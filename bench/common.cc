@@ -1,0 +1,188 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace disc {
+namespace bench {
+
+namespace {
+constexpr uint64_t kUniformSeed = 42;
+constexpr uint64_t kClusteredSeed = 42;
+}  // namespace
+
+const Dataset& Uniform10k() {
+  static const Dataset dataset = MakeUniformDataset(10000, 2, kUniformSeed);
+  return dataset;
+}
+
+const Dataset& Clustered10k() {
+  static const Dataset dataset =
+      MakeClusteredDataset(10000, 2, kClusteredSeed);
+  return dataset;
+}
+
+const Dataset& Clustered(size_t n, size_t dim) {
+  static std::map<std::pair<size_t, size_t>, std::unique_ptr<Dataset>> cache;
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = cache[{n, dim}];
+  if (slot == nullptr) {
+    slot = std::make_unique<Dataset>(
+        MakeClusteredDataset(n, dim, kClusteredSeed));
+  }
+  return *slot;
+}
+
+const Dataset& Cities() {
+  static const Dataset dataset = MakeCitiesDataset();
+  return dataset;
+}
+
+const Dataset& Cameras() {
+  static const Dataset dataset = MakeCamerasDataset();
+  return dataset;
+}
+
+const DistanceMetric& Euclidean() {
+  static const EuclideanMetric metric;
+  return metric;
+}
+
+const DistanceMetric& Hamming() {
+  static const HammingMetric metric;
+  return metric;
+}
+
+const std::vector<Workload>& PaperWorkloads() {
+  static const std::vector<Workload> workloads = {
+      {"Uniform", &Uniform10k(), &Euclidean(),
+       {0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07}},
+      {"Clustered", &Clustered10k(), &Euclidean(),
+       {0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07}},
+      {"Cities", &Cities(), &Euclidean(),
+       {0.001, 0.0025, 0.005, 0.0075, 0.010, 0.0125, 0.015}},
+      {"Cameras", &Cameras(), &Hamming(), {1, 2, 3, 4, 5, 6}},
+  };
+  return workloads;
+}
+
+MTree* CachedTree(const Dataset& dataset, const DistanceMetric& metric,
+                  MTreeOptions options) {
+  struct Key {
+    const Dataset* dataset;
+    const DistanceMetric* metric;
+    size_t capacity;
+    PromotePolicy promote;
+    PartitionPolicy partition;
+    bool operator<(const Key& other) const {
+      return std::tie(dataset, metric, capacity, promote, partition) <
+             std::tie(other.dataset, other.metric, other.capacity,
+                      other.promote, other.partition);
+    }
+  };
+  static std::map<Key, std::unique_ptr<MTree>> cache;
+  static std::mutex mu;
+  Key key{&dataset, &metric, options.node_capacity,
+          options.split_policy.promote, options.split_policy.partition};
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = cache[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<MTree>(dataset, metric, options);
+    Status status = slot->Build();
+    if (!status.ok()) {
+      std::fprintf(stderr, "fatal: M-tree build failed: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+  }
+  return slot.get();
+}
+
+TreeWithCounts CachedTreeWithCounts(const Dataset& dataset,
+                                    const DistanceMetric& metric,
+                                    double radius, MTreeOptions options) {
+  struct Key {
+    const Dataset* dataset;
+    const DistanceMetric* metric;
+    double radius;
+    size_t capacity;
+    PromotePolicy promote;
+    PartitionPolicy partition;
+    bool operator<(const Key& other) const {
+      return std::tie(dataset, metric, radius, capacity, promote, partition) <
+             std::tie(other.dataset, other.metric, other.radius,
+                      other.capacity, other.promote, other.partition);
+    }
+  };
+  struct Entry {
+    std::unique_ptr<MTree> tree;
+    std::vector<uint32_t> counts;
+  };
+  static std::map<Key, Entry> cache;
+  static std::mutex mu;
+  Key key{&dataset,
+          &metric,
+          radius,
+          options.node_capacity,
+          options.split_policy.promote,
+          options.split_policy.partition};
+  std::lock_guard<std::mutex> lock(mu);
+  Entry& entry = cache[key];
+  if (entry.tree == nullptr) {
+    entry.tree = std::make_unique<MTree>(dataset, metric, options);
+    Status status = entry.tree->BuildWithNeighborCounts(radius, &entry.counts);
+    if (!status.ok()) {
+      std::fprintf(stderr, "fatal: M-tree build failed: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+  }
+  return TreeWithCounts{entry.tree.get(), &entry.counts};
+}
+
+void ReportResult(benchmark::State& state, const DiscResult& result) {
+  state.counters["size"] = static_cast<double>(result.size());
+  state.counters["node_accesses"] =
+      static_cast<double>(result.stats.node_accesses);
+  state.counters["range_queries"] =
+      static_cast<double>(result.stats.range_queries);
+}
+
+namespace {
+
+std::vector<TableCollector*>& Registry() {
+  static std::vector<TableCollector*> registry;
+  return registry;
+}
+
+}  // namespace
+
+TableCollector::TableCollector(std::string title, std::string csv_name,
+                               std::vector<std::string> header)
+    : printer_(std::move(title)), csv_name_(std::move(csv_name)) {
+  printer_.SetHeader(std::move(header));
+  Registry().push_back(this);
+}
+
+void TableCollector::AddRow(std::vector<std::string> row) {
+  printer_.AddRow(std::move(row));
+}
+
+void TableCollector::PrintAndSaveAll() {
+  for (TableCollector* collector : Registry()) {
+    if (collector->printer_.num_rows() == 0) continue;
+    std::printf("\n");
+    collector->printer_.Print();
+    Status status = collector->printer_.WriteCsv(collector->csv_name_);
+    if (status.ok()) {
+      std::printf("(csv: %s)\n", collector->csv_name_.c_str());
+    } else {
+      std::fprintf(stderr, "csv write failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace disc

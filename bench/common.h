@@ -1,0 +1,111 @@
+// Shared infrastructure for the paper-reproduction benchmark harness.
+//
+// Every bench binary sweeps the same workloads §6 uses:
+//   Uniform   — 10000 uniform 2-D points, Euclidean, r in 0.01..0.07
+//   Clustered — 10000 clustered 2-D points, Euclidean, r in 0.01..0.07
+//   Cities    — 5922-point synthetic Greek-cities stand-in, r in 0.001..0.015
+//   Cameras   — 579-camera categorical catalog, Hamming, r in 1..6
+//
+// Each binary registers google-benchmark runs (wall-clock timing) whose
+// counters carry the paper's metrics (solution size, M-tree node accesses),
+// and additionally accumulates a paper-style table that is printed and
+// written as CSV after the run.
+
+#ifndef DISC_BENCH_COMMON_H_
+#define DISC_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/disc_algorithms.h"
+#include "data/cameras.h"
+#include "data/cities.h"
+#include "data/generators.h"
+#include "eval/table.h"
+#include "metric/metric.h"
+#include "mtree/mtree.h"
+
+namespace disc {
+namespace bench {
+
+/// One evaluation dataset plus its metric and paper radius sweep.
+struct Workload {
+  std::string name;
+  const Dataset* dataset;
+  const DistanceMetric* metric;
+  std::vector<double> radii;
+};
+
+/// The four §6 workloads (constructed once, cached for the process).
+const std::vector<Workload>& PaperWorkloads();
+
+/// Individual cached datasets/metrics for benches with custom sweeps.
+const Dataset& Uniform10k();
+const Dataset& Clustered10k();
+const Dataset& Clustered(size_t n, size_t dim);
+const Dataset& Cities();
+const Dataset& Cameras();
+const DistanceMetric& Euclidean();
+const DistanceMetric& Hamming();
+
+/// Returns a cached, built M-tree for (dataset, options). Trees are reused
+/// across benchmark registrations within a binary; algorithms reset colors
+/// themselves, so sharing is safe.
+MTree* CachedTree(const Dataset& dataset, const DistanceMetric& metric,
+                  MTreeOptions options = {});
+
+/// A tree whose white-neighborhood sizes were computed during construction
+/// (§5.1, the paper's setup: the index is built knowing the query radius).
+/// The greedy algorithms take `counts` via their initial_counts option, so
+/// their reported node accesses cover only algorithmic work — matching how
+/// the paper charges costs in Figures 7-16.
+struct TreeWithCounts {
+  MTree* tree;
+  const std::vector<uint32_t>* counts;
+};
+TreeWithCounts CachedTreeWithCounts(const Dataset& dataset,
+                                    const DistanceMetric& metric,
+                                    double radius, MTreeOptions options = {});
+
+/// Copies the run's metrics into the benchmark counters.
+void ReportResult(benchmark::State& state, const DiscResult& result);
+
+/// Accumulates paper-style rows; printed + written to CSV at process exit
+/// via PrintAndSaveTables().
+class TableCollector {
+ public:
+  /// `csv_name` is the output file written next to the binary.
+  TableCollector(std::string title, std::string csv_name,
+                 std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Prints every collected table and writes its CSV. Call once from main.
+  static void PrintAndSaveAll();
+
+ private:
+  TablePrinter printer_;
+  std::string csv_name_;
+};
+
+/// Benchmark main: runs google-benchmark, then prints the collected tables.
+#define DISC_BENCH_MAIN()                                        \
+  int main(int argc, char** argv) {                              \
+    ::benchmark::Initialize(&argc, argv);                        \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {  \
+      return 1;                                                  \
+    }                                                            \
+    ::benchmark::RunSpecifiedBenchmarks();                       \
+    ::benchmark::Shutdown();                                     \
+    ::disc::bench::TableCollector::PrintAndSaveAll();            \
+    return 0;                                                    \
+  }
+
+}  // namespace bench
+}  // namespace disc
+
+#endif  // DISC_BENCH_COMMON_H_

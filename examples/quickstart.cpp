@@ -1,0 +1,65 @@
+// Quickstart: the minimal end-to-end DisC diversity workflow.
+//
+//   1. Obtain a query result set P (here: a synthetic clustered dataset).
+//   2. Index it with an M-tree.
+//   3. Compute an r-DisC diverse subset with Greedy-DisC.
+//   4. Verify the Definition-1 guarantees and inspect the cost counters.
+//   5. Zoom in for a finer view and zoom out for a coarser one.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/disc_algorithms.h"
+#include "core/zoom.h"
+#include "data/generators.h"
+#include "graph/properties.h"
+#include "metric/metric.h"
+#include "mtree/mtree.h"
+
+int main() {
+  using namespace disc;
+
+  // 1. A query result: 5000 clustered points in [0,1]^2.
+  Dataset dataset = MakeClusteredDataset(5000, 2, /*seed=*/2024);
+  EuclideanMetric metric;
+
+  // 2. Index it. The M-tree drives all neighbor computations and counts
+  //    node accesses, the paper's cost metric.
+  MTree tree(dataset, metric);
+  if (Status s = tree.Build(); !s.ok()) {
+    std::fprintf(stderr, "building M-tree failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Diversify at radius r: every object will have a representative within
+  //    r, and representatives are pairwise farther than r apart.
+  const double r = 0.05;
+  DiscResult result = GreedyDisc(&tree, r, {});
+  std::printf("Greedy-DisC at r=%.2f selected %zu of %zu objects\n", r,
+              result.size(), dataset.size());
+  std::printf("  cost: %llu node accesses, %llu range queries, %.1f ms\n",
+              static_cast<unsigned long long>(result.stats.node_accesses),
+              static_cast<unsigned long long>(result.stats.range_queries),
+              result.wall_ms);
+
+  // 4. Verify the DisC guarantees (coverage + dissimilarity).
+  Status valid = VerifyDisCDiverse(dataset, metric, r, result.solution);
+  std::printf("  verification: %s\n", valid.ToString().c_str());
+
+  // 5a. Zoom in: more, finer-grained representatives; the ones already shown
+  //     to the user are all kept (S^r ⊆ S^r').
+  tree.RecomputeClosestBlackDistances(r);
+  DiscResult finer = ZoomIn(&tree, r / 2, /*greedy=*/true);
+  std::printf("Zoom-in  to r=%.3f: %zu objects (%llu node accesses)\n", r / 2,
+              finer.size(),
+              static_cast<unsigned long long>(finer.stats.node_accesses));
+
+  // 5b. Zoom out: fewer, more dissimilar representatives.
+  DiscResult coarser = ZoomOut(&tree, r, ZoomOutVariant::kGreedyMostRed);
+  std::printf("Zoom-out to r=%.3f: %zu objects (%llu node accesses)\n", r,
+              coarser.size(),
+              static_cast<unsigned long long>(coarser.stats.node_accesses));
+
+  return valid.ok() ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+#include "baselines/kmedoids.h"
+
+#include <limits>
+
+#include "util/random.h"
+
+namespace disc {
+
+Result<KMedoidsResult> KMedoids(const Dataset& dataset,
+                                const DistanceMetric& metric, size_t k,
+                                const KMedoidsOptions& options) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (k == 0 || k > dataset.size()) {
+    return Status::InvalidArgument("k must be in [1, dataset size]");
+  }
+  const size_t n = dataset.size();
+  Random rng(options.seed);
+
+  // k-means++-style seeding: each next seed is sampled proportionally to its
+  // squared distance from the current seed set.
+  std::vector<ObjectId> medoids;
+  std::vector<double> dist_to_set(n, std::numeric_limits<double>::infinity());
+  medoids.push_back(static_cast<ObjectId>(rng.UniformInt(n)));
+  while (medoids.size() < k) {
+    const Point& last = dataset.point(medoids.back());
+    double total = 0.0;
+    for (ObjectId i = 0; i < n; ++i) {
+      double d = metric.Distance(dataset.point(i), last);
+      if (d < dist_to_set[i]) dist_to_set[i] = d;
+      total += dist_to_set[i] * dist_to_set[i];
+    }
+    if (total <= 0) {
+      // All remaining objects coincide with a seed; fill with unused ids.
+      std::vector<char> used(n, 0);
+      for (ObjectId m : medoids) used[m] = 1;
+      for (ObjectId i = 0; i < n && medoids.size() < k; ++i) {
+        if (!used[i]) medoids.push_back(i);
+      }
+      break;
+    }
+    double target = rng.Uniform(0.0, total);
+    ObjectId chosen = 0;
+    for (ObjectId i = 0; i < n; ++i) {
+      target -= dist_to_set[i] * dist_to_set[i];
+      if (target <= 0) {
+        chosen = i;
+        break;
+      }
+    }
+    medoids.push_back(chosen);
+  }
+
+  KMedoidsResult result;
+  result.medoids = std::move(medoids);
+  result.assignment.assign(n, 0);
+
+  std::vector<std::vector<ObjectId>> clusters(k);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    // Assign.
+    for (auto& c : clusters) c.clear();
+    for (ObjectId i = 0; i < n; ++i) {
+      uint32_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (uint32_t m = 0; m < k; ++m) {
+        double d = metric.Distance(dataset.point(i),
+                                   dataset.point(result.medoids[m]));
+        if (d < best_d) {
+          best_d = d;
+          best = m;
+        }
+      }
+      result.assignment[i] = best;
+      clusters[best].push_back(i);
+    }
+    // Update: the medoid of each cluster is its member with the smallest
+    // total distance to the rest of the cluster.
+    bool changed = false;
+    for (uint32_t m = 0; m < k; ++m) {
+      const auto& cluster = clusters[m];
+      if (cluster.empty()) continue;
+      ObjectId best = result.medoids[m];
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (ObjectId candidate : cluster) {
+        double cost = 0.0;
+        for (ObjectId other : cluster) {
+          cost += metric.Distance(dataset.point(candidate),
+                                  dataset.point(other));
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = candidate;
+        }
+      }
+      if (best != result.medoids[m]) {
+        result.medoids[m] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Final objective.
+  double total = 0.0;
+  for (ObjectId i = 0; i < n; ++i) {
+    total += metric.Distance(dataset.point(i),
+                             dataset.point(result.medoids[result.assignment[i]]));
+  }
+  result.mean_distance = total / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace disc

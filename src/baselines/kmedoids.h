@@ -1,0 +1,40 @@
+// k-medoids clustering baseline (§4): minimizes the mean distance from each
+// object to its closest selected medoid. The paper uses it as the
+// "representative subset" comparison in Figure 6 (central points, outliers
+// ignored). Implemented as Voronoi iteration (assign to nearest medoid,
+// recompute each cluster's medoid) with k-means++-style seeding, which is
+// the standard scalable PAM alternative.
+
+#ifndef DISC_BASELINES_KMEDOIDS_H_
+#define DISC_BASELINES_KMEDOIDS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "metric/metric.h"
+#include "util/status.h"
+
+namespace disc {
+
+struct KMedoidsOptions {
+  size_t max_iterations = 20;
+  uint64_t seed = 1234;
+};
+
+struct KMedoidsResult {
+  std::vector<ObjectId> medoids;
+  /// assignment[i] = index into `medoids` of object i's cluster.
+  std::vector<uint32_t> assignment;
+  /// Final objective: mean distance to the assigned medoid.
+  double mean_distance = 0.0;
+  size_t iterations = 0;
+};
+
+/// Runs k-medoids; deterministic for a fixed options.seed.
+Result<KMedoidsResult> KMedoids(const Dataset& dataset,
+                                const DistanceMetric& metric, size_t k,
+                                const KMedoidsOptions& options = {});
+
+}  // namespace disc
+
+#endif  // DISC_BASELINES_KMEDOIDS_H_

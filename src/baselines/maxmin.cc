@@ -1,0 +1,46 @@
+#include "baselines/maxmin.h"
+
+#include <limits>
+
+namespace disc {
+
+Result<std::vector<ObjectId>> GreedyMaxMin(const Dataset& dataset,
+                                           const DistanceMetric& metric,
+                                           size_t k, ObjectId start) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (k > dataset.size()) {
+    return Status::InvalidArgument("k = " + std::to_string(k) +
+                                   " exceeds dataset size " +
+                                   std::to_string(dataset.size()));
+  }
+  if (start >= dataset.size()) {
+    return Status::InvalidArgument("start object out of range");
+  }
+  const size_t n = dataset.size();
+  std::vector<ObjectId> solution;
+  if (k == 0) return solution;
+
+  // dist_to_set[i] = distance from i to its nearest selected object.
+  std::vector<double> dist_to_set(n, std::numeric_limits<double>::infinity());
+  ObjectId next = start;
+  for (size_t round = 0; round < k; ++round) {
+    solution.push_back(next);
+    const Point& added = dataset.point(next);
+    ObjectId farthest = kInvalidObject;
+    double farthest_dist = -1.0;
+    for (ObjectId i = 0; i < n; ++i) {
+      double d = metric.Distance(dataset.point(i), added);
+      if (d < dist_to_set[i]) dist_to_set[i] = d;
+      if (dist_to_set[i] > farthest_dist) {
+        farthest_dist = dist_to_set[i];
+        farthest = i;
+      }
+    }
+    next = farthest;
+  }
+  return solution;
+}
+
+}  // namespace disc

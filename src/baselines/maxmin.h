@@ -1,0 +1,27 @@
+// Greedy MaxMin diversification baseline (§4): selects k objects maximizing
+// f_Min = min_{p_i != p_j in S} dist(p_i, p_j). The classic farthest-point
+// (Gonzalez) greedy achieves a 2-approximation and is the heuristic the
+// paper compares against in Figure 6 and Lemma 7.
+
+#ifndef DISC_BASELINES_MAXMIN_H_
+#define DISC_BASELINES_MAXMIN_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "metric/metric.h"
+#include "util/status.h"
+
+namespace disc {
+
+/// Farthest-point greedy: starts from `start` (default: object 0) and
+/// repeatedly adds the object whose distance to the current selection is
+/// largest (ties toward the smaller id). Returns InvalidArgument when
+/// k exceeds the dataset size or the dataset is empty.
+Result<std::vector<ObjectId>> GreedyMaxMin(const Dataset& dataset,
+                                           const DistanceMetric& metric,
+                                           size_t k, ObjectId start = 0);
+
+}  // namespace disc
+
+#endif  // DISC_BASELINES_MAXMIN_H_

@@ -1,0 +1,56 @@
+#include "baselines/maxsum.h"
+
+#include <vector>
+
+namespace disc {
+
+Result<std::vector<ObjectId>> GreedyMaxSum(const Dataset& dataset,
+                                           const DistanceMetric& metric,
+                                           size_t k) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (k > dataset.size()) {
+    return Status::InvalidArgument("k = " + std::to_string(k) +
+                                   " exceeds dataset size " +
+                                   std::to_string(dataset.size()));
+  }
+  const size_t n = dataset.size();
+  std::vector<ObjectId> solution;
+  if (k == 0) return solution;
+
+  // sum_to_set[i] = total distance from i to the current selection.
+  std::vector<double> sum_to_set(n, 0.0);
+  std::vector<char> selected(n, 0);
+
+  // Seed: farthest object from 0, mirroring the double-sweep diameter probe.
+  ObjectId seed = 0;
+  double best = -1.0;
+  for (ObjectId i = 0; i < n; ++i) {
+    double d = metric.Distance(dataset.point(0), dataset.point(i));
+    if (d > best) {
+      best = d;
+      seed = i;
+    }
+  }
+
+  ObjectId next = seed;
+  for (size_t round = 0; round < k; ++round) {
+    solution.push_back(next);
+    selected[next] = 1;
+    const Point& added = dataset.point(next);
+    ObjectId arg = kInvalidObject;
+    double arg_sum = -1.0;
+    for (ObjectId i = 0; i < n; ++i) {
+      sum_to_set[i] += metric.Distance(dataset.point(i), added);
+      if (!selected[i] && sum_to_set[i] > arg_sum) {
+        arg_sum = sum_to_set[i];
+        arg = i;
+      }
+    }
+    next = arg;
+  }
+  return solution;
+}
+
+}  // namespace disc

@@ -1,0 +1,28 @@
+// Greedy MaxSum diversification baseline (§4): selects k objects maximizing
+// f_Sum = sum of pairwise distances within S. The greedy incrementally adds
+// the object with the largest total distance to the current selection —
+// the standard heuristic the paper cites ([10], [26]); it gravitates to the
+// outskirts of the dataset, which is exactly the behavior Figure 6 contrasts
+// DisC against.
+
+#ifndef DISC_BASELINES_MAXSUM_H_
+#define DISC_BASELINES_MAXSUM_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "metric/metric.h"
+#include "util/status.h"
+
+namespace disc {
+
+/// Greedy f_Sum maximization: seeds with the farthest pair found from
+/// object 0 (double sweep), then adds argmax_i sum_{s in S} dist(i, s)
+/// (ties toward the smaller id) until |S| = k.
+Result<std::vector<ObjectId>> GreedyMaxSum(const Dataset& dataset,
+                                           const DistanceMetric& metric,
+                                           size_t k);
+
+}  // namespace disc
+
+#endif  // DISC_BASELINES_MAXSUM_H_

@@ -1,0 +1,71 @@
+#include "core/bounds.h"
+
+#include <cmath>
+
+namespace disc {
+
+Result<int> MaxIndependentNeighborsBound(MetricKind kind, size_t dim) {
+  if (kind == MetricKind::kEuclidean && dim == 2) return 5;   // Lemma 2
+  if (kind == MetricKind::kManhattan && dim == 2) return 7;   // Lemma 3
+  if (kind == MetricKind::kEuclidean && dim == 3) return 24;  // §2.3
+  return Status::NotFound("no proven bound for metric " +
+                          std::string(MetricKindToString(kind)) + " in " +
+                          std::to_string(dim) + " dimensions");
+}
+
+double HarmonicNumber(size_t n) {
+  double h = 0.0;
+  for (size_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+double GreedyCApproximationFactor(size_t max_degree) {
+  return HarmonicNumber(max_degree + 1);
+}
+
+namespace {
+
+Status CheckRadii(double r1, double r2) {
+  if (!(r1 > 0) || r2 < r1) {
+    return Status::InvalidArgument("require r2 >= r1 > 0, got r1=" +
+                                   std::to_string(r1) + " r2=" +
+                                   std::to_string(r2));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<int> IndependentNeighborsInAnnulusEuclidean(double r1, double r2) {
+  DISC_RETURN_NOT_OK(CheckRadii(r1, r2));
+  const double beta = (1.0 + std::sqrt(5.0)) / 2.0;
+  double rings = std::ceil(std::log(r2 / r1) / std::log(beta));
+  if (rings < 1) rings = 1;  // r2 == r1 still allows one ring of neighbors
+  return static_cast<int>(9 * rings);
+}
+
+Result<int> IndependentNeighborsInAnnulusManhattan(double r1, double r2) {
+  DISC_RETURN_NOT_OK(CheckRadii(r1, r2));
+  int gamma = static_cast<int>(std::ceil((r2 - r1) / r1));
+  if (gamma < 1) gamma = 1;
+  int total = 0;
+  for (int i = 1; i <= gamma; ++i) total += 2 * i + 1;
+  return 4 * total;
+}
+
+Result<double> ZoomInGrowthBound(MetricKind kind, double r_new, double r_old) {
+  if (r_new <= 0 || r_old < r_new) {
+    return Status::InvalidArgument("zoom-in requires 0 < r_new <= r_old");
+  }
+  Result<int> ni = kind == MetricKind::kEuclidean
+                       ? IndependentNeighborsInAnnulusEuclidean(r_new, r_old)
+                       : kind == MetricKind::kManhattan
+                             ? IndependentNeighborsInAnnulusManhattan(r_new,
+                                                                      r_old)
+                             : Result<int>(Status::NotFound(
+                                   "no NI bound for this metric"));
+  if (!ni.ok()) return ni.status();
+  return 1.0 + static_cast<double>(*ni);
+}
+
+}  // namespace disc

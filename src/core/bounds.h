@@ -1,0 +1,52 @@
+// Theoretical bounds from the paper, as checkable functions:
+//
+//   Theorem 1  — any r-DisC diverse subset is at most B times the minimum,
+//                where B is the max number of pairwise-independent neighbors.
+//   Lemma 2/3  — B = 5 (Euclidean, d=2), B = 7 (Manhattan, d=2); §2.3 also
+//                states B = 24 for Euclidean d=3.
+//   Theorem 2  — Greedy-C is within ln(Delta) of the minimum (via H(Δ+1)).
+//   Lemma 4    — |NI_{r1,r2}| bounds for zooming (Euclidean & Manhattan, 2-D).
+//   Lemma 7    — an r-DisC solution is a 3-approximation of MaxMin's optimal
+//                fMin for the same k.
+//
+// The test suite uses these to assert that measured quantities never exceed
+// what the paper proves.
+
+#ifndef DISC_CORE_BOUNDS_H_
+#define DISC_CORE_BOUNDS_H_
+
+#include <cstddef>
+
+#include "metric/metric.h"
+#include "util/status.h"
+
+namespace disc {
+
+/// B of Theorem 1 for a metric/dimension combination with a known bound:
+/// Euclidean d=2 -> 5, Manhattan d=2 -> 7, Euclidean d=3 -> 24.
+/// Other combinations return NotFound (the paper proves none).
+Result<int> MaxIndependentNeighborsBound(MetricKind kind, size_t dim);
+
+/// H(n), the n-th harmonic number (H(0) = 0).
+double HarmonicNumber(size_t n);
+
+/// Theorem 2's approximation factor for Greedy-C: H(max_degree + 1).
+double GreedyCApproximationFactor(size_t max_degree);
+
+/// Lemma 4(i): for Euclidean d=2 and r2 >= r1 > 0,
+/// |NI_{r1,r2}| <= 9 * ceil(log_beta(r2/r1)) with beta the golden ratio.
+/// Returns InvalidArgument unless r2 >= r1 > 0.
+Result<int> IndependentNeighborsInAnnulusEuclidean(double r1, double r2);
+
+/// Lemma 4(ii): for Manhattan d=2, |NI_{r1,r2}| <= 4 * sum_{i=1..g}(2i+1)
+/// with g = ceil((r2-r1)/r1). Returns InvalidArgument unless r2 >= r1 > 0.
+Result<int> IndependentNeighborsInAnnulusManhattan(double r1, double r2);
+
+/// Lemma 5(ii)'s multiplicative bound for zooming-in: |S^r'| <=
+/// (1 + NI(r', r)) * |S^r| for the matching metric (the +1 accounts for the
+/// kept object itself; NI bounds the additions per kept object).
+Result<double> ZoomInGrowthBound(MetricKind kind, double r_new, double r_old);
+
+}  // namespace disc
+
+#endif  // DISC_CORE_BOUNDS_H_

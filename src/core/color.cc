@@ -1,0 +1,19 @@
+#include "core/color.h"
+
+namespace disc {
+
+const char* ColorToString(Color color) {
+  switch (color) {
+    case Color::kWhite:
+      return "white";
+    case Color::kGrey:
+      return "grey";
+    case Color::kBlack:
+      return "black";
+    case Color::kRed:
+      return "red";
+  }
+  return "unknown";
+}
+
+}  // namespace disc

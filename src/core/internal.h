@@ -1,0 +1,39 @@
+// Shared helpers for the core algorithm implementations. Internal header.
+
+#ifndef DISC_CORE_INTERNAL_H_
+#define DISC_CORE_INTERNAL_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/disc_algorithms.h"
+#include "mtree/mtree.h"
+#include "util/stopwatch.h"
+
+namespace disc {
+namespace internal {
+
+/// Captures the tree's access counters at construction and attributes the
+/// delta (plus wall-clock) to the DiscResult produced at Finish().
+class RunScope {
+ public:
+  explicit RunScope(MTree* tree) : tree_(tree), start_(tree->stats()) {}
+
+  DiscResult Finish(std::vector<ObjectId> solution) {
+    DiscResult result;
+    result.solution = std::move(solution);
+    result.stats = tree_->stats() - start_;
+    result.wall_ms = watch_.ElapsedMillis();
+    return result;
+  }
+
+ private:
+  MTree* tree_;
+  AccessStats start_;
+  Stopwatch watch_;
+};
+
+}  // namespace internal
+}  // namespace disc
+
+#endif  // DISC_CORE_INTERNAL_H_

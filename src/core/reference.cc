@@ -1,0 +1,91 @@
+#include "core/reference.h"
+
+#include "core/color.h"
+#include "util/indexed_heap.h"
+
+namespace disc {
+
+std::vector<ObjectId> ReferenceBasicDisc(const NeighborhoodGraph& graph,
+                                         const std::vector<ObjectId>& order) {
+  std::vector<Color> colors(graph.num_vertices(), Color::kWhite);
+  std::vector<ObjectId> solution;
+  for (ObjectId id : order) {
+    if (colors[id] != Color::kWhite) continue;
+    colors[id] = Color::kBlack;
+    solution.push_back(id);
+    for (ObjectId nb : graph.neighbors(id)) {
+      if (colors[nb] == Color::kWhite) colors[nb] = Color::kGrey;
+    }
+  }
+  return solution;
+}
+
+std::vector<ObjectId> ReferenceGreedyDisc(const NeighborhoodGraph& graph) {
+  const size_t n = graph.num_vertices();
+  std::vector<Color> colors(n, Color::kWhite);
+  IndexedMaxHeap heap(n);
+  for (ObjectId id = 0; id < n; ++id) {
+    heap.Push(id, static_cast<int64_t>(graph.degree(id)));
+  }
+  std::vector<ObjectId> solution;
+  std::vector<ObjectId> newly_grey;
+  while (!heap.empty()) {
+    ObjectId pi = heap.PopTop();
+    colors[pi] = Color::kBlack;
+    solution.push_back(pi);
+    newly_grey.clear();
+    for (ObjectId nb : graph.neighbors(pi)) {
+      if (colors[nb] == Color::kWhite) {
+        colors[nb] = Color::kGrey;
+        newly_grey.push_back(nb);
+        heap.Remove(nb);
+      }
+    }
+    for (ObjectId pj : newly_grey) {
+      for (ObjectId nb : graph.neighbors(pj)) {
+        if (colors[nb] == Color::kWhite && heap.contains(nb)) {
+          heap.Adjust(nb, -1);
+        }
+      }
+    }
+  }
+  return solution;
+}
+
+std::vector<ObjectId> ReferenceGreedyC(const NeighborhoodGraph& graph) {
+  const size_t n = graph.num_vertices();
+  std::vector<Color> colors(n, Color::kWhite);
+  size_t whites = n;
+  IndexedMaxHeap heap(n);
+  for (ObjectId id = 0; id < n; ++id) {
+    heap.Push(id, static_cast<int64_t>(graph.degree(id)) + 1);
+  }
+  std::vector<ObjectId> solution;
+  std::vector<ObjectId> newly_grey;
+  while (whites > 0 && !heap.empty()) {
+    ObjectId pi = heap.PopTop();
+    bool was_white = colors[pi] == Color::kWhite;
+    colors[pi] = Color::kBlack;
+    if (was_white) --whites;
+    solution.push_back(pi);
+
+    newly_grey.clear();
+    for (ObjectId nb : graph.neighbors(pi)) {
+      if (colors[nb] == Color::kWhite) {
+        colors[nb] = Color::kGrey;
+        --whites;
+        newly_grey.push_back(nb);
+      }
+      if (was_white && heap.contains(nb)) heap.Adjust(nb, -1);
+    }
+    for (ObjectId pj : newly_grey) {
+      if (heap.contains(pj)) heap.Adjust(pj, -1);
+      for (ObjectId nb : graph.neighbors(pj)) {
+        if (heap.contains(nb)) heap.Adjust(nb, -1);
+      }
+    }
+  }
+  return solution;
+}
+
+}  // namespace disc

@@ -1,0 +1,31 @@
+// Index-free reference implementations of the DisC heuristics, operating
+// directly on the neighborhood graph. They use the same deterministic
+// tie-breaking as the M-tree-backed algorithms (priority descending, object
+// id ascending), so on identical inputs the two paths produce *identical*
+// solutions — the backbone of the integration tests.
+
+#ifndef DISC_CORE_REFERENCE_H_
+#define DISC_CORE_REFERENCE_H_
+
+#include <vector>
+
+#include "graph/neighborhood.h"
+
+namespace disc {
+
+/// Basic-DisC over the graph, considering candidates in `order` (pass the
+/// tree's LeafOrder() to mirror the indexed implementation, or id order for
+/// a standalone run).
+std::vector<ObjectId> ReferenceBasicDisc(const NeighborhoodGraph& graph,
+                                         const std::vector<ObjectId>& order);
+
+/// Greedy-DisC over the graph with exact white-neighborhood counts.
+std::vector<ObjectId> ReferenceGreedyDisc(const NeighborhoodGraph& graph);
+
+/// Greedy-C over the graph (white and grey objects are candidates; the
+/// priority is white neighbors plus a self-cover bonus for white candidates).
+std::vector<ObjectId> ReferenceGreedyC(const NeighborhoodGraph& graph);
+
+}  // namespace disc
+
+#endif  // DISC_CORE_REFERENCE_H_

@@ -1,0 +1,33 @@
+#include "core/streaming.h"
+
+#include <limits>
+
+namespace disc {
+
+Result<bool> StreamingDisc::Insert(Point point) {
+  // Check coverage against the current solution. The solution is small
+  // compared to the stream, so a linear scan is the right tool; an index
+  // would pay more in maintenance than it saves here.
+  double best = std::numeric_limits<double>::infinity();
+  for (ObjectId s : solution_) {
+    double d = metric_.Distance(point, seen_.point(s));
+    if (d < best) best = d;
+    if (best <= radius_) break;
+  }
+
+  ObjectId id = static_cast<ObjectId>(seen_.size());
+  DISC_RETURN_NOT_OK(seen_.Add(std::move(point)));
+
+  if (best <= radius_) {
+    representative_dist_.push_back(best);
+    return false;
+  }
+  // Uncovered: it joins the solution. It is farther than r from every
+  // member (that is exactly what "uncovered" means), so independence is
+  // preserved; coverage holds because it now covers itself.
+  solution_.push_back(id);
+  representative_dist_.push_back(0.0);
+  return true;
+}
+
+}  // namespace disc

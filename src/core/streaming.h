@@ -1,0 +1,63 @@
+// Online DisC diversity (§8 future work: "designing algorithms for the
+// online version of the problem").
+//
+// StreamingDisc maintains an r-DisC diverse subset over a stream of arriving
+// objects: after every insertion, the selected subset covers everything seen
+// so far and stays pairwise dissimilar. The rule is the online counterpart
+// of Basic-DisC — an arrival joins the solution iff no current member covers
+// it — so the maintained set is always a maximal independent set of the
+// neighborhood graph over the prefix, and (by Theorem 1) at most B times the
+// offline optimum. Selected objects are never evicted, which gives the user
+// a stable, monotonically growing view.
+
+#ifndef DISC_CORE_STREAMING_H_
+#define DISC_CORE_STREAMING_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "metric/metric.h"
+#include "util/status.h"
+
+namespace disc {
+
+/// Maintains an r-DisC diverse subset under object arrivals.
+/// The metric must outlive the instance.
+class StreamingDisc {
+ public:
+  StreamingDisc(const DistanceMetric& metric, double radius)
+      : metric_(metric), radius_(radius) {}
+
+  /// Processes one arrival. Returns true when the object was selected into
+  /// the diverse subset (it was not covered by any current member).
+  /// Returns InvalidArgument on dimension mismatch with earlier arrivals.
+  Result<bool> Insert(Point point);
+
+  /// Ids (arrival order indexes) of the selected objects, ascending.
+  const std::vector<ObjectId>& solution() const { return solution_; }
+
+  /// Number of objects seen so far.
+  size_t seen() const { return seen_.size(); }
+
+  /// All objects seen so far, in arrival order.
+  const Dataset& seen_dataset() const { return seen_; }
+
+  double radius() const { return radius_; }
+
+  /// For the object with arrival index `id`: distance to its representative
+  /// (0 for selected objects).
+  double representative_distance(ObjectId id) const {
+    return representative_dist_[id];
+  }
+
+ private:
+  const DistanceMetric& metric_;
+  double radius_;
+  Dataset seen_;
+  std::vector<ObjectId> solution_;
+  std::vector<double> representative_dist_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_CORE_STREAMING_H_

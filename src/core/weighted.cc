@@ -1,0 +1,149 @@
+#include "core/weighted.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/color.h"
+#include "graph/neighborhood.h"
+
+namespace disc {
+
+namespace {
+
+Status CheckWeights(const Dataset& dataset, const std::vector<double>& w,
+                    const char* what) {
+  if (w.size() != dataset.size()) {
+    return Status::InvalidArgument(std::string(what) + " size " +
+                                   std::to_string(w.size()) +
+                                   " does not match dataset size " +
+                                   std::to_string(dataset.size()));
+  }
+  for (double v : w) {
+    if (!(v > 0)) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " must be strictly positive");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<ObjectId>> GreedyWeightedDisc(
+    const Dataset& dataset, const DistanceMetric& metric, double radius,
+    const std::vector<double>& weights, WeightedObjective objective) {
+  DISC_RETURN_NOT_OK(CheckWeights(dataset, weights, "weights"));
+  if (radius < 0) return Status::InvalidArgument("radius must be >= 0");
+
+  NeighborhoodGraph graph(dataset, metric, radius);
+  const size_t n = dataset.size();
+  std::vector<Color> colors(n, Color::kWhite);
+  std::vector<uint32_t> white_neighbors(n);
+  for (ObjectId id = 0; id < n; ++id) {
+    white_neighbors[id] = static_cast<uint32_t>(graph.degree(id));
+  }
+
+  auto score = [&](ObjectId id) {
+    switch (objective) {
+      case WeightedObjective::kMaxWeight:
+        return weights[id];
+      case WeightedObjective::kWeightTimesCoverage:
+        return weights[id] * (1.0 + white_neighbors[id]);
+    }
+    return weights[id];
+  };
+
+  std::vector<ObjectId> solution;
+  size_t whites = n;
+  while (whites > 0) {
+    // Linear scan keeps the float-valued objective simple and deterministic
+    // (ties toward the smaller id); n is at most a few tens of thousands.
+    ObjectId best = kInvalidObject;
+    double best_score = -1.0;
+    for (ObjectId id = 0; id < n; ++id) {
+      if (colors[id] != Color::kWhite) continue;
+      double s = score(id);
+      if (s > best_score) {
+        best_score = s;
+        best = id;
+      }
+    }
+    colors[best] = Color::kBlack;
+    solution.push_back(best);
+    --whites;
+    std::vector<ObjectId> newly_grey;
+    for (ObjectId nb : graph.neighbors(best)) {
+      if (colors[nb] == Color::kWhite) {
+        colors[nb] = Color::kGrey;
+        newly_grey.push_back(nb);
+        --whites;
+      }
+    }
+    for (ObjectId pj : newly_grey) {
+      for (ObjectId nb : graph.neighbors(pj)) {
+        if (white_neighbors[nb] > 0) --white_neighbors[nb];
+      }
+    }
+  }
+  return solution;
+}
+
+double TotalWeight(const std::vector<ObjectId>& set,
+                   const std::vector<double>& weights) {
+  double total = 0.0;
+  for (ObjectId id : set) total += weights[id];
+  return total;
+}
+
+Result<std::vector<double>> RelevanceRadii(const std::vector<double>& relevance,
+                                           double r_min, double r_max) {
+  if (!(r_min > 0) || r_max < r_min) {
+    return Status::InvalidArgument("require 0 < r_min <= r_max");
+  }
+  std::vector<double> radii(relevance.size());
+  for (size_t i = 0; i < relevance.size(); ++i) {
+    if (relevance[i] < 0 || relevance[i] > 1) {
+      return Status::InvalidArgument("relevance values must lie in [0, 1]");
+    }
+    radii[i] = r_max - relevance[i] * (r_max - r_min);
+  }
+  return radii;
+}
+
+Result<std::vector<ObjectId>> MultiRadiusDisc(
+    const Dataset& dataset, const DistanceMetric& metric,
+    const std::vector<double>& radii, const std::vector<double>& relevance) {
+  DISC_RETURN_NOT_OK(CheckWeights(dataset, radii, "radii"));
+  if (relevance.size() != dataset.size()) {
+    return Status::InvalidArgument("relevance size does not match dataset");
+  }
+  const size_t n = dataset.size();
+
+  // Most relevant first: relevant objects grab their (small) neighborhoods
+  // before coarse representatives blanket the area.
+  std::vector<ObjectId> order(n);
+  std::iota(order.begin(), order.end(), ObjectId{0});
+  std::stable_sort(order.begin(), order.end(), [&](ObjectId a, ObjectId b) {
+    if (relevance[a] != relevance[b]) return relevance[a] > relevance[b];
+    return a < b;
+  });
+
+  std::vector<char> covered(n, 0);
+  std::vector<ObjectId> solution;
+  for (ObjectId c : order) {
+    if (covered[c]) continue;
+    // An uncovered object is never "blocked": being within
+    // min(r(c), r(s)) <= r(s) of a selected s would mean s covers it.
+    solution.push_back(c);
+    covered[c] = 1;
+    for (ObjectId p = 0; p < n; ++p) {
+      if (!covered[p] &&
+          metric.Distance(dataset.point(c), dataset.point(p)) <= radii[c]) {
+        covered[p] = 1;
+      }
+    }
+  }
+  return solution;
+}
+
+}  // namespace disc

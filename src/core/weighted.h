@@ -1,0 +1,64 @@
+// Extensions sketched in the paper's §8 (future work), implemented here:
+//
+//  * Weighted DisC — every object carries a relevance weight; among valid
+//    r-DisC diverse subsets we greedily prefer heavy objects, aiming for a
+//    maximum-weight independent dominating set.
+//  * Multi-radius DisC — relevance shrinks an object's radius, so relevant
+//    regions are represented more densely. Each object p gets a radius
+//    r(p) in [r_min, r_max]; a selected object covers its r(p)-neighborhood,
+//    and two selected objects must be farther apart than min(r(p1), r(p2)).
+//
+// Both operate on the dataset/metric directly (no M-tree): they are
+// reference-quality implementations of the paper's proposals, benchmarked
+// in bench/bench_ablation_extensions.
+
+#ifndef DISC_CORE_WEIGHTED_H_
+#define DISC_CORE_WEIGHTED_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "metric/metric.h"
+#include "util/status.h"
+
+namespace disc {
+
+/// How the weighted greedy ranks candidates.
+enum class WeightedObjective {
+  /// Pick the heaviest still-white object (pure relevance).
+  kMaxWeight,
+  /// Pick the white object maximizing weight * (1 + white neighbors) —
+  /// balances relevance against coverage progress.
+  kWeightTimesCoverage,
+};
+
+/// Greedy weighted DisC: returns a valid r-DisC diverse subset biased toward
+/// heavy objects. `weights` must be positive and one per object.
+Result<std::vector<ObjectId>> GreedyWeightedDisc(
+    const Dataset& dataset, const DistanceMetric& metric, double radius,
+    const std::vector<double>& weights,
+    WeightedObjective objective = WeightedObjective::kWeightTimesCoverage);
+
+/// Sum of weights of `set`.
+double TotalWeight(const std::vector<ObjectId>& set,
+                   const std::vector<double>& weights);
+
+/// Per-object radii for multi-radius DisC: relevance 1 maps to r_min,
+/// relevance 0 to r_max (more relevant => finer representation).
+Result<std::vector<double>> RelevanceRadii(const std::vector<double>& relevance,
+                                           double r_min, double r_max);
+
+/// Greedy multi-radius DisC. A selected object covers its own-radius
+/// neighborhood; a candidate is eligible while no selected object lies
+/// within min(r(candidate), r(selected)) of it. Candidates are processed
+/// by decreasing relevance (ties toward smaller id). Guarantees: every
+/// object is within r(s) of some selected s; selected objects are pairwise
+/// dissimilar under the min-radius rule.
+Result<std::vector<ObjectId>> MultiRadiusDisc(const Dataset& dataset,
+                                              const DistanceMetric& metric,
+                                              const std::vector<double>& radii,
+                                              const std::vector<double>& relevance);
+
+}  // namespace disc
+
+#endif  // DISC_CORE_WEIGHTED_H_

@@ -1,0 +1,174 @@
+#include "data/cameras.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/random.h"
+
+namespace disc {
+
+namespace {
+
+constexpr uint64_t kCamerasSeed = 0x5d1c0ffee1234567ULL;
+
+// Attribute vocabularies. Cardinalities mirror the real acme.com catalog's
+// scale (many brands and model lines, a handful of interface/battery/storage
+// options) so Hamming neighborhood sizes behave like the paper's.
+const std::vector<std::string>& Brands() {
+  static const std::vector<std::string> v = {
+      "Canon",  "Nikon",   "Sony",   "FujiFilm", "Olympus", "Kodak",
+      "Pentax", "Ricoh",   "Epson",  "Toshiba",  "Casio",   "Panasonic",
+      "Minolta", "Samsung", "Leica",  "HP",       "Konica",  "Agfa",
+      "Vivitar", "Sanyo"};
+  return v;
+}
+
+const std::vector<std::string>& ModelLines() {
+  static const std::vector<std::string> v = {
+      "PowerShot", "Coolpix", "Mavica",  "FinePix", "Camedia", "EasyShare",
+      "Optio",     "RDC",     "PhotoPC", "PDR",     "Exilim",  "Lumix",
+      "Dimage",    "Digimax", "Digilux", "PhotoSmart"};
+  return v;
+}
+
+const std::vector<std::string>& MegapixelClasses() {
+  static const std::vector<std::string> v = {"<1MP", "1-2MP", "2-3MP", "3-4MP",
+                                             "4-6MP", "6-8MP", ">8MP"};
+  return v;
+}
+
+const std::vector<std::string>& ZoomClasses() {
+  static const std::vector<std::string> v = {"none", "2x", "3x",
+                                             "4-5x", "6-10x", ">10x"};
+  return v;
+}
+
+const std::vector<std::string>& Interfaces() {
+  static const std::vector<std::string> v = {"serial", "serial+USB", "USB",
+                                             "USB+FireWire", "none"};
+  return v;
+}
+
+const std::vector<std::string>& Batteries() {
+  static const std::vector<std::string> v = {"AA", "AA+lithium", "lithium",
+                                             "NiMH", "NiCd"};
+  return v;
+}
+
+const std::vector<std::string>& Storages() {
+  static const std::vector<std::string> v = {
+      "CompactFlash", "SmartMedia",   "MemoryStick", "SecureDigital",
+      "MultiMediaCard+SD", "xD-PictureCard", "internal"};
+  return v;
+}
+
+const std::vector<const std::vector<std::string>*>& Vocabularies() {
+  static const std::vector<const std::vector<std::string>*> v = {
+      &Brands(),     &ModelLines(), &MegapixelClasses(), &ZoomClasses(),
+      &Interfaces(), &Batteries(),  &Storages()};
+  return v;
+}
+
+// Weighted choice helper: picks an index according to `weights`.
+size_t WeightedPick(Random* rng, const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double x = rng->Uniform(0.0, total);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (x < weights[i]) return i;
+    x -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace
+
+const std::vector<std::string>& CameraAttributeNames() {
+  static const std::vector<std::string> v = {
+      "brand", "model-line", "megapixels", "zoom",
+      "interface", "battery", "storage"};
+  return v;
+}
+
+Dataset MakeCamerasDataset() {
+  Random rng(kCamerasSeed);
+  Dataset dataset(kCamerasAttributes);
+
+  const size_t num_brands = Brands().size();
+
+  // Brand popularity follows a rough power law (a few brands dominate).
+  std::vector<double> brand_weights(num_brands);
+  for (size_t b = 0; b < num_brands; ++b) {
+    brand_weights[b] = 1.0 / static_cast<double>(b + 1);
+  }
+
+  // "House style" per brand: preferred model line, interface, battery and
+  // storage, plus an era bias (older brands skew to low megapixels / serial).
+  struct HouseStyle {
+    size_t model_line;
+    size_t interface;
+    size_t battery;
+    size_t storage;
+    double era;  // 0 = early era, 1 = late era
+  };
+  std::vector<HouseStyle> styles(num_brands);
+  for (size_t b = 0; b < num_brands; ++b) {
+    styles[b].model_line = rng.UniformInt(ModelLines().size());
+    styles[b].interface = rng.UniformInt(Interfaces().size());
+    styles[b].battery = rng.UniformInt(Batteries().size());
+    styles[b].storage = rng.UniformInt(Storages().size());
+    styles[b].era = rng.Uniform01();
+  }
+
+  auto biased_pick = [&](size_t preferred, size_t cardinality,
+                         double loyalty) -> size_t {
+    if (rng.Uniform01() < loyalty) return preferred;
+    return rng.UniformInt(cardinality);
+  };
+
+  for (size_t i = 0; i < kCamerasCardinality; ++i) {
+    size_t brand = WeightedPick(&rng, brand_weights);
+    const HouseStyle& style = styles[brand];
+
+    size_t model_line = biased_pick(style.model_line, ModelLines().size(), 0.6);
+
+    // Era drifts per camera around the brand's center; megapixels and zoom
+    // grow with era, keeping the attributes realistically correlated.
+    double era = std::clamp(style.era + rng.Gaussian(0.0, 0.25), 0.0, 1.0);
+    size_t mp = std::min<size_t>(
+        MegapixelClasses().size() - 1,
+        static_cast<size_t>(era * (MegapixelClasses().size() - 1) +
+                            rng.Uniform(0.0, 1.5)));
+    size_t zoom = std::min<size_t>(
+        ZoomClasses().size() - 1,
+        static_cast<size_t>(era * 3.0 + rng.Uniform(0.0, 2.0)));
+
+    size_t interface = biased_pick(style.interface, Interfaces().size(), 0.5);
+    size_t battery = biased_pick(style.battery, Batteries().size(), 0.5);
+    size_t storage = biased_pick(style.storage, Storages().size(), 0.55);
+
+    (void)dataset.Add(Point{static_cast<double>(brand),
+                            static_cast<double>(model_line),
+                            static_cast<double>(mp), static_cast<double>(zoom),
+                            static_cast<double>(interface),
+                            static_cast<double>(battery),
+                            static_cast<double>(storage)});
+    dataset.SetLabel(static_cast<ObjectId>(i),
+                     Brands()[brand] + " " + ModelLines()[model_line] + "-" +
+                         std::to_string(100 + i));
+  }
+
+  dataset.SetAttributeNames(CameraAttributeNames());
+  return dataset;
+}
+
+std::string CameraAttributeValue(const Dataset& dataset, ObjectId id,
+                                 size_t attribute) {
+  assert(attribute < kCamerasAttributes);
+  const auto& vocab = *Vocabularies()[attribute];
+  size_t code = static_cast<size_t>(dataset.point(id)[attribute]);
+  assert(code < vocab.size());
+  return vocab[code];
+}
+
+}  // namespace disc

@@ -1,0 +1,44 @@
+// "Cameras" dataset substitute.
+//
+// The paper evaluates on 579 digital cameras with 7 categorical attributes
+// (brand, model, megapixels, zoom, interface, battery, storage) scraped from
+// acme.com/digicams, compared under Hamming distance with radii 1..6. That
+// catalog is not redistributable, so this module synthesizes a deterministic
+// stand-in with the same shape: 579 items, 7 categorical attributes whose
+// cardinalities and correlations mirror a real camera catalog (brands have
+// house styles: battery/storage/interface choices correlate with brand and
+// era). See DESIGN.md §5 for the substitution rationale.
+
+#ifndef DISC_DATA_CAMERAS_H_
+#define DISC_DATA_CAMERAS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace disc {
+
+/// Number of cameras in the paper's dataset.
+inline constexpr size_t kCamerasCardinality = 579;
+
+/// Number of categorical attributes per camera.
+inline constexpr size_t kCamerasAttributes = 7;
+
+/// Returns the synthetic camera catalog: 579 points in 7 categorical
+/// dimensions, each coordinate an integer category code (compare with
+/// HammingMetric). Attribute names and a human-readable label per camera
+/// ("<Brand> <Model>") are attached to the dataset.
+Dataset MakeCamerasDataset();
+
+/// Decodes one attribute value of a camera point back to its display string,
+/// e.g. CameraAttributeValue(ds, id, 0) -> "Canon".
+std::string CameraAttributeValue(const Dataset& dataset, ObjectId id,
+                                 size_t attribute);
+
+/// Display names of the 7 attributes, in dimension order.
+const std::vector<std::string>& CameraAttributeNames();
+
+}  // namespace disc
+
+#endif  // DISC_DATA_CAMERAS_H_

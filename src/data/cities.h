@@ -1,0 +1,35 @@
+// "Cities" dataset substitute.
+//
+// The paper evaluates on 5922 Greek cities/villages (2-D geographic points
+// from rtreeportal.org, normalized to [0,1]). That file is not redistributable
+// here, so this module deterministically synthesizes a stand-in with the same
+// experimental role: a non-uniform real-world-like 2-D point cloud with dense
+// urban clusters, sparse rural interior, coastal arcs and island chains, plus
+// isolated outliers. Cardinality matches the original (5922 points). See
+// DESIGN.md §5 for the substitution rationale.
+//
+// If a real cities CSV (two numeric columns) is available, LoadCitiesCsv()
+// loads and normalizes it so all experiments can run on the original data.
+
+#ifndef DISC_DATA_CITIES_H_
+#define DISC_DATA_CITIES_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace disc {
+
+/// Number of points in the paper's Cities dataset.
+inline constexpr size_t kCitiesCardinality = 5922;
+
+/// Deterministic synthetic stand-in for the Greek cities dataset,
+/// normalized to [0,1]^2. Always returns the same 5922 points.
+Dataset MakeCitiesDataset();
+
+/// Loads a 2-column numeric CSV of coordinates and normalizes it to [0,1]^2.
+Result<Dataset> LoadCitiesCsv(const std::string& path);
+
+}  // namespace disc
+
+#endif  // DISC_DATA_CITIES_H_

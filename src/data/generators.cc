@@ -1,0 +1,86 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace disc {
+
+Dataset MakeUniformDataset(size_t n, size_t dim, uint64_t seed) {
+  Random rng(seed);
+  Dataset dataset(dim);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> coords(dim);
+    for (size_t d = 0; d < dim; ++d) coords[d] = rng.Uniform01();
+    (void)dataset.Add(Point(std::move(coords)));
+  }
+  return dataset;
+}
+
+Dataset MakeClusteredDataset(size_t n, size_t dim, uint64_t seed,
+                             const ClusteredOptions& options) {
+  Random rng(seed);
+  Dataset dataset(dim);
+  if (n == 0 || options.num_clusters == 0) return dataset;
+
+  // Cluster centers away from the boundary so spheres mostly fit in the box.
+  std::vector<Point> centers;
+  centers.reserve(options.num_clusters);
+  for (size_t c = 0; c < options.num_clusters; ++c) {
+    std::vector<double> coords(dim);
+    for (size_t d = 0; d < dim; ++d) coords[d] = rng.Uniform(0.1, 0.9);
+    centers.emplace_back(std::move(coords));
+  }
+
+  // "Clusters of different sizes": both cardinality weights and radii vary.
+  std::vector<double> weights(options.num_clusters);
+  std::vector<double> radii(options.num_clusters);
+  double total_weight = 0.0;
+  for (size_t c = 0; c < options.num_clusters; ++c) {
+    weights[c] = rng.Uniform(0.5, 2.0);
+    total_weight += weights[c];
+    radii[c] = options.spread * rng.Uniform(0.5, 2.0);
+  }
+
+  size_t noise = static_cast<size_t>(std::floor(n * options.noise_fraction));
+  size_t clustered = n - noise;
+
+  size_t emitted = 0;
+  for (size_t c = 0; c < options.num_clusters && emitted < clustered; ++c) {
+    size_t count = (c + 1 == options.num_clusters)
+                       ? clustered - emitted
+                       : std::min(clustered - emitted,
+                                  static_cast<size_t>(std::llround(
+                                      clustered * weights[c] / total_weight)));
+    for (size_t i = 0; i < count; ++i) {
+      std::vector<double> coords(dim);
+      for (size_t d = 0; d < dim; ++d) {
+        double v = centers[c][d] + rng.Gaussian(0.0, radii[c]);
+        coords[d] = std::clamp(v, 0.0, 1.0);
+      }
+      (void)dataset.Add(Point(std::move(coords)));
+      ++emitted;
+    }
+  }
+  for (size_t i = 0; i < noise; ++i) {
+    std::vector<double> coords(dim);
+    for (size_t d = 0; d < dim; ++d) coords[d] = rng.Uniform01();
+    (void)dataset.Add(Point(std::move(coords)));
+  }
+  return dataset;
+}
+
+Dataset MakeGridDataset(size_t side) {
+  Dataset dataset(2);
+  if (side == 0) return dataset;
+  double step = side > 1 ? 1.0 / static_cast<double>(side - 1) : 0.0;
+  for (size_t y = 0; y < side; ++y) {
+    for (size_t x = 0; x < side; ++x) {
+      (void)dataset.Add(Point{x * step, y * step});
+    }
+  }
+  return dataset;
+}
+
+}  // namespace disc

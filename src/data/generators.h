@@ -1,0 +1,41 @@
+// Synthetic workload generators matching the paper's §6 setup:
+// multi-dimensional objects with coordinates in [0,1], either uniformly
+// distributed ("Uniform") or forming hyperspherical clusters of different
+// sizes ("Clustered").
+
+#ifndef DISC_DATA_GENERATORS_H_
+#define DISC_DATA_GENERATORS_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace disc {
+
+/// Parameters for MakeClusteredDataset. Defaults are tuned so DisC solution
+/// sizes on the 10000-point 2-D instance match the ranges of Table 3(b).
+struct ClusteredOptions {
+  /// Number of hyperspherical clusters.
+  size_t num_clusters = 10;
+  /// Std-dev of the Gaussian radial spread of each cluster, before the
+  /// per-cluster size jitter.
+  double spread = 0.025;
+  /// Fraction of points scattered uniformly as background noise/outliers.
+  double noise_fraction = 0.005;
+};
+
+/// n points uniformly distributed in [0,1]^dim.
+Dataset MakeUniformDataset(size_t n, size_t dim, uint64_t seed);
+
+/// n points in [0,1]^dim forming hyperspherical clusters of different sizes
+/// (cluster cardinalities and radii vary), plus a small uniform noise floor.
+Dataset MakeClusteredDataset(size_t n, size_t dim, uint64_t seed,
+                             const ClusteredOptions& options = {});
+
+/// Evenly spaced grid in [0,1]^2 with side*side points; used by tests and
+/// bounds checks where exact neighbor structure must be predictable.
+Dataset MakeGridDataset(size_t side);
+
+}  // namespace disc
+
+#endif  // DISC_DATA_GENERATORS_H_

@@ -1,0 +1,84 @@
+#include "eval/quality.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+namespace disc {
+
+double FMin(const Dataset& dataset, const DistanceMetric& metric,
+            const std::vector<ObjectId>& set) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < set.size(); ++i) {
+    for (size_t j = i + 1; j < set.size(); ++j) {
+      best = std::min(best, metric.Distance(dataset.point(set[i]),
+                                            dataset.point(set[j])));
+    }
+  }
+  return best;
+}
+
+double FSum(const Dataset& dataset, const DistanceMetric& metric,
+            const std::vector<ObjectId>& set) {
+  double total = 0.0;
+  for (size_t i = 0; i < set.size(); ++i) {
+    for (size_t j = i + 1; j < set.size(); ++j) {
+      total += metric.Distance(dataset.point(set[i]), dataset.point(set[j]));
+    }
+  }
+  return total;
+}
+
+double CoverageFraction(const Dataset& dataset, const DistanceMetric& metric,
+                        double radius, const std::vector<ObjectId>& set) {
+  if (dataset.empty()) return 1.0;
+  std::vector<char> covered(dataset.size(), 0);
+  for (ObjectId s : set) covered[s] = 1;
+  size_t count = 0;
+  for (ObjectId i = 0; i < dataset.size(); ++i) {
+    if (!covered[i]) {
+      for (ObjectId s : set) {
+        if (metric.Distance(dataset.point(i), dataset.point(s)) <= radius) {
+          covered[i] = 1;
+          break;
+        }
+      }
+    }
+    if (covered[i]) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(dataset.size());
+}
+
+double MeanRepresentationDistance(const Dataset& dataset,
+                                  const DistanceMetric& metric,
+                                  const std::vector<ObjectId>& set) {
+  if (dataset.empty() || set.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double total = 0.0;
+  for (ObjectId i = 0; i < dataset.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (ObjectId s : set) {
+      best = std::min(best,
+                      metric.Distance(dataset.point(i), dataset.point(s)));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(dataset.size());
+}
+
+double JaccardDistance(const std::vector<ObjectId>& a,
+                       const std::vector<ObjectId>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::unordered_set<ObjectId> set_a(a.begin(), a.end());
+  std::unordered_set<ObjectId> set_b(b.begin(), b.end());
+  size_t intersection = 0;
+  for (ObjectId id : set_a) {
+    if (set_b.count(id)) ++intersection;
+  }
+  size_t union_size = set_a.size() + set_b.size() - intersection;
+  return 1.0 - static_cast<double>(intersection) /
+                   static_cast<double>(union_size);
+}
+
+}  // namespace disc

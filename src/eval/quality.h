@@ -1,0 +1,41 @@
+// Solution-quality measures used across the experimental evaluation:
+// the f_Min / f_Sum diversity objectives (§4), coverage statistics, and the
+// Jaccard distance between solutions (Figures 13/16: how much of the old
+// result a zooming operation preserves).
+
+#ifndef DISC_EVAL_QUALITY_H_
+#define DISC_EVAL_QUALITY_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "metric/metric.h"
+
+namespace disc {
+
+/// Minimum pairwise distance within `set` (+inf for |set| < 2).
+double FMin(const Dataset& dataset, const DistanceMetric& metric,
+            const std::vector<ObjectId>& set);
+
+/// Sum of pairwise distances within `set`.
+double FSum(const Dataset& dataset, const DistanceMetric& metric,
+            const std::vector<ObjectId>& set);
+
+/// Fraction of dataset objects within `radius` of some member of `set`
+/// (members cover themselves). 1.0 means full coverage.
+double CoverageFraction(const Dataset& dataset, const DistanceMetric& metric,
+                        double radius, const std::vector<ObjectId>& set);
+
+/// Mean distance from each object to its closest member of `set`
+/// (the k-medoids objective; lower is a tighter representation).
+double MeanRepresentationDistance(const Dataset& dataset,
+                                  const DistanceMetric& metric,
+                                  const std::vector<ObjectId>& set);
+
+/// Jaccard distance 1 - |A ∩ B| / |A ∪ B|; 0 when both sets are empty.
+double JaccardDistance(const std::vector<ObjectId>& a,
+                       const std::vector<ObjectId>& b);
+
+}  // namespace disc
+
+#endif  // DISC_EVAL_QUALITY_H_

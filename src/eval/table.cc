@@ -1,0 +1,72 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/csv.h"
+
+namespace disc {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  // Column widths over header + rows.
+  size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<size_t> widths(columns, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += "  ";
+      line += row[i];
+      line.append(widths[i] - row[i].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += "== " + title_ + " ==\n";
+  if (!header_.empty()) {
+    out += render_row(header_);
+    size_t total = 0;
+    for (size_t i = 0; i < columns; ++i) total += widths[i] + (i > 0 ? 2 : 0);
+    out += std::string(total, '-') + "\n";
+  }
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+Status TablePrinter::WriteCsv(const std::string& path) const {
+  CsvWriter writer(path);
+  DISC_RETURN_NOT_OK(writer.status());
+  if (!header_.empty()) writer.WriteRow(header_);
+  for (const auto& row : rows_) writer.WriteRow(row);
+  writer.Close();
+  return writer.status();
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+}  // namespace disc

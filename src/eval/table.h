@@ -1,0 +1,48 @@
+// Console table + CSV emission used by the benchmark harness and examples.
+// Every bench prints an aligned table mirroring the paper's rows and also
+// writes a machine-readable CSV next to the binary for re-plotting.
+
+#ifndef DISC_EVAL_TABLE_H_
+#define DISC_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace disc {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table.
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table to a string (title, header, separator, rows).
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+  /// Writes header + rows as CSV. Returns IOError when the path is
+  /// unwritable.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (trailing zeros
+/// trimmed), e.g. FormatDouble(0.012345, 3) == "0.0123".
+std::string FormatDouble(double value, int digits = 6);
+
+}  // namespace disc
+
+#endif  // DISC_EVAL_TABLE_H_

@@ -1,0 +1,161 @@
+#include "graph/exact.h"
+
+#include <algorithm>
+
+namespace disc {
+
+namespace {
+
+// Branch-and-bound search state over the whole graph. Vertices carry two
+// counters so decisions are undoable in O(deg):
+//   blocked[v] : number of set members adjacent to v (v unavailable when > 0)
+//   covers[v]  : number of set members in N+[v]      (v covered when > 0)
+class Solver {
+ public:
+  Solver(const NeighborhoodGraph& graph, uint64_t node_budget)
+      : graph_(graph),
+        n_(graph.num_vertices()),
+        blocked_(n_, 0),
+        covers_(n_, 0),
+        node_budget_(node_budget) {}
+
+  // Returns true when optimality was proven within budget.
+  bool Run() {
+    // Seed the incumbent with a greedy maximal independent set so pruning
+    // has a realistic bound from the start.
+    GreedySeed();
+    current_.clear();
+    exhausted_ = false;
+    Search();
+    return !exhausted_;
+  }
+
+  const std::vector<ObjectId>& best() const { return best_; }
+
+ private:
+  void GreedySeed() {
+    std::vector<char> covered(n_, 0);
+    best_.clear();
+    for (ObjectId v = 0; v < n_; ++v) {
+      if (covered[v]) continue;
+      // v is uncovered; it is also non-adjacent to all chosen vertices
+      // (otherwise it would be covered), so adding it keeps independence.
+      best_.push_back(v);
+      covered[v] = 1;
+      for (ObjectId u : graph_.neighbors(v)) covered[u] = 1;
+    }
+  }
+
+  size_t CountUncovered() const {
+    size_t count = 0;
+    for (ObjectId v = 0; v < n_; ++v) {
+      if (covers_[v] == 0) ++count;
+    }
+    return count;
+  }
+
+  void Take(ObjectId c) {
+    current_.push_back(c);
+    ++covers_[c];
+    ++blocked_[c];  // a set member cannot be re-added
+    for (ObjectId u : graph_.neighbors(c)) {
+      ++covers_[u];
+      ++blocked_[u];
+    }
+  }
+
+  void Undo(ObjectId c) {
+    current_.pop_back();
+    --covers_[c];
+    --blocked_[c];
+    for (ObjectId u : graph_.neighbors(c)) {
+      --covers_[u];
+      --blocked_[u];
+    }
+  }
+
+  void Search() {
+    if (exhausted_) return;
+    if (node_budget_ > 0 && ++nodes_ > node_budget_) {
+      exhausted_ = true;
+      return;
+    }
+
+    // Find the lowest-id uncovered vertex.
+    ObjectId pivot = kInvalidObject;
+    for (ObjectId v = 0; v < n_; ++v) {
+      if (covers_[v] == 0) {
+        pivot = v;
+        break;
+      }
+    }
+    if (pivot == kInvalidObject) {
+      // All covered: current_ is an independent dominating set.
+      if (current_.size() < best_.size()) best_ = current_;
+      return;
+    }
+
+    if (current_.size() + 1 >= best_.size()) return;  // cannot improve
+
+    // Lower bound: each added vertex covers at most Delta+1 new vertices.
+    size_t uncovered = CountUncovered();
+    size_t delta_plus_1 = graph_.MaxDegree() + 1;
+    size_t lower = (uncovered + delta_plus_1 - 1) / delta_plus_1;
+    if (current_.size() + lower >= best_.size()) return;
+
+    // Any independent dominating set contains pivot or one of its neighbors;
+    // only unblocked candidates keep the set independent.
+    if (blocked_[pivot] == 0) {
+      Take(pivot);
+      Search();
+      Undo(pivot);
+    }
+    for (ObjectId u : graph_.neighbors(pivot)) {
+      if (blocked_[u] != 0) continue;
+      Take(u);
+      Search();
+      Undo(u);
+      if (exhausted_) return;
+    }
+    // If no candidate was available, pivot can never be dominated on this
+    // branch; fall through (dead end, nothing recorded).
+  }
+
+  const NeighborhoodGraph& graph_;
+  const ObjectId n_;
+  std::vector<uint16_t> blocked_;
+  std::vector<uint16_t> covers_;
+  std::vector<ObjectId> current_;
+  std::vector<ObjectId> best_;
+  uint64_t node_budget_;
+  uint64_t nodes_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+Result<std::vector<ObjectId>> ExactMinimumIndependentDominatingSet(
+    const NeighborhoodGraph& graph, const ExactSolverOptions& options) {
+  if (graph.num_vertices() > options.max_vertices) {
+    return Status::InvalidArgument(
+        "exact solver limited to " + std::to_string(options.max_vertices) +
+        " vertices, got " + std::to_string(graph.num_vertices()));
+  }
+  if (graph.num_vertices() == 0) return std::vector<ObjectId>{};
+  Solver solver(graph, options.max_search_nodes);
+  if (!solver.Run()) {
+    return Status::OutOfRange("exact solver exceeded its search-node budget");
+  }
+  std::vector<ObjectId> result = solver.best();
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+Result<size_t> ExactMinimumIndependentDominatingSetSize(
+    const NeighborhoodGraph& graph, const ExactSolverOptions& options) {
+  DISC_ASSIGN_OR_RETURN(auto set,
+                        ExactMinimumIndependentDominatingSet(graph, options));
+  return set.size();
+}
+
+}  // namespace disc

@@ -1,0 +1,116 @@
+#include "graph/neighborhood.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace disc {
+
+namespace {
+
+// The grid accelerator requires that dist(p, q) <= r implies every coordinate
+// difference is <= r. True for Euclidean / Manhattan / Chebyshev, not for
+// Hamming (codes are unordered categories).
+bool GridCompatible(const DistanceMetric& metric, size_t dim, size_t n) {
+  if (metric.kind() == MetricKind::kHamming) return false;
+  // The grid pays off for large low-dimensional inputs; cell enumeration is
+  // 3^dim per point, so cap the dimensionality.
+  return dim >= 1 && dim <= 3 && n >= 256;
+}
+
+}  // namespace
+
+NeighborhoodGraph::NeighborhoodGraph(const Dataset& dataset,
+                                     const DistanceMetric& metric,
+                                     double radius)
+    : radius_(radius), adjacency_(dataset.size()) {
+  if (dataset.size() <= 1) return;
+  if (GridCompatible(metric, dataset.dim(), dataset.size()) && radius > 0) {
+    BuildWithGrid(dataset, metric);
+  } else {
+    BuildBruteForce(dataset, metric);
+  }
+  for (auto& list : adjacency_) std::sort(list.begin(), list.end());
+}
+
+void NeighborhoodGraph::BuildBruteForce(const Dataset& dataset,
+                                        const DistanceMetric& metric) {
+  const size_t n = dataset.size();
+  for (ObjectId i = 0; i < n; ++i) {
+    for (ObjectId j = i + 1; j < n; ++j) {
+      if (metric.Distance(dataset.point(i), dataset.point(j)) <= radius_) {
+        adjacency_[i].push_back(j);
+        adjacency_[j].push_back(i);
+        ++num_edges_;
+      }
+    }
+  }
+}
+
+void NeighborhoodGraph::BuildWithGrid(const Dataset& dataset,
+                                      const DistanceMetric& metric) {
+  const size_t n = dataset.size();
+  const size_t dim = dataset.dim();
+
+  // Hash points into cells of side r; any neighbor pair lies in the same or
+  // an adjacent cell along every axis.
+  auto cell_key = [&](const Point& p) {
+    // Pack up to 3 cell coordinates (21 bits each, offset to stay positive).
+    uint64_t key = 0;
+    for (size_t d = 0; d < dim; ++d) {
+      int64_t c = static_cast<int64_t>(std::floor(p[d] / radius_)) + (1 << 20);
+      key = (key << 21) | static_cast<uint64_t>(c & ((1 << 21) - 1));
+    }
+    return key;
+  };
+
+  std::unordered_map<uint64_t, std::vector<ObjectId>> cells;
+  cells.reserve(n);
+  for (ObjectId i = 0; i < n; ++i) {
+    cells[cell_key(dataset.point(i))].push_back(i);
+  }
+
+  // Enumerate each point's 3^dim neighboring cells.
+  std::vector<int64_t> offsets;
+  const size_t num_offsets = static_cast<size_t>(std::pow(3.0, dim));
+  for (ObjectId i = 0; i < n; ++i) {
+    const Point& p = dataset.point(i);
+    std::vector<int64_t> base(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      base[d] = static_cast<int64_t>(std::floor(p[d] / radius_));
+    }
+    for (size_t mask = 0; mask < num_offsets; ++mask) {
+      uint64_t key = 0;
+      size_t rem = mask;
+      for (size_t d = 0; d < dim; ++d) {
+        int64_t delta = static_cast<int64_t>(rem % 3) - 1;
+        rem /= 3;
+        int64_t c = base[d] + delta + (1 << 20);
+        key = (key << 21) | static_cast<uint64_t>(c & ((1 << 21) - 1));
+      }
+      auto it = cells.find(key);
+      if (it == cells.end()) continue;
+      for (ObjectId j : it->second) {
+        if (j <= i) continue;  // each unordered pair once
+        if (metric.Distance(p, dataset.point(j)) <= radius_) {
+          adjacency_[i].push_back(j);
+          adjacency_[j].push_back(i);
+          ++num_edges_;
+        }
+      }
+    }
+  }
+}
+
+size_t NeighborhoodGraph::MaxDegree() const {
+  size_t best = 0;
+  for (const auto& list : adjacency_) best = std::max(best, list.size());
+  return best;
+}
+
+bool NeighborhoodGraph::HasEdge(ObjectId a, ObjectId b) const {
+  const auto& list = adjacency_[a];
+  return std::binary_search(list.begin(), list.end(), b);
+}
+
+}  // namespace disc

@@ -1,0 +1,85 @@
+#include "graph/properties.h"
+
+#include <string>
+#include <vector>
+
+namespace disc {
+
+bool IsIndependentSet(const NeighborhoodGraph& graph,
+                      const std::vector<ObjectId>& set) {
+  for (size_t i = 0; i < set.size(); ++i) {
+    for (size_t j = i + 1; j < set.size(); ++j) {
+      if (graph.HasEdge(set[i], set[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool IsDominatingSet(const NeighborhoodGraph& graph,
+                     const std::vector<ObjectId>& set) {
+  std::vector<char> covered(graph.num_vertices(), 0);
+  for (ObjectId v : set) {
+    covered[v] = 1;
+    for (ObjectId u : graph.neighbors(v)) covered[u] = 1;
+  }
+  for (char c : covered) {
+    if (!c) return false;
+  }
+  return true;
+}
+
+bool IsMaximalIndependentSet(const NeighborhoodGraph& graph,
+                             const std::vector<ObjectId>& set) {
+  // Lemma 1: an independent set is maximal iff it is dominating.
+  return IsIndependentSet(graph, set) && IsDominatingSet(graph, set);
+}
+
+Status VerifyDisCDiverse(const Dataset& dataset, const DistanceMetric& metric,
+                         double radius, const std::vector<ObjectId>& set) {
+  DISC_RETURN_NOT_OK(VerifyCovering(dataset, metric, radius, set));
+  // Dissimilarity: all pairs in the solution farther than r apart.
+  for (size_t i = 0; i < set.size(); ++i) {
+    for (size_t j = i + 1; j < set.size(); ++j) {
+      double d = metric.Distance(dataset.point(set[i]), dataset.point(set[j]));
+      if (d <= radius) {
+        return Status::FailedPrecondition(
+            "dissimilarity violated: objects " + std::to_string(set[i]) +
+            " and " + std::to_string(set[j]) + " at distance " +
+            std::to_string(d) + " <= r = " + std::to_string(radius));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status VerifyCovering(const Dataset& dataset, const DistanceMetric& metric,
+                      double radius, const std::vector<ObjectId>& set) {
+  for (ObjectId v : set) {
+    if (v >= dataset.size()) {
+      return Status::InvalidArgument("object id " + std::to_string(v) +
+                                     " out of range");
+    }
+  }
+  std::vector<char> covered(dataset.size(), 0);
+  for (ObjectId s : set) {
+    covered[s] = 1;
+  }
+  for (ObjectId v = 0; v < dataset.size(); ++v) {
+    if (covered[v]) continue;
+    bool found = false;
+    for (ObjectId s : set) {
+      if (metric.Distance(dataset.point(v), dataset.point(s)) <= radius) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::FailedPrecondition(
+          "coverage violated: object " + std::to_string(v) +
+          " has no representative within r = " + std::to_string(radius));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace disc

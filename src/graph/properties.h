@@ -1,0 +1,40 @@
+// Verifiers for the structural properties that define DisC diversity:
+// independence (dissimilarity), dominance (coverage) and maximality.
+// Used pervasively by the test suite to validate every algorithm's output,
+// and by examples to certify solutions shown to users.
+
+#ifndef DISC_GRAPH_PROPERTIES_H_
+#define DISC_GRAPH_PROPERTIES_H_
+
+#include <vector>
+
+#include "graph/neighborhood.h"
+
+namespace disc {
+
+/// True when no two vertices of `set` are adjacent (dissimilarity condition).
+bool IsIndependentSet(const NeighborhoodGraph& graph,
+                      const std::vector<ObjectId>& set);
+
+/// True when every vertex is in `set` or adjacent to one (coverage condition).
+bool IsDominatingSet(const NeighborhoodGraph& graph,
+                     const std::vector<ObjectId>& set);
+
+/// True when `set` is independent and no vertex can be added while keeping it
+/// independent. By Lemma 1 this is equivalent to independent + dominating.
+bool IsMaximalIndependentSet(const NeighborhoodGraph& graph,
+                             const std::vector<ObjectId>& set);
+
+/// One-stop verification that `set` is an r-DisC diverse subset of `dataset`
+/// (Definition 1), computed directly from distances in O(|P| * |set|) without
+/// materializing the graph. Returns OK or an error describing the violation.
+Status VerifyDisCDiverse(const Dataset& dataset, const DistanceMetric& metric,
+                         double radius, const std::vector<ObjectId>& set);
+
+/// Verifies only the coverage condition (r-C diverse subsets, §2.3).
+Status VerifyCovering(const Dataset& dataset, const DistanceMetric& metric,
+                      double radius, const std::vector<ObjectId>& set);
+
+}  // namespace disc
+
+#endif  // DISC_GRAPH_PROPERTIES_H_

@@ -1,0 +1,90 @@
+#include "metric/metric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace disc {
+
+const char* MetricKindToString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kEuclidean:
+      return "euclidean";
+    case MetricKind::kManhattan:
+      return "manhattan";
+    case MetricKind::kChebyshev:
+      return "chebyshev";
+    case MetricKind::kHamming:
+      return "hamming";
+  }
+  return "unknown";
+}
+
+double EuclideanMetric::Distance(const Point& a, const Point& b) const {
+  assert(a.dim() == b.dim());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double sum = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    double d = pa[i] - pb[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double ManhattanMetric::Distance(const Point& a, const Point& b) const {
+  assert(a.dim() == b.dim());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double sum = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    sum += std::fabs(pa[i] - pb[i]);
+  }
+  return sum;
+}
+
+double ChebyshevMetric::Distance(const Point& a, const Point& b) const {
+  assert(a.dim() == b.dim());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double best = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    best = std::max(best, std::fabs(pa[i] - pb[i]));
+  }
+  return best;
+}
+
+double HammingMetric::Distance(const Point& a, const Point& b) const {
+  assert(a.dim() == b.dim());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double count = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    if (pa[i] != pb[i]) count += 1.0;
+  }
+  return count;
+}
+
+std::unique_ptr<DistanceMetric> MakeMetric(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kEuclidean:
+      return std::make_unique<EuclideanMetric>();
+    case MetricKind::kManhattan:
+      return std::make_unique<ManhattanMetric>();
+    case MetricKind::kChebyshev:
+      return std::make_unique<ChebyshevMetric>();
+    case MetricKind::kHamming:
+      return std::make_unique<HammingMetric>();
+  }
+  return nullptr;
+}
+
+Result<MetricKind> ParseMetricKind(const std::string& name) {
+  if (name == "euclidean") return MetricKind::kEuclidean;
+  if (name == "manhattan") return MetricKind::kManhattan;
+  if (name == "chebyshev") return MetricKind::kChebyshev;
+  if (name == "hamming") return MetricKind::kHamming;
+  return Status::InvalidArgument("unknown metric: " + name);
+}
+
+}  // namespace disc

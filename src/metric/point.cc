@@ -1,0 +1,19 @@
+#include "metric/point.h"
+
+#include <cstdio>
+
+namespace disc {
+
+std::string Point::ToString() const {
+  std::string out = "(";
+  char buf[32];
+  for (size_t i = 0; i < coords_.size(); ++i) {
+    if (i > 0) out += ", ";
+    std::snprintf(buf, sizeof(buf), "%.6g", coords_[i]);
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace disc

@@ -1,0 +1,51 @@
+// Point: a fixed-dimension vector of coordinates.
+//
+// Numeric datasets store real coordinates (normalized to [0,1] per the
+// paper's setup); categorical datasets (e.g. Cameras) store integer category
+// codes in the same representation and are compared with Hamming distance.
+
+#ifndef DISC_METRIC_POINT_H_
+#define DISC_METRIC_POINT_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace disc {
+
+/// Dense index of an object within its Dataset; doubles as the vertex id in
+/// graph representations and the object id inside the M-tree.
+using ObjectId = uint32_t;
+
+/// Sentinel for "no object".
+inline constexpr ObjectId kInvalidObject = static_cast<ObjectId>(-1);
+
+/// An immutable-ish coordinate vector. Kept deliberately simple: the library
+/// operates on datasets of at most a few tens of thousands of points in at
+/// most ~10 dimensions, so a vector<double> per point is both clear and fast
+/// enough; all hot loops access coordinates through data() anyway.
+class Point {
+ public:
+  Point() = default;
+  explicit Point(std::vector<double> coords) : coords_(std::move(coords)) {}
+  Point(std::initializer_list<double> coords) : coords_(coords) {}
+
+  size_t dim() const { return coords_.size(); }
+  double operator[](size_t i) const { return coords_[i]; }
+  double& operator[](size_t i) { return coords_[i]; }
+  const double* data() const { return coords_.data(); }
+  const std::vector<double>& coords() const { return coords_; }
+
+  bool operator==(const Point& other) const = default;
+
+  /// "(x0, x1, ...)" with 6 significant digits, for logs and examples.
+  std::string ToString() const;
+
+ private:
+  std::vector<double> coords_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_METRIC_POINT_H_

@@ -1,0 +1,275 @@
+// M-tree: a balanced metric-space index (Ciaccia et al.; Zezula et al. 2006),
+// implemented as described in §5 of the DisC paper.
+//
+// The tree partitions space around pivot objects with covering-radius balls.
+// This implementation adds everything the DisC algorithms of the paper need:
+//  * leaf chaining for single left-to-right traversals (Basic-DisC locality),
+//  * node-access accounting (the paper's primary cost metric),
+//  * range queries in top-down and bottom-up flavors,
+//  * object colors (white/grey/black/red) with per-node white counters so the
+//    §5.1 pruning rule ("skip subtrees with no white objects") is O(1),
+//  * closest-black-neighbor distances per object (the §5.2 zooming rule),
+//  * white-neighborhood-size computation during build or as a post pass,
+//  * four node-splitting policies spanning the fat-factor range of Figure 10,
+//  * the fat-factor measure of tree quality (Traina et al.).
+
+#ifndef DISC_MTREE_MTREE_H_
+#define DISC_MTREE_MTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/color.h"
+#include "data/dataset.h"
+#include "metric/metric.h"
+#include "util/status.h"
+
+namespace disc {
+
+/// How two new pivots are chosen when a node overflows (§5 "promote").
+enum class PromotePolicy {
+  /// Keep the overflowed node's pivot and promote the entry farthest from it.
+  /// The paper's lowest-overlap choice ("MinOverlap").
+  kKeepParent,
+  /// Promote the two entries with the greatest pairwise distance.
+  kMaxDistance,
+  /// Promote two pseudo-randomly chosen entries (deterministic per tree).
+  kRandom,
+};
+
+/// How the remaining entries are assigned to the two new nodes ("partition").
+enum class PartitionPolicy {
+  /// Each entry goes to the closer pivot.
+  kClosestPivot,
+  /// Entries are balanced: sorted by distance difference, half to each side.
+  kBalanced,
+};
+
+/// A complete splitting policy. The four combinations used in Figure 10, from
+/// lowest to highest fat-factor: MinOverlap(), MaxDistanceSplit(),
+/// BalancedSplit(), RandomSplit().
+struct SplitPolicy {
+  PromotePolicy promote = PromotePolicy::kKeepParent;
+  PartitionPolicy partition = PartitionPolicy::kClosestPivot;
+
+  static SplitPolicy MinOverlap() {
+    return {PromotePolicy::kKeepParent, PartitionPolicy::kClosestPivot};
+  }
+  static SplitPolicy MaxDistanceSplit() {
+    return {PromotePolicy::kMaxDistance, PartitionPolicy::kClosestPivot};
+  }
+  static SplitPolicy BalancedSplit() {
+    return {PromotePolicy::kMaxDistance, PartitionPolicy::kBalanced};
+  }
+  static SplitPolicy RandomSplit() {
+    return {PromotePolicy::kRandom, PartitionPolicy::kBalanced};
+  }
+};
+
+/// Tree construction parameters.
+struct MTreeOptions {
+  /// Maximum entries per node; the paper sweeps 25-100 with default 50.
+  size_t node_capacity = 50;
+  SplitPolicy split_policy = SplitPolicy::MinOverlap();
+  /// Seed for PromotePolicy::kRandom.
+  uint64_t random_seed = 42;
+};
+
+/// Cost accounting. Node accesses are the paper's primary metric; distance
+/// computations are tracked as secondary context.
+struct AccessStats {
+  uint64_t node_accesses = 0;
+  uint64_t range_queries = 0;
+  uint64_t distance_computations = 0;
+
+  AccessStats operator-(const AccessStats& other) const {
+    return {node_accesses - other.node_accesses,
+            range_queries - other.range_queries,
+            distance_computations - other.distance_computations};
+  }
+};
+
+/// A neighbor returned by a range query: object id plus its distance to the
+/// query center (callers need the distance for closest-black bookkeeping).
+struct Neighbor {
+  ObjectId id;
+  double dist;
+};
+
+/// Which objects a range query reports (it always descends geometrically;
+/// the white filter additionally enables the grey-subtree pruning rule).
+enum class QueryFilter {
+  kAll,        // report every object in the ball
+  kWhiteOnly,  // report only white objects
+};
+
+/// The M-tree index over a Dataset. The dataset and metric must outlive the
+/// tree. Objects are identified by their dense dataset index.
+class MTree {
+ public:
+  MTree(const Dataset& dataset, const DistanceMetric& metric,
+        MTreeOptions options = {});
+  ~MTree();
+
+  MTree(const MTree&) = delete;
+  MTree& operator=(const MTree&) = delete;
+
+  /// Inserts all dataset objects in id order. Returns InvalidArgument for
+  /// capacity < 2 or an empty dataset.
+  Status Build();
+
+  /// Build() plus white-neighborhood-size computation folded into the insert
+  /// loop (§5.1): before inserting p_i a range query over the partial tree
+  /// initializes count[p_i] and increments counts of already-present
+  /// neighbors. Cheaper than a post-build pass (ablation in bench/).
+  Status BuildWithNeighborCounts(double radius, std::vector<uint32_t>* counts);
+
+  /// Computes all white-neighborhood sizes with one range query per object
+  /// over the complete tree (the baseline the build-time variant beats).
+  void ComputeNeighborCountsPostBuild(double radius,
+                                      std::vector<uint32_t>* counts);
+
+  // -- Queries ---------------------------------------------------------
+
+  /// Top-down range query around an arbitrary point.
+  /// With QueryFilter::kWhiteOnly and pruned=true, subtrees containing no
+  /// white objects are skipped (the §5.1 pruning rule).
+  void RangeQuery(const Point& center, double radius, QueryFilter filter,
+                  bool pruned, std::vector<Neighbor>* out) const;
+
+  /// Same, centered at a stored object; the object itself is excluded,
+  /// matching N_r(p_i) in the paper.
+  void RangeQueryAround(ObjectId center, double radius, QueryFilter filter,
+                        bool pruned, std::vector<Neighbor>* out) const;
+
+  /// Degenerate bottom-up query that inspects only the leaf holding
+  /// `center` (one node access): returns the leaf-mates within `radius`.
+  /// Fast-C uses this for approximate neighborhood-count maintenance —
+  /// thanks to M-tree locality, an object's leaf-mates are the candidates
+  /// most likely affected when it is covered.
+  void LeafMatesWithin(ObjectId center, double radius,
+                       std::vector<Neighbor>* out) const;
+
+  /// Bottom-up range query (§5): starts at the leaf holding `center` and
+  /// climbs toward the root, searching intersecting sibling subtrees at each
+  /// ancestor. With stop_at_grey=false this returns exactly what the
+  /// top-down query returns. With stop_at_grey (Fast-C), climbing stops at
+  /// the first ancestor containing no white objects, possibly missing
+  /// neighbors in distant leaves — by design (§5.1).
+  void RangeQueryBottomUp(ObjectId center, double radius, QueryFilter filter,
+                          bool pruned, bool stop_at_grey,
+                          std::vector<Neighbor>* out) const;
+
+  // -- Colors (shared state with the DisC algorithms) -------------------
+
+  /// Resets every object to white and clears closest-black distances.
+  void ResetColors();
+
+  Color color(ObjectId id) const { return colors_[id]; }
+  /// Sets an object's color, maintaining per-node white counters.
+  void SetColor(ObjectId id, Color color);
+  /// Number of objects currently white.
+  size_t white_count() const { return total_white_; }
+  /// Objects with the given color, in id order.
+  std::vector<ObjectId> ObjectsWithColor(Color color) const;
+
+  // -- Zooming support (§5.2) -------------------------------------------
+
+  /// Distance from `id` to its closest known black object (+inf when none).
+  double closest_black_dist(ObjectId id) const {
+    return closest_black_dist_[id];
+  }
+  /// Lowers the recorded closest-black distance (never raises it).
+  void ObserveBlackNeighbor(ObjectId id, double dist);
+  /// Forgets one object's closest-black distance (sets it to +inf); local
+  /// zooming uses this when a region's old observations become stale.
+  void ClearClosestBlackDistance(ObjectId id);
+  /// Clears all closest-black distances to +inf.
+  void ResetClosestBlackDistances();
+  /// Post-processing pass required when the pruning rule was active during
+  /// construction: re-runs an unpruned range query around every black object
+  /// so closest-black distances are exact (§5.2).
+  void RecomputeClosestBlackDistances(double radius);
+
+  // -- Traversal ---------------------------------------------------------
+
+  /// Objects in leaf-chain (left-to-right) order. Does not count accesses.
+  std::vector<ObjectId> LeafOrder() const;
+
+  /// Calls `fn(id)` for every object in leaf order, counting one node access
+  /// per visited leaf; when skip_grey_leaves is set, leaves without white
+  /// objects are skipped without being accessed (§5.1 visualization of
+  /// Basic-DisC).
+  void ScanLeaves(bool skip_grey_leaves,
+                  const std::function<void(ObjectId)>& fn) const;
+
+  // -- Introspection & stats ---------------------------------------------
+
+  const Dataset& dataset() const { return dataset_; }
+  const DistanceMetric& metric() const { return metric_; }
+  const MTreeOptions& options() const { return options_; }
+
+  /// Distance between two stored objects (counted as a distance computation).
+  double Distance(ObjectId a, ObjectId b) const;
+
+  AccessStats& stats() const { return stats_; }
+  void ResetStats() const { stats_ = AccessStats{}; }
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_leaves() const;
+  size_t height() const;
+  size_t size() const { return dataset_.size(); }
+
+  /// Fat-factor f(T) in [0,1] (Traina et al., eq. of §6): 0 = no overlap.
+  /// Runs a full point query per stored object; does not disturb stats().
+  double FatFactor() const;
+
+  /// Checks every structural invariant (entry counts, covering radii,
+  /// parent distances, leaf chain, white counters, object->leaf map).
+  /// Intended for tests; returns the first violation found.
+  Status Validate() const;
+
+ private:
+  struct Node;
+  struct RoutingEntry;
+  struct LeafEntry;
+
+  Status CheckBuildPreconditions() const;
+  void Insert(ObjectId id);
+  void SplitNode(Node* node);
+  void RangeSearchNode(const Node* node, const Point& center, double radius,
+                       double dist_center_to_node_pivot, QueryFilter filter,
+                       bool pruned, ObjectId exclude,
+                       std::vector<Neighbor>* out) const;
+  void AdjustWhiteCount(Node* leaf, int delta);
+  uint32_t RecomputeWhiteCounts(Node* node);
+  double DistanceToPoint(const Point& q, ObjectId b) const;
+  uint64_t PointQueryAccesses(const Point& q) const;
+  Status ValidateNode(const Node* node, size_t depth, size_t leaf_depth) const;
+  Status ValidateContainment(const Node* node, ObjectId pivot,
+                             double radius) const;
+
+  const Dataset& dataset_;
+  const DistanceMetric& metric_;
+  MTreeOptions options_;
+
+  std::unique_ptr<Node> root_;
+  std::vector<Node*> leaf_of_;  // object id -> leaf containing it
+  Node* first_leaf_ = nullptr;  // leftmost leaf of the chain
+
+  std::vector<Color> colors_;
+  std::vector<double> closest_black_dist_;
+  size_t total_white_ = 0;
+
+  size_t num_nodes_ = 0;
+  mutable AccessStats stats_;
+  uint64_t rng_state_;
+  bool built_ = false;
+};
+
+}  // namespace disc
+
+#endif  // DISC_MTREE_MTREE_H_

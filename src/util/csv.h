@@ -1,0 +1,45 @@
+// Minimal CSV reading/writing used by the dataset loaders, examples, and the
+// benchmark harness (each bench also emits a machine-readable CSV next to its
+// console table so figures can be re-plotted).
+
+#ifndef DISC_UTIL_CSV_H_
+#define DISC_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace disc {
+
+/// Splits one CSV line on commas. Handles double-quoted fields containing
+/// commas and escaped quotes (""), which is all our data files need.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+/// Reads a whole CSV file into rows of fields. Empty lines are skipped.
+Result<std::vector<std::vector<std::string>>> ReadCsv(const std::string& path);
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check status() before use.
+  explicit CsvWriter(const std::string& path);
+
+  /// Status of the underlying stream (IOError when the open failed).
+  const Status& status() const { return status_; }
+
+  /// Writes one row; fields containing commas/quotes/newlines are quoted.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes and closes. Further writes are invalid.
+  void Close();
+
+ private:
+  std::ofstream out_;
+  Status status_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_UTIL_CSV_H_

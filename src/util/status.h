@@ -1,0 +1,144 @@
+// Status / Result error-handling primitives (RocksDB / Arrow idiom).
+//
+// Library code never throws across its public boundary; fallible operations
+// return a Status (or a Result<T> when they also produce a value). Callers
+// check ok() and propagate with DISC_RETURN_NOT_OK.
+
+#ifndef DISC_UTIL_STATUS_H_
+#define DISC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace disc {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kFailedPrecondition,
+  kOutOfRange,
+  kCorruption,
+  kUnimplemented,
+};
+
+/// Returns a short human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. Cheap to copy on the OK path
+/// (no allocation); error statuses carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error wrapper. Holds either a T (when status().ok()) or an
+/// error Status. Accessing the value of an errored Result aborts in debug
+/// builds and is undefined in release builds, matching assert semantics.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from an error status. `status.ok()` is a bug.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define DISC_RETURN_NOT_OK(expr)              \
+  do {                                        \
+    ::disc::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define DISC_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto DISC_CONCAT_(_res_, __LINE__) = (expr);                         \
+  if (!DISC_CONCAT_(_res_, __LINE__).ok())                             \
+    return DISC_CONCAT_(_res_, __LINE__).status();                     \
+  lhs = std::move(DISC_CONCAT_(_res_, __LINE__)).value()
+
+#define DISC_CONCAT_IMPL_(a, b) a##b
+#define DISC_CONCAT_(a, b) DISC_CONCAT_IMPL_(a, b)
+
+}  // namespace disc
+
+#endif  // DISC_UTIL_STATUS_H_

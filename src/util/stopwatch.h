@@ -1,0 +1,34 @@
+// Wall-clock stopwatch used by benchmarks and examples for coarse timings.
+// The paper's primary cost metric is M-tree node accesses (hardware
+// independent); wall-clock numbers are reported as secondary context only.
+
+#ifndef DISC_UTIL_STOPWATCH_H_
+#define DISC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace disc {
+
+/// Measures elapsed wall-clock time from construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since start.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since start.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_UTIL_STOPWATCH_H_

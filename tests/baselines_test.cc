@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/kmedoids.h"
+#include "baselines/maxmin.h"
+#include "baselines/maxsum.h"
+#include "data/generators.h"
+#include "eval/quality.h"
+#include "metric/metric.h"
+#include "util/random.h"
+
+namespace disc {
+namespace {
+
+TEST(MaxMinTest, ValidatesArguments) {
+  Dataset d = MakeUniformDataset(10, 2, 1);
+  EuclideanMetric metric;
+  EXPECT_FALSE(GreedyMaxMin(Dataset{}, metric, 1).ok());
+  EXPECT_FALSE(GreedyMaxMin(d, metric, 11).ok());
+  EXPECT_FALSE(GreedyMaxMin(d, metric, 2, 99).ok());
+  EXPECT_TRUE(GreedyMaxMin(d, metric, 10).ok());
+}
+
+TEST(MaxMinTest, KZeroIsEmpty) {
+  Dataset d = MakeUniformDataset(10, 2, 1);
+  EuclideanMetric metric;
+  auto result = GreedyMaxMin(d, metric, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(MaxMinTest, ReturnsKDistinctObjects) {
+  Dataset d = MakeClusteredDataset(300, 2, 3);
+  EuclideanMetric metric;
+  auto result = GreedyMaxMin(d, metric, 15);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 15u);
+  std::set<ObjectId> unique(result->begin(), result->end());
+  EXPECT_EQ(unique.size(), 15u);
+}
+
+TEST(MaxMinTest, PicksExtremesOnALine) {
+  Dataset d;
+  for (double x : {0.0, 0.1, 0.2, 0.5, 1.0}) {
+    ASSERT_TRUE(d.Add(Point{x}).ok());
+  }
+  EuclideanMetric metric;
+  auto result = GreedyMaxMin(d, metric, 2, 0);
+  ASSERT_TRUE(result.ok());
+  // From start 0: farthest is 1.0 -> the pair {0.0, 1.0}.
+  std::set<ObjectId> chosen(result->begin(), result->end());
+  EXPECT_TRUE(chosen.count(0));
+  EXPECT_TRUE(chosen.count(4));
+}
+
+TEST(MaxMinTest, FMinDecreasesWithK) {
+  Dataset d = MakeUniformDataset(400, 2, 5);
+  EuclideanMetric metric;
+  double prev = 1e18;
+  for (size_t k : {2u, 4u, 8u, 16u, 32u}) {
+    auto result = GreedyMaxMin(d, metric, k);
+    ASSERT_TRUE(result.ok());
+    double f = FMin(d, metric, *result);
+    EXPECT_LE(f, prev + 1e-12);
+    prev = f;
+  }
+}
+
+TEST(MaxMinTest, GonzalezTwoApproximation) {
+  // Greedy MaxMin is a 2-approximation: its fMin is at least half the
+  // optimum. Verify against brute force on a small instance.
+  Dataset d = MakeUniformDataset(14, 2, 7);
+  EuclideanMetric metric;
+  const size_t k = 4;
+  auto greedy = GreedyMaxMin(d, metric, k);
+  ASSERT_TRUE(greedy.ok());
+  double greedy_fmin = FMin(d, metric, *greedy);
+
+  double best = 0;
+  const size_t n = d.size();
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (static_cast<size_t>(__builtin_popcount(mask)) != k) continue;
+    std::vector<ObjectId> subset;
+    for (size_t v = 0; v < n; ++v) {
+      if (mask & (1u << v)) subset.push_back(static_cast<ObjectId>(v));
+    }
+    best = std::max(best, FMin(d, metric, subset));
+  }
+  EXPECT_GE(greedy_fmin * 2.0 + 1e-12, best);
+}
+
+TEST(MaxSumTest, ValidatesArguments) {
+  Dataset d = MakeUniformDataset(10, 2, 1);
+  EuclideanMetric metric;
+  EXPECT_FALSE(GreedyMaxSum(Dataset{}, metric, 1).ok());
+  EXPECT_FALSE(GreedyMaxSum(d, metric, 11).ok());
+  EXPECT_TRUE(GreedyMaxSum(d, metric, 3).ok());
+}
+
+TEST(MaxSumTest, ReturnsKDistinctObjects) {
+  Dataset d = MakeClusteredDataset(300, 2, 9);
+  EuclideanMetric metric;
+  auto result = GreedyMaxSum(d, metric, 15);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 15u);
+  std::set<ObjectId> unique(result->begin(), result->end());
+  EXPECT_EQ(unique.size(), 15u);
+}
+
+TEST(MaxSumTest, FavorsOutskirts) {
+  // A dense core plus 4 corner outliers: MaxSum with k=4 takes the corners.
+  Dataset d;
+  for (int i = 0; i < 50; ++i) {
+    double t = i / 50.0;
+    ASSERT_TRUE(d.Add(Point{0.5 + 0.01 * t, 0.5 - 0.01 * t}).ok());
+  }
+  std::vector<ObjectId> corners;
+  for (auto [x, y] : {std::pair{0.0, 0.0}, std::pair{0.0, 1.0},
+                      std::pair{1.0, 0.0}, std::pair{1.0, 1.0}}) {
+    corners.push_back(static_cast<ObjectId>(d.size()));
+    ASSERT_TRUE(d.Add(Point{x, y}).ok());
+  }
+  EuclideanMetric metric;
+  auto result = GreedyMaxSum(d, metric, 4);
+  ASSERT_TRUE(result.ok());
+  std::set<ObjectId> chosen(result->begin(), result->end());
+  for (ObjectId c : corners) EXPECT_TRUE(chosen.count(c)) << c;
+}
+
+TEST(KMedoidsTest, ValidatesArguments) {
+  Dataset d = MakeUniformDataset(10, 2, 1);
+  EuclideanMetric metric;
+  EXPECT_FALSE(KMedoids(Dataset{}, metric, 1).ok());
+  EXPECT_FALSE(KMedoids(d, metric, 0).ok());
+  EXPECT_FALSE(KMedoids(d, metric, 11).ok());
+  EXPECT_TRUE(KMedoids(d, metric, 3).ok());
+}
+
+TEST(KMedoidsTest, MedoidsAreClusterMembersAndDistinct) {
+  Dataset d = MakeClusteredDataset(400, 2, 11);
+  EuclideanMetric metric;
+  auto result = KMedoids(d, metric, 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->medoids.size(), 8u);
+  std::set<ObjectId> unique(result->medoids.begin(), result->medoids.end());
+  EXPECT_EQ(unique.size(), 8u);
+  EXPECT_EQ(result->assignment.size(), d.size());
+  for (uint32_t a : result->assignment) EXPECT_LT(a, 8u);
+}
+
+TEST(KMedoidsTest, AssignmentIsNearestMedoid) {
+  Dataset d = MakeClusteredDataset(200, 2, 13);
+  EuclideanMetric metric;
+  auto result = KMedoids(d, metric, 5);
+  ASSERT_TRUE(result.ok());
+  for (ObjectId i = 0; i < d.size(); ++i) {
+    double assigned = metric.Distance(
+        d.point(i), d.point(result->medoids[result->assignment[i]]));
+    for (ObjectId m : result->medoids) {
+      EXPECT_LE(assigned, metric.Distance(d.point(i), d.point(m)) + 1e-12);
+    }
+  }
+}
+
+TEST(KMedoidsTest, RecoversWellSeparatedClusters) {
+  // Three tight, far-apart blobs: k-medoids with k=3 places one medoid in
+  // each and achieves a tiny objective.
+  Dataset d;
+  Random rng(17);
+  std::vector<std::pair<double, double>> centers = {
+      {0.1, 0.1}, {0.9, 0.1}, {0.5, 0.9}};
+  for (const auto& [cx, cy] : centers) {
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(
+          d.Add(Point{cx + rng.Gaussian(0, 0.01), cy + rng.Gaussian(0, 0.01)})
+              .ok());
+    }
+  }
+  EuclideanMetric metric;
+  auto result = KMedoids(d, metric, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->mean_distance, 0.05);
+  // One medoid per blob (blob = 40 consecutive ids).
+  std::set<size_t> blobs;
+  for (ObjectId m : result->medoids) blobs.insert(m / 40);
+  EXPECT_EQ(blobs.size(), 3u);
+}
+
+TEST(KMedoidsTest, DeterministicForFixedSeed) {
+  Dataset d = MakeClusteredDataset(300, 2, 19);
+  EuclideanMetric metric;
+  auto a = KMedoids(d, metric, 6);
+  auto b = KMedoids(d, metric, 6);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->medoids, b->medoids);
+}
+
+TEST(KMedoidsTest, ObjectiveImprovesOverSingleIteration) {
+  Dataset d = MakeClusteredDataset(500, 2, 23);
+  EuclideanMetric metric;
+  KMedoidsOptions one_iter;
+  one_iter.max_iterations = 1;
+  KMedoidsOptions many_iter;
+  many_iter.max_iterations = 25;
+  auto quick = KMedoids(d, metric, 10, one_iter);
+  auto full = KMedoids(d, metric, 10, many_iter);
+  ASSERT_TRUE(quick.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_LE(full->mean_distance, quick->mean_distance + 1e-12);
+}
+
+}  // namespace
+}  // namespace disc

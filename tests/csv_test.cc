@@ -1,0 +1,99 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace disc {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "disc_csv_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvTest, SplitSimpleLine) {
+  auto fields = SplitCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST_F(CsvTest, SplitEmptyFields) {
+  auto fields = SplitCsvLine("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST_F(CsvTest, SplitQuotedComma) {
+  auto fields = SplitCsvLine("a,\"b,c\",d");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b,c");
+}
+
+TEST_F(CsvTest, SplitEscapedQuote) {
+  auto fields = SplitCsvLine("\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST_F(CsvTest, SplitStripsCarriageReturn) {
+  auto fields = SplitCsvLine("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST_F(CsvTest, ReadMissingFileIsIOError) {
+  auto result = ReadCsv(Path("does_not_exist.csv"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, RoundTrip) {
+  std::string path = Path("roundtrip.csv");
+  {
+    CsvWriter writer(path);
+    ASSERT_TRUE(writer.status().ok());
+    writer.WriteRow({"x", "y"});
+    writer.WriteRow({"1.5", "2.5"});
+    writer.WriteRow({"with,comma", "with\"quote"});
+    writer.Close();
+  }
+  auto rows = ReadCsv(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0][0], "x");
+  EXPECT_EQ((*rows)[2][0], "with,comma");
+  EXPECT_EQ((*rows)[2][1], "with\"quote");
+}
+
+TEST_F(CsvTest, ReadSkipsBlankLines) {
+  std::string path = Path("blanks.csv");
+  std::ofstream out(path);
+  out << "a,b\n\n\nc,d\n";
+  out.close();
+  auto rows = ReadCsv(path);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST_F(CsvTest, WriterToUnwritablePathReportsError) {
+  CsvWriter writer("/nonexistent_dir_zzz/file.csv");
+  EXPECT_FALSE(writer.status().ok());
+  EXPECT_EQ(writer.status().code(), StatusCode::kIOError);
+  writer.WriteRow({"ignored"});  // must not crash
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,141 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace disc {
+namespace {
+
+TEST(UniformGeneratorTest, SizeAndDimension) {
+  Dataset d = MakeUniformDataset(500, 3, 1);
+  EXPECT_EQ(d.size(), 500u);
+  EXPECT_EQ(d.dim(), 3u);
+}
+
+TEST(UniformGeneratorTest, CoordinatesInUnitBox) {
+  Dataset d = MakeUniformDataset(1000, 4, 2);
+  for (ObjectId i = 0; i < d.size(); ++i) {
+    for (size_t k = 0; k < d.dim(); ++k) {
+      EXPECT_GE(d.point(i)[k], 0.0);
+      EXPECT_LT(d.point(i)[k], 1.0);
+    }
+  }
+}
+
+TEST(UniformGeneratorTest, Deterministic) {
+  Dataset a = MakeUniformDataset(100, 2, 7);
+  Dataset b = MakeUniformDataset(100, 2, 7);
+  for (ObjectId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.point(i), b.point(i));
+  }
+}
+
+TEST(UniformGeneratorTest, DifferentSeedsDiffer) {
+  Dataset a = MakeUniformDataset(100, 2, 7);
+  Dataset b = MakeUniformDataset(100, 2, 8);
+  size_t equal = 0;
+  for (ObjectId i = 0; i < a.size(); ++i) {
+    if (a.point(i) == b.point(i)) ++equal;
+  }
+  EXPECT_LT(equal, 5u);
+}
+
+TEST(UniformGeneratorTest, MeanNearCenter) {
+  Dataset d = MakeUniformDataset(20000, 2, 3);
+  double sx = 0, sy = 0;
+  for (ObjectId i = 0; i < d.size(); ++i) {
+    sx += d.point(i)[0];
+    sy += d.point(i)[1];
+  }
+  EXPECT_NEAR(sx / d.size(), 0.5, 0.02);
+  EXPECT_NEAR(sy / d.size(), 0.5, 0.02);
+}
+
+TEST(UniformGeneratorTest, EmptyDataset) {
+  Dataset d = MakeUniformDataset(0, 2, 1);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(ClusteredGeneratorTest, SizeAndBox) {
+  Dataset d = MakeClusteredDataset(2000, 2, 11);
+  EXPECT_EQ(d.size(), 2000u);
+  for (ObjectId i = 0; i < d.size(); ++i) {
+    for (size_t k = 0; k < d.dim(); ++k) {
+      EXPECT_GE(d.point(i)[k], 0.0);
+      EXPECT_LE(d.point(i)[k], 1.0);
+    }
+  }
+}
+
+TEST(ClusteredGeneratorTest, Deterministic) {
+  Dataset a = MakeClusteredDataset(300, 3, 5);
+  Dataset b = MakeClusteredDataset(300, 3, 5);
+  for (ObjectId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.point(i), b.point(i));
+  }
+}
+
+TEST(ClusteredGeneratorTest, MoreConcentratedThanUniform) {
+  // Clustered data should have a much smaller mean nearest-neighbor
+  // distance than uniform data of the same cardinality.
+  const size_t n = 1500;
+  Dataset clustered = MakeClusteredDataset(n, 2, 17);
+  Dataset uniform = MakeUniformDataset(n, 2, 17);
+  auto mean_nn = [](const Dataset& d) {
+    double total = 0;
+    for (ObjectId i = 0; i < d.size(); ++i) {
+      double best = 1e9;
+      for (ObjectId j = 0; j < d.size(); ++j) {
+        if (i == j) continue;
+        double dx = d.point(i)[0] - d.point(j)[0];
+        double dy = d.point(i)[1] - d.point(j)[1];
+        best = std::min(best, std::sqrt(dx * dx + dy * dy));
+      }
+      total += best;
+    }
+    return total / d.size();
+  };
+  EXPECT_LT(mean_nn(clustered), 0.8 * mean_nn(uniform));
+}
+
+TEST(ClusteredGeneratorTest, HonorsClusterCountOption) {
+  ClusteredOptions options;
+  options.num_clusters = 2;
+  options.spread = 0.01;
+  options.noise_fraction = 0.0;
+  Dataset d = MakeClusteredDataset(400, 2, 23, options);
+  EXPECT_EQ(d.size(), 400u);
+  // With two tight clusters the per-dimension variance splits points into
+  // two groups; verify the bounding box is NOT tiny (two distinct centers)
+  // while the nearest-neighbor distances are (tight clusters).
+  std::vector<double> mins, maxs;
+  d.BoundingBox(&mins, &maxs);
+  double extent = std::max(maxs[0] - mins[0], maxs[1] - mins[1]);
+  EXPECT_GT(extent, 0.05);
+}
+
+TEST(ClusteredGeneratorTest, HighDimensional) {
+  Dataset d = MakeClusteredDataset(500, 10, 29);
+  EXPECT_EQ(d.dim(), 10u);
+  EXPECT_EQ(d.size(), 500u);
+}
+
+TEST(GridGeneratorTest, CountAndSpacing) {
+  Dataset d = MakeGridDataset(4);
+  ASSERT_EQ(d.size(), 16u);
+  EXPECT_DOUBLE_EQ(d.point(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(d.point(1)[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(d.point(15)[0], 1.0);
+  EXPECT_DOUBLE_EQ(d.point(15)[1], 1.0);
+}
+
+TEST(GridGeneratorTest, DegenerateSides) {
+  EXPECT_TRUE(MakeGridDataset(0).empty());
+  Dataset single = MakeGridDataset(1);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single.point(0)[0], 0.0);
+}
+
+}  // namespace
+}  // namespace disc

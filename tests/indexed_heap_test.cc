@@ -1,0 +1,184 @@
+#include "util/indexed_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace disc {
+namespace {
+
+TEST(IndexedMaxHeapTest, StartsEmpty) {
+  IndexedMaxHeap heap(10);
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_FALSE(heap.contains(0));
+}
+
+TEST(IndexedMaxHeapTest, PushAndTop) {
+  IndexedMaxHeap heap(10);
+  heap.Push(3, 5);
+  EXPECT_EQ(heap.Top(), 3u);
+  EXPECT_EQ(heap.TopPriority(), 5);
+  heap.Push(7, 9);
+  EXPECT_EQ(heap.Top(), 7u);
+}
+
+TEST(IndexedMaxHeapTest, TiesBreakTowardSmallerId) {
+  IndexedMaxHeap heap(10);
+  heap.Push(5, 4);
+  heap.Push(2, 4);
+  heap.Push(8, 4);
+  EXPECT_EQ(heap.PopTop(), 2u);
+  EXPECT_EQ(heap.PopTop(), 5u);
+  EXPECT_EQ(heap.PopTop(), 8u);
+}
+
+TEST(IndexedMaxHeapTest, PopTopRemoves) {
+  IndexedMaxHeap heap(4);
+  heap.Push(0, 1);
+  heap.Push(1, 2);
+  EXPECT_EQ(heap.PopTop(), 1u);
+  EXPECT_FALSE(heap.contains(1));
+  EXPECT_EQ(heap.size(), 1u);
+}
+
+TEST(IndexedMaxHeapTest, RemoveArbitrary) {
+  IndexedMaxHeap heap(8);
+  for (size_t i = 0; i < 8; ++i) heap.Push(i, static_cast<int64_t>(i));
+  heap.Remove(4);
+  EXPECT_FALSE(heap.contains(4));
+  EXPECT_EQ(heap.size(), 7u);
+  std::vector<size_t> order;
+  while (!heap.empty()) order.push_back(heap.PopTop());
+  EXPECT_EQ(order, (std::vector<size_t>{7, 6, 5, 3, 2, 1, 0}));
+}
+
+TEST(IndexedMaxHeapTest, UpdateRaisesPriority) {
+  IndexedMaxHeap heap(4);
+  heap.Push(0, 1);
+  heap.Push(1, 2);
+  heap.Update(0, 10);
+  EXPECT_EQ(heap.Top(), 0u);
+  EXPECT_EQ(heap.priority(0), 10);
+}
+
+TEST(IndexedMaxHeapTest, UpdateLowersPriority) {
+  IndexedMaxHeap heap(4);
+  heap.Push(0, 5);
+  heap.Push(1, 3);
+  heap.Update(0, 1);
+  EXPECT_EQ(heap.Top(), 1u);
+}
+
+TEST(IndexedMaxHeapTest, AdjustDelta) {
+  IndexedMaxHeap heap(4);
+  heap.Push(2, 5);
+  heap.Adjust(2, -3);
+  EXPECT_EQ(heap.priority(2), 2);
+  heap.Adjust(2, +10);
+  EXPECT_EQ(heap.priority(2), 12);
+}
+
+TEST(IndexedMaxHeapTest, NegativePrioritiesWork) {
+  IndexedMaxHeap heap(4);
+  heap.Push(0, -5);
+  heap.Push(1, -2);
+  heap.Push(2, -9);
+  EXPECT_EQ(heap.PopTop(), 1u);
+  EXPECT_EQ(heap.PopTop(), 0u);
+  EXPECT_EQ(heap.PopTop(), 2u);
+}
+
+TEST(IndexedMaxHeapTest, ClearEmptiesAndAllowsReuse) {
+  IndexedMaxHeap heap(4);
+  heap.Push(0, 1);
+  heap.Push(1, 2);
+  heap.Clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_FALSE(heap.contains(0));
+  heap.Push(0, 5);
+  EXPECT_EQ(heap.Top(), 0u);
+}
+
+TEST(IndexedMaxHeapTest, PopAllSortedOrder) {
+  IndexedMaxHeap heap(100);
+  Random rng(42);
+  std::vector<int64_t> priorities;
+  for (size_t i = 0; i < 100; ++i) {
+    int64_t p = static_cast<int64_t>(rng.UniformInt(50));
+    heap.Push(i, p);
+    priorities.push_back(p);
+  }
+  int64_t prev = INT64_MAX;
+  size_t prev_id = 0;
+  while (!heap.empty()) {
+    int64_t p = heap.TopPriority();
+    size_t id = heap.PopTop();
+    if (p == prev) {
+      EXPECT_GT(id, prev_id);  // ties ascend by id
+    } else {
+      EXPECT_LT(p, prev);
+    }
+    prev = p;
+    prev_id = id;
+  }
+}
+
+// Randomized differential test against a naive map-based priority queue.
+TEST(IndexedMaxHeapTest, MatchesNaiveImplementationUnderRandomOps) {
+  const size_t capacity = 64;
+  IndexedMaxHeap heap(capacity);
+  std::map<size_t, int64_t> naive;
+  Random rng(99);
+
+  auto naive_top = [&]() {
+    size_t best_id = 0;
+    int64_t best_p = INT64_MIN;
+    for (const auto& [id, p] : naive) {
+      if (p > best_p || (p == best_p && id < best_id)) {
+        best_p = p;
+        best_id = id;
+      }
+    }
+    return std::make_pair(best_id, best_p);
+  };
+
+  for (int step = 0; step < 5000; ++step) {
+    int op = static_cast<int>(rng.UniformInt(4));
+    if (op == 0) {  // push
+      size_t id = rng.UniformInt(capacity);
+      if (!naive.count(id)) {
+        int64_t p = static_cast<int64_t>(rng.UniformInt(100)) - 50;
+        heap.Push(id, p);
+        naive[id] = p;
+      }
+    } else if (op == 1 && !naive.empty()) {  // pop top
+      auto [id, p] = naive_top();
+      EXPECT_EQ(heap.Top(), id);
+      EXPECT_EQ(heap.TopPriority(), p);
+      EXPECT_EQ(heap.PopTop(), id);
+      naive.erase(id);
+    } else if (op == 2 && !naive.empty()) {  // update random
+      size_t idx = rng.UniformInt(naive.size());
+      auto it = naive.begin();
+      std::advance(it, idx);
+      int64_t p = static_cast<int64_t>(rng.UniformInt(100)) - 50;
+      heap.Update(it->first, p);
+      it->second = p;
+    } else if (op == 3 && !naive.empty()) {  // remove random
+      size_t idx = rng.UniformInt(naive.size());
+      auto it = naive.begin();
+      std::advance(it, idx);
+      heap.Remove(it->first);
+      naive.erase(it);
+    }
+    ASSERT_EQ(heap.size(), naive.size());
+  }
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,171 @@
+// End-to-end pipeline tests over the four evaluation datasets of §6:
+// generate -> index -> diversify -> verify -> zoom -> verify. These mirror
+// how the benchmark harness and example applications drive the library.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/kmedoids.h"
+#include "baselines/maxmin.h"
+#include "baselines/maxsum.h"
+#include "core/disc_algorithms.h"
+#include "core/zoom.h"
+#include "data/cameras.h"
+#include "data/cities.h"
+#include "data/generators.h"
+#include "eval/quality.h"
+#include "graph/properties.h"
+#include "metric/metric.h"
+
+namespace disc {
+namespace {
+
+struct PaperWorkload {
+  const char* name;
+  Dataset dataset;
+  std::unique_ptr<DistanceMetric> metric;
+  double radius;       // a mid-range radius from the paper's sweep
+  double radius_in;    // zoom-in target
+  double radius_out;   // zoom-out target
+};
+
+PaperWorkload MakePaperWorkload(int index) {
+  switch (index) {
+    case 0:
+      return {"Uniform", MakeUniformDataset(2000, 2, 4242),
+              MakeMetric(MetricKind::kEuclidean), 0.04, 0.02, 0.08};
+    case 1:
+      return {"Clustered", MakeClusteredDataset(2000, 2, 4242),
+              MakeMetric(MetricKind::kEuclidean), 0.04, 0.02, 0.08};
+    case 2:
+      return {"Cities", MakeCitiesDataset(),
+              MakeMetric(MetricKind::kEuclidean), 0.01, 0.005, 0.02};
+    default:
+      return {"Cameras", MakeCamerasDataset(),
+              MakeMetric(MetricKind::kHamming), 3.0, 2.0, 4.0};
+  }
+}
+
+class PipelineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineTest, FullLifecycleOnPaperWorkload) {
+  PaperWorkload w = MakePaperWorkload(GetParam());
+
+  MTree tree(w.dataset, *w.metric);
+  ASSERT_TRUE(tree.Build().ok());
+  ASSERT_TRUE(tree.Validate().ok());
+
+  // Diversify.
+  DiscResult greedy = GreedyDisc(&tree, w.radius, {});
+  ASSERT_FALSE(greedy.solution.empty());
+  ASSERT_TRUE(
+      VerifyDisCDiverse(w.dataset, *w.metric, w.radius, greedy.solution).ok())
+      << w.name;
+
+  // Zoom in: superset + valid at the smaller radius.
+  tree.RecomputeClosestBlackDistances(w.radius);
+  DiscResult zoom_in = ZoomIn(&tree, w.radius_in, true);
+  EXPECT_GE(zoom_in.size(), greedy.size()) << w.name;
+  EXPECT_TRUE(VerifyDisCDiverse(w.dataset, *w.metric, w.radius_in,
+                                zoom_in.solution)
+                  .ok())
+      << w.name;
+
+  // Zoom back out beyond the original radius.
+  DiscResult zoom_out =
+      ZoomOut(&tree, w.radius_out, ZoomOutVariant::kGreedyMostRed);
+  EXPECT_LE(zoom_out.size(), zoom_in.size()) << w.name;
+  EXPECT_TRUE(VerifyDisCDiverse(w.dataset, *w.metric, w.radius_out,
+                                zoom_out.solution)
+                  .ok())
+      << w.name;
+}
+
+TEST_P(PipelineTest, TreeStateReusableAcrossRuns) {
+  PaperWorkload w = MakePaperWorkload(GetParam());
+  MTree tree(w.dataset, *w.metric);
+  ASSERT_TRUE(tree.Build().ok());
+  DiscResult first = GreedyDisc(&tree, w.radius, {});
+  DiscResult second = GreedyDisc(&tree, w.radius, {});
+  EXPECT_EQ(first.solution, second.solution);
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWorkloads, PipelineTest,
+                         ::testing::Range(0, 4),
+                         [](const ::testing::TestParamInfo<int>& info)
+                             -> std::string {
+                           switch (info.param) {
+                             case 0:
+                               return "Uniform";
+                             case 1:
+                               return "Clustered";
+                             case 2:
+                               return "Cities";
+                             default:
+                               return "Cameras";
+                           }
+                         });
+
+TEST(ModelComparisonIntegrationTest, Figure6Characteristics) {
+  // Reproduce the qualitative claims of Figure 6 on a clustered dataset:
+  //   - DisC covers the dataset fully at radius r;
+  //   - MaxSum leaves parts of the dataset uncovered (outskirt bias);
+  //   - k-medoids has the lowest mean representation distance but also
+  //     incomplete coverage at r;
+  //   - MaxMin covers better than MaxSum but worse than DisC.
+  Dataset d = MakeClusteredDataset(2000, 2, 777);
+  EuclideanMetric metric;
+  const double radius = 0.07;
+
+  MTree tree(d, metric);
+  ASSERT_TRUE(tree.Build().ok());
+  DiscResult disc = GreedyDisc(&tree, radius, {});
+  const size_t k = disc.size();
+  ASSERT_GT(k, 3u);
+
+  auto maxsum = GreedyMaxSum(d, metric, k);
+  auto maxmin = GreedyMaxMin(d, metric, k);
+  auto medoids = KMedoids(d, metric, k);
+  ASSERT_TRUE(maxsum.ok());
+  ASSERT_TRUE(maxmin.ok());
+  ASSERT_TRUE(medoids.ok());
+
+  double cover_disc = CoverageFraction(d, metric, radius, disc.solution);
+  double cover_maxsum = CoverageFraction(d, metric, radius, *maxsum);
+  double cover_maxmin = CoverageFraction(d, metric, radius, *maxmin);
+  double cover_medoids =
+      CoverageFraction(d, metric, radius, medoids->medoids);
+
+  EXPECT_DOUBLE_EQ(cover_disc, 1.0);
+  EXPECT_LT(cover_maxsum, 1.0);
+  EXPECT_GE(cover_maxmin, cover_maxsum);
+  EXPECT_LT(cover_medoids, 1.0);
+
+  // k-medoids minimizes mean representation distance by construction.
+  EXPECT_LE(MeanRepresentationDistance(d, metric, medoids->medoids),
+            MeanRepresentationDistance(d, metric, *maxsum));
+}
+
+TEST(CamerasScenarioTest, DiverseCatalogAtEveryPaperRadius) {
+  // Table 3(d): Cameras with Hamming radii 1..6 — sizes must be strictly
+  // decreasing from hundreds to a handful.
+  Dataset d = MakeCamerasDataset();
+  HammingMetric metric;
+  MTree tree(d, metric);
+  ASSERT_TRUE(tree.Build().ok());
+  size_t prev = d.size() + 1;
+  for (double radius : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) {
+    DiscResult result = GreedyDisc(&tree, radius, {});
+    ASSERT_TRUE(
+        VerifyDisCDiverse(d, metric, radius, result.solution).ok());
+    EXPECT_LT(result.size(), prev);
+    prev = result.size();
+  }
+  // At radius 7 (= all attributes) a single camera represents everything.
+  EXPECT_EQ(GreedyDisc(&tree, 7.0, {}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace disc

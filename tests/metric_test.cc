@@ -1,0 +1,158 @@
+#include "metric/metric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "metric/point.h"
+#include "util/random.h"
+
+namespace disc {
+namespace {
+
+TEST(PointTest, DimensionAndAccess) {
+  Point p{1.0, 2.0, 3.0};
+  EXPECT_EQ(p.dim(), 3u);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[2], 3.0);
+}
+
+TEST(PointTest, Mutation) {
+  Point p{1.0, 2.0};
+  p[1] = 5.0;
+  EXPECT_DOUBLE_EQ(p[1], 5.0);
+}
+
+TEST(PointTest, Equality) {
+  EXPECT_EQ((Point{1.0, 2.0}), (Point{1.0, 2.0}));
+  EXPECT_NE((Point{1.0, 2.0}), (Point{1.0, 2.1}));
+  EXPECT_NE((Point{1.0}), (Point{1.0, 0.0}));
+}
+
+TEST(PointTest, ToString) {
+  EXPECT_EQ((Point{0.5, 1.0}).ToString(), "(0.5, 1)");
+  EXPECT_EQ(Point{}.ToString(), "()");
+}
+
+TEST(EuclideanTest, KnownValues) {
+  EuclideanMetric m;
+  EXPECT_DOUBLE_EQ(m.Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(m.Distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_NEAR(m.Distance({0, 0, 0}, {1, 1, 1}), std::sqrt(3.0), 1e-12);
+}
+
+TEST(ManhattanTest, KnownValues) {
+  ManhattanMetric m;
+  EXPECT_DOUBLE_EQ(m.Distance({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(m.Distance({-1, -2}, {1, 2}), 6.0);
+}
+
+TEST(ChebyshevTest, KnownValues) {
+  ChebyshevMetric m;
+  EXPECT_DOUBLE_EQ(m.Distance({0, 0}, {3, 4}), 4.0);
+  EXPECT_DOUBLE_EQ(m.Distance({5, 5}, {5, 5}), 0.0);
+}
+
+TEST(HammingTest, CountsDifferingCoordinates) {
+  HammingMetric m;
+  EXPECT_DOUBLE_EQ(m.Distance({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(m.Distance({1, 2, 3}, {1, 5, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(m.Distance({1, 2, 3}, {4, 5, 6}), 3.0);
+}
+
+TEST(MetricOrderingTest, ManhattanDominatesEuclideanDominatesChebyshev) {
+  // For any pair of points: L1 >= L2 >= Linf.
+  Random rng(5);
+  EuclideanMetric l2;
+  ManhattanMetric l1;
+  ChebyshevMetric linf;
+  for (int i = 0; i < 200; ++i) {
+    Point a{rng.Uniform01(), rng.Uniform01(), rng.Uniform01()};
+    Point b{rng.Uniform01(), rng.Uniform01(), rng.Uniform01()};
+    double d1 = l1.Distance(a, b);
+    double d2 = l2.Distance(a, b);
+    double dinf = linf.Distance(a, b);
+    EXPECT_GE(d1, d2 - 1e-12);
+    EXPECT_GE(d2, dinf - 1e-12);
+  }
+}
+
+TEST(MetricFactoryTest, MakeMetricProducesRightKind) {
+  for (MetricKind kind :
+       {MetricKind::kEuclidean, MetricKind::kManhattan, MetricKind::kChebyshev,
+        MetricKind::kHamming}) {
+    auto metric = MakeMetric(kind);
+    ASSERT_NE(metric, nullptr);
+    EXPECT_EQ(metric->kind(), kind);
+  }
+}
+
+TEST(MetricFactoryTest, ParseRoundTrip) {
+  for (MetricKind kind :
+       {MetricKind::kEuclidean, MetricKind::kManhattan, MetricKind::kChebyshev,
+        MetricKind::kHamming}) {
+    auto parsed = ParseMetricKind(MetricKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(MetricFactoryTest, ParseUnknownFails) {
+  auto parsed = ParseMetricKind("cosine");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: metric axioms for every metric family and dimensionality.
+// ---------------------------------------------------------------------------
+
+class MetricAxiomsTest
+    : public ::testing::TestWithParam<std::tuple<MetricKind, size_t>> {
+ protected:
+  Point RandomPoint(Random* rng, size_t dim, bool categorical) {
+    std::vector<double> coords(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      coords[d] = categorical ? static_cast<double>(rng->UniformInt(4))
+                              : rng->Uniform(-10, 10);
+    }
+    return Point(std::move(coords));
+  }
+};
+
+TEST_P(MetricAxiomsTest, IdentitySymmetryTriangle) {
+  auto [kind, dim] = GetParam();
+  auto metric = MakeMetric(kind);
+  bool categorical = kind == MetricKind::kHamming;
+  Random rng(1000 + static_cast<uint64_t>(dim));
+  for (int i = 0; i < 300; ++i) {
+    Point a = RandomPoint(&rng, dim, categorical);
+    Point b = RandomPoint(&rng, dim, categorical);
+    Point c = RandomPoint(&rng, dim, categorical);
+    // Identity of indiscernibles (one direction) and non-negativity.
+    EXPECT_DOUBLE_EQ(metric->Distance(a, a), 0.0);
+    EXPECT_GE(metric->Distance(a, b), 0.0);
+    // Symmetry.
+    EXPECT_DOUBLE_EQ(metric->Distance(a, b), metric->Distance(b, a));
+    // Triangle inequality.
+    EXPECT_LE(metric->Distance(a, c),
+              metric->Distance(a, b) + metric->Distance(b, c) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetricsAllDims, MetricAxiomsTest,
+    ::testing::Combine(::testing::Values(MetricKind::kEuclidean,
+                                         MetricKind::kManhattan,
+                                         MetricKind::kChebyshev,
+                                         MetricKind::kHamming),
+                       ::testing::Values(1u, 2u, 3u, 7u, 10u)),
+    [](const ::testing::TestParamInfo<std::tuple<MetricKind, size_t>>& info) {
+      return std::string(MetricKindToString(std::get<0>(info.param))) + "_d" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,191 @@
+// Randomized stress tests for the M-tree: many shapes of data (including
+// pathological duplicates), every split policy, several capacities and
+// metrics — always validating structural invariants and differential-testing
+// range queries against brute force.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/disc_algorithms.h"
+#include "data/generators.h"
+#include "metric/metric.h"
+#include "mtree/mtree.h"
+#include "util/random.h"
+
+namespace disc {
+namespace {
+
+std::vector<ObjectId> SortedIds(const std::vector<Neighbor>& neighbors) {
+  std::vector<ObjectId> ids;
+  ids.reserve(neighbors.size());
+  for (const Neighbor& nb : neighbors) ids.push_back(nb.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// Random dataset with duplicates and collinear runs mixed in.
+Dataset AdversarialDataset(size_t n, size_t dim, uint64_t seed) {
+  Random rng(seed);
+  Dataset d(dim);
+  for (size_t i = 0; i < n; ++i) {
+    double roll = rng.Uniform01();
+    std::vector<double> coords(dim);
+    if (roll < 0.15 && !d.empty()) {
+      // Exact duplicate of an earlier point.
+      ObjectId src = static_cast<ObjectId>(rng.UniformInt(d.size()));
+      for (size_t k = 0; k < dim; ++k) coords[k] = d.point(src)[k];
+    } else if (roll < 0.3) {
+      // Collinear run along the first axis.
+      for (size_t k = 0; k < dim; ++k) coords[k] = 0.5;
+      coords[0] = rng.Uniform01();
+    } else {
+      for (size_t k = 0; k < dim; ++k) coords[k] = rng.Uniform01();
+    }
+    EXPECT_TRUE(d.Add(Point(std::move(coords))).ok());
+  }
+  return d;
+}
+
+struct StressParam {
+  uint64_t seed;
+  size_t n;
+  size_t dim;
+  size_t capacity;
+  int policy;  // index into kPolicies
+  MetricKind metric;
+};
+
+SplitPolicy PolicyByIndex(int index) {
+  switch (index) {
+    case 0:
+      return SplitPolicy::MinOverlap();
+    case 1:
+      return SplitPolicy::MaxDistanceSplit();
+    case 2:
+      return SplitPolicy::BalancedSplit();
+    default:
+      return SplitPolicy::RandomSplit();
+  }
+}
+
+class MTreeStressTest : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(MTreeStressTest, ValidStructureAndExactQueriesUnderChurn) {
+  const StressParam& p = GetParam();
+  Dataset dataset = AdversarialDataset(p.n, p.dim, p.seed);
+  auto metric = MakeMetric(p.metric);
+  MTreeOptions options;
+  options.node_capacity = p.capacity;
+  options.split_policy = PolicyByIndex(p.policy);
+  MTree tree(dataset, *metric, options);
+  ASSERT_TRUE(tree.Build().ok());
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+
+  Random rng(p.seed ^ 0xabcdef);
+  std::vector<Neighbor> found;
+  for (int round = 0; round < 25; ++round) {
+    // Random color churn, including red (zoom-out state).
+    for (int flips = 0; flips < 40; ++flips) {
+      ObjectId id = static_cast<ObjectId>(rng.UniformInt(dataset.size()));
+      Color c = static_cast<Color>(rng.UniformInt(4));
+      tree.SetColor(id, c);
+    }
+    ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+
+    // Differential range query (all objects).
+    ObjectId center = static_cast<ObjectId>(rng.UniformInt(dataset.size()));
+    double radius = rng.Uniform(0.0, 0.6);
+    found.clear();
+    tree.RangeQueryAround(center, radius, QueryFilter::kAll, false, &found);
+    std::vector<ObjectId> expected;
+    for (ObjectId i = 0; i < dataset.size(); ++i) {
+      if (i == center) continue;
+      if (metric->Distance(dataset.point(center), dataset.point(i)) <=
+          radius) {
+        expected.push_back(i);
+      }
+    }
+    ASSERT_EQ(SortedIds(found), expected)
+        << "round " << round << " center " << center << " r " << radius;
+
+    // Differential white-filtered pruned query.
+    found.clear();
+    tree.RangeQueryAround(center, radius, QueryFilter::kWhiteOnly, true,
+                          &found);
+    std::vector<ObjectId> expected_white;
+    for (ObjectId id : expected) {
+      if (tree.color(id) == Color::kWhite) expected_white.push_back(id);
+    }
+    ASSERT_EQ(SortedIds(found), expected_white);
+
+    // Differential exact bottom-up query.
+    found.clear();
+    tree.RangeQueryBottomUp(center, radius, QueryFilter::kAll, false, false,
+                            &found);
+    ASSERT_EQ(SortedIds(found), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MTreeStressTest,
+    ::testing::Values(
+        StressParam{1, 3, 2, 3, 0, MetricKind::kEuclidean},
+        StressParam{2, 17, 2, 3, 1, MetricKind::kEuclidean},
+        StressParam{3, 64, 2, 4, 2, MetricKind::kManhattan},
+        StressParam{4, 150, 3, 5, 3, MetricKind::kEuclidean},
+        StressParam{5, 400, 2, 8, 0, MetricKind::kChebyshev},
+        StressParam{6, 333, 5, 10, 1, MetricKind::kEuclidean},
+        StressParam{7, 500, 2, 50, 2, MetricKind::kManhattan},
+        StressParam{8, 222, 4, 6, 3, MetricKind::kEuclidean}),
+    [](const ::testing::TestParamInfo<StressParam>& info) {
+      const StressParam& p = info.param;
+      return "seed" + std::to_string(p.seed) + "_n" + std::to_string(p.n) +
+             "_d" + std::to_string(p.dim) + "_c" + std::to_string(p.capacity) +
+             "_p" + std::to_string(p.policy);
+    });
+
+TEST(MTreeDuplicateTest, AllPointsIdentical) {
+  // The most degenerate input: every point equal. Splits must terminate,
+  // structure must validate, queries must behave.
+  Dataset d(2);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(d.Add(Point{0.5, 0.5}).ok());
+  }
+  EuclideanMetric metric;
+  MTreeOptions options;
+  options.node_capacity = 4;
+  MTree tree(d, metric, options);
+  ASSERT_TRUE(tree.Build().ok());
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  std::vector<Neighbor> found;
+  tree.RangeQueryAround(0, 0.0, QueryFilter::kAll, false, &found);
+  EXPECT_EQ(found.size(), 99u);  // everyone is a 0-distance neighbor
+  tree.RangeQueryAround(0, 1.0, QueryFilter::kAll, false, &found);
+}
+
+TEST(MTreeDuplicateTest, DiscOnAllIdenticalSelectsOne) {
+  Dataset d(2);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(d.Add(Point{0.3, 0.7}).ok());
+  }
+  EuclideanMetric metric;
+  MTree tree(d, metric);
+  ASSERT_TRUE(tree.Build().ok());
+  EXPECT_EQ(BasicDisc(&tree, 0.0, true).size(), 1u);
+  EXPECT_EQ(GreedyDisc(&tree, 0.1, {}).size(), 1u);
+}
+
+TEST(MTreeStressTest2, LeafOrderStableUnderColorChanges) {
+  Dataset d = MakeClusteredDataset(300, 2, 5);
+  EuclideanMetric metric;
+  MTree tree(d, metric);
+  ASSERT_TRUE(tree.Build().ok());
+  auto before = tree.LeafOrder();
+  for (ObjectId i = 0; i < d.size(); i += 3) tree.SetColor(i, Color::kBlack);
+  EXPECT_EQ(tree.LeafOrder(), before);
+}
+
+}  // namespace
+}  // namespace disc

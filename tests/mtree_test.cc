@@ -1,0 +1,499 @@
+#include "mtree/mtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "data/generators.h"
+#include "metric/metric.h"
+#include "util/random.h"
+
+namespace disc {
+namespace {
+
+std::vector<ObjectId> SortedIds(std::vector<Neighbor> neighbors) {
+  std::vector<ObjectId> ids;
+  ids.reserve(neighbors.size());
+  for (const Neighbor& nb : neighbors) ids.push_back(nb.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<ObjectId> BruteForceRange(const Dataset& d,
+                                      const DistanceMetric& metric,
+                                      const Point& center, double radius,
+                                      ObjectId exclude = kInvalidObject) {
+  std::vector<ObjectId> ids;
+  for (ObjectId i = 0; i < d.size(); ++i) {
+    if (i == exclude) continue;
+    if (metric.Distance(center, d.point(i)) <= radius) ids.push_back(i);
+  }
+  return ids;
+}
+
+TEST(MTreeBuildTest, EmptyDatasetRejected) {
+  Dataset d;
+  EuclideanMetric metric;
+  MTree tree(d, metric);
+  Status s = tree.Build();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MTreeBuildTest, TinyCapacityRejected) {
+  Dataset d = MakeUniformDataset(10, 2, 1);
+  EuclideanMetric metric;
+  MTreeOptions options;
+  options.node_capacity = 1;
+  MTree tree(d, metric, options);
+  Status s = tree.Build();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MTreeBuildTest, DoubleBuildRejected) {
+  Dataset d = MakeUniformDataset(10, 2, 1);
+  EuclideanMetric metric;
+  MTree tree(d, metric);
+  ASSERT_TRUE(tree.Build().ok());
+  Status s = tree.Build();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MTreeBuildTest, SingleObjectTree) {
+  Dataset d;
+  ASSERT_TRUE(d.Add(Point{0.5, 0.5}).ok());
+  EuclideanMetric metric;
+  MTree tree(d, metric);
+  ASSERT_TRUE(tree.Build().ok());
+  EXPECT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.LeafOrder(), std::vector<ObjectId>{0});
+}
+
+TEST(MTreeBuildTest, StructurallyValidAfterManySplits) {
+  Dataset d = MakeUniformDataset(2000, 2, 42);
+  EuclideanMetric metric;
+  MTreeOptions options;
+  options.node_capacity = 8;  // force deep tree
+  MTree tree(d, metric, options);
+  ASSERT_TRUE(tree.Build().ok());
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  EXPECT_GT(tree.height(), 2u);
+  EXPECT_GT(tree.num_nodes(), 100u);
+}
+
+TEST(MTreeBuildTest, LeafOrderIsAPermutation) {
+  Dataset d = MakeClusteredDataset(777, 2, 3);
+  EuclideanMetric metric;
+  MTree tree(d, metric);
+  ASSERT_TRUE(tree.Build().ok());
+  std::vector<ObjectId> order = tree.LeafOrder();
+  ASSERT_EQ(order.size(), d.size());
+  std::set<ObjectId> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), d.size());
+}
+
+TEST(MTreeBuildTest, BuildCountsAccesses) {
+  Dataset d = MakeUniformDataset(500, 2, 7);
+  EuclideanMetric metric;
+  MTree tree(d, metric);
+  ASSERT_TRUE(tree.Build().ok());
+  EXPECT_GT(tree.stats().node_accesses, 500u);  // at least one per insert
+  tree.ResetStats();
+  EXPECT_EQ(tree.stats().node_accesses, 0u);
+}
+
+class MTreePolicyTest : public ::testing::TestWithParam<SplitPolicy> {};
+
+TEST_P(MTreePolicyTest, ValidUnderEveryPolicyAndCapacity) {
+  EuclideanMetric metric;
+  for (size_t capacity : {3u, 5u, 25u, 50u}) {
+    Dataset d = MakeClusteredDataset(600, 2, 11);
+    MTreeOptions options;
+    options.node_capacity = capacity;
+    options.split_policy = GetParam();
+    MTree tree(d, metric, options);
+    ASSERT_TRUE(tree.Build().ok());
+    EXPECT_TRUE(tree.Validate().ok())
+        << "capacity " << capacity << ": " << tree.Validate().ToString();
+  }
+}
+
+TEST_P(MTreePolicyTest, RangeQueriesExactUnderEveryPolicy) {
+  EuclideanMetric metric;
+  Dataset d = MakeClusteredDataset(400, 2, 13);
+  MTreeOptions options;
+  options.node_capacity = 10;
+  options.split_policy = GetParam();
+  MTree tree(d, metric, options);
+  ASSERT_TRUE(tree.Build().ok());
+  std::vector<Neighbor> found;
+  for (ObjectId center : {0u, 17u, 100u, 399u}) {
+    for (double radius : {0.01, 0.05, 0.2, 0.7}) {
+      found.clear();
+      tree.RangeQueryAround(center, radius, QueryFilter::kAll, false, &found);
+      EXPECT_EQ(SortedIds(found),
+                BruteForceRange(d, metric, d.point(center), radius, center));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, MTreePolicyTest,
+    ::testing::Values(SplitPolicy::MinOverlap(), SplitPolicy::MaxDistanceSplit(),
+                      SplitPolicy::BalancedSplit(), SplitPolicy::RandomSplit()),
+    [](const ::testing::TestParamInfo<SplitPolicy>& info) -> std::string {
+      switch (info.index) {
+        case 0:
+          return "MinOverlap";
+        case 1:
+          return "MaxDistance";
+        case 2:
+          return "Balanced";
+        default:
+          return "Random";
+      }
+    });
+
+TEST(MTreeQueryTest, RangeQueryMatchesBruteForceManhattan) {
+  ManhattanMetric metric;
+  Dataset d = MakeUniformDataset(300, 2, 19);
+  MTree tree(d, metric);
+  ASSERT_TRUE(tree.Build().ok());
+  std::vector<Neighbor> found;
+  for (double radius : {0.05, 0.15, 0.4}) {
+    found.clear();
+    tree.RangeQuery(d.point(5), radius, QueryFilter::kAll, false, &found);
+    EXPECT_EQ(SortedIds(found),
+              BruteForceRange(d, metric, d.point(5), radius));
+  }
+}
+
+TEST(MTreeQueryTest, RangeQueryHammingCategorical) {
+  HammingMetric metric;
+  Dataset d;
+  Random rng(3);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(d.Add(Point{static_cast<double>(rng.UniformInt(4)),
+                            static_cast<double>(rng.UniformInt(4)),
+                            static_cast<double>(rng.UniformInt(4)),
+                            static_cast<double>(rng.UniformInt(4))})
+                    .ok());
+  }
+  MTree tree(d, metric);
+  ASSERT_TRUE(tree.Build().ok());
+  EXPECT_TRUE(tree.Validate().ok());
+  std::vector<Neighbor> found;
+  for (double radius : {1.0, 2.0, 3.0}) {
+    found.clear();
+    tree.RangeQueryAround(42, radius, QueryFilter::kAll, false, &found);
+    EXPECT_EQ(SortedIds(found),
+              BruteForceRange(d, metric, d.point(42), radius, 42));
+  }
+}
+
+TEST(MTreeQueryTest, ReportedDistancesAreCorrect) {
+  EuclideanMetric metric;
+  Dataset d = MakeUniformDataset(200, 2, 23);
+  MTree tree(d, metric);
+  ASSERT_TRUE(tree.Build().ok());
+  std::vector<Neighbor> found;
+  tree.RangeQueryAround(7, 0.3, QueryFilter::kAll, false, &found);
+  for (const Neighbor& nb : found) {
+    EXPECT_NEAR(nb.dist, metric.Distance(d.point(7), d.point(nb.id)), 1e-12);
+  }
+}
+
+TEST(MTreeQueryTest, WhiteFilterReturnsOnlyWhites) {
+  EuclideanMetric metric;
+  Dataset d = MakeUniformDataset(300, 2, 29);
+  MTree tree(d, metric);
+  ASSERT_TRUE(tree.Build().ok());
+  // Grey out every even object.
+  for (ObjectId i = 0; i < d.size(); i += 2) tree.SetColor(i, Color::kGrey);
+  std::vector<Neighbor> found;
+  tree.RangeQueryAround(1, 0.4, QueryFilter::kWhiteOnly, false, &found);
+  std::vector<ObjectId> expected;
+  for (ObjectId i :
+       BruteForceRange(d, metric, d.point(1), 0.4, 1)) {
+    if (i % 2 == 1) expected.push_back(i);
+  }
+  EXPECT_EQ(SortedIds(found), expected);
+}
+
+TEST(MTreeQueryTest, PrunedWhiteQueryEqualsUnprunedWhiteQuery) {
+  EuclideanMetric metric;
+  Dataset d = MakeClusteredDataset(500, 2, 31);
+  MTree tree(d, metric);
+  ASSERT_TRUE(tree.Build().ok());
+  Random rng(8);
+  for (ObjectId i = 0; i < d.size(); ++i) {
+    if (rng.Uniform01() < 0.7) tree.SetColor(i, Color::kGrey);
+  }
+  std::vector<Neighbor> pruned, unpruned;
+  for (ObjectId center : {3u, 99u, 400u}) {
+    pruned.clear();
+    unpruned.clear();
+    tree.RangeQueryAround(center, 0.15, QueryFilter::kWhiteOnly, true,
+                          &pruned);
+    tree.RangeQueryAround(center, 0.15, QueryFilter::kWhiteOnly, false,
+                          &unpruned);
+    EXPECT_EQ(SortedIds(pruned), SortedIds(unpruned));
+  }
+}
+
+TEST(MTreeQueryTest, PruningReducesAccessesWhenMostlyGrey) {
+  EuclideanMetric metric;
+  Dataset d = MakeClusteredDataset(2000, 2, 37);
+  MTreeOptions options;
+  options.node_capacity = 10;
+  MTree tree(d, metric, options);
+  ASSERT_TRUE(tree.Build().ok());
+  for (ObjectId i = 0; i < d.size(); ++i) {
+    if (i % 100 != 0) tree.SetColor(i, Color::kGrey);
+  }
+  tree.ResetStats();
+  std::vector<Neighbor> found;
+  tree.RangeQueryAround(0, 0.3, QueryFilter::kWhiteOnly, false, &found);
+  uint64_t unpruned_cost = tree.stats().node_accesses;
+  tree.ResetStats();
+  found.clear();
+  tree.RangeQueryAround(0, 0.3, QueryFilter::kWhiteOnly, true, &found);
+  uint64_t pruned_cost = tree.stats().node_accesses;
+  EXPECT_LT(pruned_cost, unpruned_cost);
+}
+
+TEST(MTreeQueryTest, BottomUpWithoutGreyStopIsExact) {
+  EuclideanMetric metric;
+  Dataset d = MakeClusteredDataset(600, 2, 41);
+  MTreeOptions options;
+  options.node_capacity = 10;
+  MTree tree(d, metric, options);
+  ASSERT_TRUE(tree.Build().ok());
+  std::vector<Neighbor> found;
+  for (ObjectId center : {10u, 200u, 599u}) {
+    for (double radius : {0.02, 0.1, 0.4}) {
+      found.clear();
+      tree.RangeQueryBottomUp(center, radius, QueryFilter::kAll, false, false,
+                              &found);
+      EXPECT_EQ(SortedIds(found),
+                BruteForceRange(d, metric, d.point(center), radius, center));
+    }
+  }
+}
+
+TEST(MTreeQueryTest, BottomUpGreyStopReturnsSubsetOfWhites) {
+  EuclideanMetric metric;
+  Dataset d = MakeClusteredDataset(600, 2, 41);
+  MTreeOptions options;
+  options.node_capacity = 10;
+  MTree tree(d, metric, options);
+  ASSERT_TRUE(tree.Build().ok());
+  // Grey out most objects so some subtrees go fully grey.
+  for (ObjectId i = 0; i < d.size(); ++i) {
+    if (i % 7 != 0) tree.SetColor(i, Color::kGrey);
+  }
+  std::vector<Neighbor> fast, exact;
+  for (ObjectId center : {3u, 111u, 598u}) {
+    fast.clear();
+    exact.clear();
+    tree.RangeQueryBottomUp(center, 0.15, QueryFilter::kWhiteOnly, true, true,
+                            &fast);
+    tree.RangeQueryAround(center, 0.15, QueryFilter::kWhiteOnly, true, &exact);
+    auto fast_ids = SortedIds(fast);
+    auto exact_ids = SortedIds(exact);
+    // Grey-stopping may miss whites but never invents results.
+    for (ObjectId id : fast_ids) {
+      EXPECT_TRUE(
+          std::binary_search(exact_ids.begin(), exact_ids.end(), id));
+    }
+  }
+}
+
+TEST(MTreeColorTest, ResetColorsMakesEverythingWhite) {
+  EuclideanMetric metric;
+  Dataset d = MakeUniformDataset(100, 2, 43);
+  MTree tree(d, metric);
+  ASSERT_TRUE(tree.Build().ok());
+  tree.SetColor(5, Color::kBlack);
+  tree.SetColor(6, Color::kGrey);
+  tree.ResetColors();
+  EXPECT_EQ(tree.white_count(), d.size());
+  EXPECT_EQ(tree.color(5), Color::kWhite);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(MTreeColorTest, WhiteCountTracksTransitions) {
+  EuclideanMetric metric;
+  Dataset d = MakeUniformDataset(50, 2, 47);
+  MTree tree(d, metric);
+  ASSERT_TRUE(tree.Build().ok());
+  EXPECT_EQ(tree.white_count(), 50u);
+  tree.SetColor(0, Color::kGrey);
+  tree.SetColor(1, Color::kBlack);
+  EXPECT_EQ(tree.white_count(), 48u);
+  tree.SetColor(0, Color::kWhite);
+  EXPECT_EQ(tree.white_count(), 49u);
+  tree.SetColor(1, Color::kRed);  // black -> red: both non-white
+  EXPECT_EQ(tree.white_count(), 49u);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(MTreeColorTest, ObjectsWithColor) {
+  EuclideanMetric metric;
+  Dataset d = MakeUniformDataset(10, 2, 53);
+  MTree tree(d, metric);
+  ASSERT_TRUE(tree.Build().ok());
+  tree.SetColor(3, Color::kBlack);
+  tree.SetColor(7, Color::kBlack);
+  tree.SetColor(5, Color::kGrey);
+  EXPECT_EQ(tree.ObjectsWithColor(Color::kBlack),
+            (std::vector<ObjectId>{3, 7}));
+  EXPECT_EQ(tree.ObjectsWithColor(Color::kGrey), (std::vector<ObjectId>{5}));
+  EXPECT_EQ(tree.ObjectsWithColor(Color::kWhite).size(), 7u);
+}
+
+TEST(MTreeColorTest, ScanLeavesSkipsGreyLeavesWithoutAccess) {
+  EuclideanMetric metric;
+  Dataset d = MakeUniformDataset(400, 2, 59);
+  MTreeOptions options;
+  options.node_capacity = 8;
+  MTree tree(d, metric, options);
+  ASSERT_TRUE(tree.Build().ok());
+  for (ObjectId i = 0; i < d.size(); ++i) tree.SetColor(i, Color::kGrey);
+  tree.ResetStats();
+  size_t visited = 0;
+  tree.ScanLeaves(true, [&](ObjectId) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+  EXPECT_EQ(tree.stats().node_accesses, 0u);
+  tree.ResetStats();
+  tree.ScanLeaves(false, [&](ObjectId) { ++visited; });
+  EXPECT_EQ(visited, d.size());
+  EXPECT_EQ(tree.stats().node_accesses, tree.num_leaves());
+}
+
+TEST(MTreeZoomSupportTest, ObserveBlackNeighborKeepsMinimum) {
+  EuclideanMetric metric;
+  Dataset d = MakeUniformDataset(10, 2, 61);
+  MTree tree(d, metric);
+  ASSERT_TRUE(tree.Build().ok());
+  EXPECT_TRUE(std::isinf(tree.closest_black_dist(0)));
+  tree.ObserveBlackNeighbor(0, 0.5);
+  tree.ObserveBlackNeighbor(0, 0.8);  // larger: ignored
+  EXPECT_DOUBLE_EQ(tree.closest_black_dist(0), 0.5);
+  tree.ObserveBlackNeighbor(0, 0.2);
+  EXPECT_DOUBLE_EQ(tree.closest_black_dist(0), 0.2);
+  tree.ClearClosestBlackDistance(0);
+  EXPECT_TRUE(std::isinf(tree.closest_black_dist(0)));
+}
+
+TEST(MTreeZoomSupportTest, RecomputeClosestBlackDistancesIsExact) {
+  EuclideanMetric metric;
+  Dataset d = MakeClusteredDataset(300, 2, 67);
+  MTree tree(d, metric);
+  ASSERT_TRUE(tree.Build().ok());
+  std::vector<ObjectId> blacks = {10, 50, 100, 200};
+  for (ObjectId b : blacks) tree.SetColor(b, Color::kBlack);
+  const double radius = 0.25;
+  tree.RecomputeClosestBlackDistances(radius);
+  for (ObjectId i = 0; i < d.size(); ++i) {
+    double expected = std::numeric_limits<double>::infinity();
+    for (ObjectId b : blacks) {
+      if (b == i) continue;
+      double dist = metric.Distance(d.point(i), d.point(b));
+      if (dist <= radius) expected = std::min(expected, dist);
+    }
+    EXPECT_DOUBLE_EQ(tree.closest_black_dist(i), expected) << "object " << i;
+  }
+}
+
+TEST(MTreeStatsTest, FatFactorInUnitRangeAndPolicySensitive) {
+  EuclideanMetric metric;
+  Dataset d = MakeUniformDataset(1500, 2, 71);
+  MTreeOptions low_overlap;
+  low_overlap.node_capacity = 25;
+  low_overlap.split_policy = SplitPolicy::MinOverlap();
+  MTree tree_low(d, metric, low_overlap);
+  ASSERT_TRUE(tree_low.Build().ok());
+
+  MTreeOptions high_overlap = low_overlap;
+  high_overlap.split_policy = SplitPolicy::RandomSplit();
+  MTree tree_high(d, metric, high_overlap);
+  ASSERT_TRUE(tree_high.Build().ok());
+
+  double f_low = tree_low.FatFactor();
+  double f_high = tree_high.FatFactor();
+  EXPECT_GE(f_low, 0.0);
+  EXPECT_LE(f_low, 1.0);
+  EXPECT_GE(f_high, 0.0);
+  EXPECT_LE(f_high, 1.0);
+  // The paper (Figure 10): MinOverlap produces the lowest fat-factor,
+  // random pivots the highest.
+  EXPECT_LT(f_low, f_high);
+}
+
+TEST(MTreeStatsTest, CapacityAffectsNodeCount) {
+  EuclideanMetric metric;
+  Dataset d = MakeUniformDataset(1000, 2, 73);
+  MTreeOptions small_nodes;
+  small_nodes.node_capacity = 25;
+  MTreeOptions large_nodes;
+  large_nodes.node_capacity = 100;
+  MTree tree_small(d, metric, small_nodes);
+  MTree tree_large(d, metric, large_nodes);
+  ASSERT_TRUE(tree_small.Build().ok());
+  ASSERT_TRUE(tree_large.Build().ok());
+  EXPECT_GT(tree_small.num_nodes(), tree_large.num_nodes());
+}
+
+TEST(MTreeCountsTest, BuildTimeNeighborCountsMatchPostBuild) {
+  EuclideanMetric metric;
+  const double radius = 0.1;
+  Dataset d = MakeClusteredDataset(500, 2, 79);
+
+  MTree tree_a(d, metric);
+  std::vector<uint32_t> counts_build;
+  ASSERT_TRUE(tree_a.BuildWithNeighborCounts(radius, &counts_build).ok());
+
+  MTree tree_b(d, metric);
+  ASSERT_TRUE(tree_b.Build().ok());
+  std::vector<uint32_t> counts_post;
+  tree_b.ComputeNeighborCountsPostBuild(radius, &counts_post);
+
+  ASSERT_EQ(counts_build.size(), counts_post.size());
+  for (size_t i = 0; i < counts_build.size(); ++i) {
+    EXPECT_EQ(counts_build[i], counts_post[i]) << "object " << i;
+  }
+  // And both must equal the true neighborhood size.
+  for (ObjectId i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(counts_post[i],
+              BruteForceRange(d, metric, d.point(i), radius, i).size());
+  }
+}
+
+TEST(MTreeCountsTest, BuildTimeCountsCheaperThanPostBuild) {
+  EuclideanMetric metric;
+  const double radius = 0.05;
+  Dataset d = MakeClusteredDataset(2000, 2, 83);
+
+  MTree tree_a(d, metric);
+  std::vector<uint32_t> counts;
+  ASSERT_TRUE(tree_a.BuildWithNeighborCounts(radius, &counts).ok());
+  uint64_t cost_build_time = tree_a.stats().node_accesses;
+
+  MTree tree_b(d, metric);
+  ASSERT_TRUE(tree_b.Build().ok());
+  tree_b.ComputeNeighborCountsPostBuild(radius, &counts);
+  uint64_t cost_post = tree_b.stats().node_accesses;
+
+  EXPECT_LT(cost_build_time, cost_post);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,125 @@
+#include "graph/properties.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/generators.h"
+#include "metric/metric.h"
+#include "util/random.h"
+
+namespace disc {
+namespace {
+
+// A 6-vertex path-like fixture mirroring Figure 4 of the paper:
+// v1-v2, v2-v3, v3-v4, v4-v5, v5-v6, v5-v1 ... we use the simpler chain
+// 0-1-2-3-4-5 where {1,4} dominates but is not independent-dominating-minimal
+// structure; exact layout below (1-D points, radius 1).
+Dataset ChainDataset() {
+  Dataset d;
+  for (double x : {0.0, 1.0, 2.0, 3.0, 4.0, 5.0}) {
+    EXPECT_TRUE(d.Add(Point{x}).ok());
+  }
+  return d;
+}
+
+class PropertiesTest : public ::testing::Test {
+ protected:
+  PropertiesTest() : dataset_(ChainDataset()), graph_(dataset_, metric_, 1.0) {}
+  Dataset dataset_;
+  EuclideanMetric metric_;
+  NeighborhoodGraph graph_;
+};
+
+TEST_F(PropertiesTest, IndependentSet) {
+  EXPECT_TRUE(IsIndependentSet(graph_, {0, 2, 4}));
+  EXPECT_TRUE(IsIndependentSet(graph_, {0, 3}));
+  EXPECT_FALSE(IsIndependentSet(graph_, {0, 1}));
+  EXPECT_TRUE(IsIndependentSet(graph_, {}));
+  EXPECT_TRUE(IsIndependentSet(graph_, {3}));
+}
+
+TEST_F(PropertiesTest, DominatingSet) {
+  EXPECT_TRUE(IsDominatingSet(graph_, {1, 4}));
+  EXPECT_TRUE(IsDominatingSet(graph_, {0, 2, 4}));
+  EXPECT_FALSE(IsDominatingSet(graph_, {0, 3}));  // 5 uncovered
+  EXPECT_FALSE(IsDominatingSet(graph_, {}));
+}
+
+TEST_F(PropertiesTest, MaximalIndependentEquivalence) {
+  // Lemma 1: independent + dominating <-> maximal independent.
+  EXPECT_TRUE(IsMaximalIndependentSet(graph_, {1, 4}));
+  EXPECT_TRUE(IsMaximalIndependentSet(graph_, {0, 2, 4}));
+  EXPECT_FALSE(IsMaximalIndependentSet(graph_, {0, 3}));  // extendable by 5
+  EXPECT_FALSE(IsMaximalIndependentSet(graph_, {0, 1}));  // not independent
+}
+
+TEST_F(PropertiesTest, VerifyDisCDiverseAcceptsValid) {
+  EXPECT_TRUE(VerifyDisCDiverse(dataset_, metric_, 1.0, {1, 4}).ok());
+  EXPECT_TRUE(VerifyDisCDiverse(dataset_, metric_, 1.0, {0, 2, 4}).ok());
+}
+
+TEST_F(PropertiesTest, VerifyDisCDiverseRejectsCoverageGap) {
+  Status s = VerifyDisCDiverse(dataset_, metric_, 1.0, {0, 3});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("coverage"), std::string::npos);
+}
+
+TEST_F(PropertiesTest, VerifyDisCDiverseRejectsSimilarPair) {
+  Status s = VerifyDisCDiverse(dataset_, metric_, 1.0, {0, 1, 2, 3, 4, 5});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("dissimilarity"), std::string::npos);
+}
+
+TEST_F(PropertiesTest, VerifyDisCDiverseRejectsOutOfRangeId) {
+  Status s = VerifyDisCDiverse(dataset_, metric_, 1.0, {99});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PropertiesTest, VerifyCoveringAllowsDependentObjects) {
+  // {1, 2, 4} covers everything but is not independent: r-C diverse only.
+  EXPECT_TRUE(VerifyCovering(dataset_, metric_, 1.0, {1, 2, 4}).ok());
+  EXPECT_FALSE(VerifyDisCDiverse(dataset_, metric_, 1.0, {1, 2, 4}).ok());
+}
+
+TEST_F(PropertiesTest, EmptySolutionCoversNothing) {
+  Status s = VerifyCovering(dataset_, metric_, 1.0, {});
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(PropertiesRandomTest, MaximalIndependentIffIndependentDominating) {
+  // Lemma 1 checked on random graphs: for random vertex subsets, maximality
+  // of an independent set must coincide with domination.
+  Dataset d = MakeUniformDataset(60, 2, 31);
+  EuclideanMetric metric;
+  NeighborhoodGraph g(d, metric, 0.18);
+  Random rng(55);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<ObjectId> subset;
+    for (ObjectId v = 0; v < g.num_vertices(); ++v) {
+      if (rng.Uniform01() < 0.2) subset.push_back(v);
+    }
+    if (!IsIndependentSet(g, subset)) continue;
+    // Maximal test by definition: no vertex can be added.
+    bool extendable = false;
+    for (ObjectId v = 0; v < g.num_vertices() && !extendable; ++v) {
+      bool in = std::find(subset.begin(), subset.end(), v) != subset.end();
+      if (in) continue;
+      bool adjacent = false;
+      for (ObjectId s : subset) {
+        if (g.HasEdge(v, s)) {
+          adjacent = true;
+          break;
+        }
+      }
+      if (!adjacent) extendable = true;
+    }
+    EXPECT_EQ(IsDominatingSet(g, subset), !extendable);
+    EXPECT_EQ(IsMaximalIndependentSet(g, subset), !extendable);
+  }
+}
+
+}  // namespace
+}  // namespace disc

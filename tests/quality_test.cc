@@ -1,0 +1,113 @@
+#include "eval/quality.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "data/generators.h"
+#include "eval/table.h"
+#include "metric/metric.h"
+#include "util/csv.h"
+
+namespace disc {
+namespace {
+
+Dataset UnitSquareCorners() {
+  Dataset d;
+  EXPECT_TRUE(d.Add(Point{0.0, 0.0}).ok());
+  EXPECT_TRUE(d.Add(Point{1.0, 0.0}).ok());
+  EXPECT_TRUE(d.Add(Point{0.0, 1.0}).ok());
+  EXPECT_TRUE(d.Add(Point{1.0, 1.0}).ok());
+  return d;
+}
+
+TEST(QualityTest, FMinOfCorners) {
+  Dataset d = UnitSquareCorners();
+  EuclideanMetric metric;
+  EXPECT_DOUBLE_EQ(FMin(d, metric, {0, 1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(FMin(d, metric, {0, 3}), std::sqrt(2.0));
+  EXPECT_TRUE(std::isinf(FMin(d, metric, {0})));
+  EXPECT_TRUE(std::isinf(FMin(d, metric, {})));
+}
+
+TEST(QualityTest, FSumOfCorners) {
+  Dataset d = UnitSquareCorners();
+  EuclideanMetric metric;
+  // 4 sides of length 1 + 2 diagonals of sqrt(2).
+  EXPECT_NEAR(FSum(d, metric, {0, 1, 2, 3}), 4.0 + 2.0 * std::sqrt(2.0),
+              1e-12);
+  EXPECT_DOUBLE_EQ(FSum(d, metric, {0}), 0.0);
+}
+
+TEST(QualityTest, CoverageFraction) {
+  Dataset d = UnitSquareCorners();
+  EuclideanMetric metric;
+  EXPECT_DOUBLE_EQ(CoverageFraction(d, metric, 1.0, {0}), 0.75);
+  EXPECT_DOUBLE_EQ(CoverageFraction(d, metric, 1.5, {0}), 1.0);
+  EXPECT_DOUBLE_EQ(CoverageFraction(d, metric, 0.1, {0}), 0.25);
+  EXPECT_DOUBLE_EQ(CoverageFraction(d, metric, 0.0, {0, 1, 2, 3}), 1.0);
+}
+
+TEST(QualityTest, CoverageOfEmptyDatasetIsFull) {
+  Dataset d;
+  EuclideanMetric metric;
+  EXPECT_DOUBLE_EQ(CoverageFraction(d, metric, 0.1, {}), 1.0);
+}
+
+TEST(QualityTest, MeanRepresentationDistance) {
+  Dataset d = UnitSquareCorners();
+  EuclideanMetric metric;
+  // From corner 0: distances {0, 1, 1, sqrt(2)} / 4.
+  EXPECT_NEAR(MeanRepresentationDistance(d, metric, {0}),
+              (0.0 + 1.0 + 1.0 + std::sqrt(2.0)) / 4.0, 1e-12);
+  EXPECT_TRUE(std::isinf(MeanRepresentationDistance(d, metric, {})));
+}
+
+TEST(QualityTest, JaccardDistanceBasics) {
+  EXPECT_DOUBLE_EQ(JaccardDistance({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance({1, 2}, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance({1, 2}, {3, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardDistance({1}, {}), 1.0);
+}
+
+TEST(QualityTest, JaccardIgnoresOrderAndDuplicates) {
+  EXPECT_DOUBLE_EQ(JaccardDistance({3, 1, 2}, {2, 3, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance({1, 1, 2}, {2, 1}), 0.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table("demo");
+  table.SetHeader({"algo", "size"});
+  table.AddRow({"basic", "1360"});
+  table.AddRow({"greedy-long-name", "7"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("algo"), std::string::npos);
+  EXPECT_NE(out.find("greedy-long-name  7"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvRoundTrip) {
+  TablePrinter table("t");
+  table.SetHeader({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::string path =
+      (std::filesystem::temp_directory_path() / "disc_table_test.csv")
+          .string();
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  auto rows = ReadCsv(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"1", "2"}));
+  std::filesystem::remove(path);
+}
+
+TEST(TablePrinterTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.012345, 3), "0.0123");
+  EXPECT_EQ(FormatDouble(2.0, 3), "2");
+  EXPECT_EQ(FormatDouble(123456.0, 4), "1.235e+05");
+}
+
+}  // namespace
+}  // namespace disc

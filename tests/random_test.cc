@@ -1,0 +1,103 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace disc {
+namespace {
+
+TEST(RandomTest, SameSeedSameStream) {
+  Random a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RandomTest, Uniform01InRange) {
+  Random rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.Uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomTest, Uniform01MeanNearHalf) {
+  Random rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RandomTest, UniformRespectsBounds) {
+  Random rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(-2.0, 3.5);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(RandomTest, UniformIntCoversAllValues) {
+  Random rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(10));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Random rng(13);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(variance, 1.0, 0.03);
+}
+
+TEST(RandomTest, GaussianScaled) {
+  Random rng(17);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RandomTest, ShufflePreservesElements) {
+  Random rng(21);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RandomTest, ShuffleIsDeterministic) {
+  std::vector<int> a = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> b = a;
+  Random ra(33), rb(33);
+  ra.Shuffle(&a);
+  rb.Shuffle(&b);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "data/cameras.h"
+#include "data/cities.h"
+#include "metric/metric.h"
+
+namespace disc {
+namespace {
+
+TEST(CitiesTest, CardinalityMatchesPaper) {
+  Dataset d = MakeCitiesDataset();
+  EXPECT_EQ(d.size(), kCitiesCardinality);
+  EXPECT_EQ(d.dim(), 2u);
+}
+
+TEST(CitiesTest, NormalizedToUnitBox) {
+  Dataset d = MakeCitiesDataset();
+  double min_x = 1e9, max_x = -1e9, min_y = 1e9, max_y = -1e9;
+  for (ObjectId i = 0; i < d.size(); ++i) {
+    min_x = std::min(min_x, d.point(i)[0]);
+    max_x = std::max(max_x, d.point(i)[0]);
+    min_y = std::min(min_y, d.point(i)[1]);
+    max_y = std::max(max_y, d.point(i)[1]);
+  }
+  EXPECT_DOUBLE_EQ(min_x, 0.0);
+  EXPECT_DOUBLE_EQ(max_x, 1.0);
+  EXPECT_DOUBLE_EQ(min_y, 0.0);
+  EXPECT_DOUBLE_EQ(max_y, 1.0);
+}
+
+TEST(CitiesTest, Deterministic) {
+  Dataset a = MakeCitiesDataset();
+  Dataset b = MakeCitiesDataset();
+  for (ObjectId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.point(i), b.point(i));
+  }
+}
+
+TEST(CitiesTest, NonUniform) {
+  // The settlement distribution must be clustered: the densest 10% cell of a
+  // 10x10 grid holds far more than 1% of the points.
+  Dataset d = MakeCitiesDataset();
+  std::vector<size_t> cell_count(100, 0);
+  for (ObjectId i = 0; i < d.size(); ++i) {
+    size_t cx = std::min<size_t>(9, static_cast<size_t>(d.point(i)[0] * 10));
+    size_t cy = std::min<size_t>(9, static_cast<size_t>(d.point(i)[1] * 10));
+    ++cell_count[cy * 10 + cx];
+  }
+  size_t densest = *std::max_element(cell_count.begin(), cell_count.end());
+  EXPECT_GT(densest, d.size() / 20);  // > 5% of all points in one cell
+}
+
+class CitiesCsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "disc_cities_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CitiesCsvTest, LoadsAndNormalizes) {
+  std::string path = (dir_ / "cities.csv").string();
+  std::ofstream out(path);
+  out << "100,200\n300,400\n200,300\n";
+  out.close();
+  auto loaded = LoadCitiesCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded->point(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(loaded->point(1)[0], 1.0);
+}
+
+TEST_F(CitiesCsvTest, RejectsWrongColumnCount) {
+  std::string path = (dir_ / "bad.csv").string();
+  std::ofstream out(path);
+  out << "1,2,3\n4,5,6\n";
+  out.close();
+  auto loaded = LoadCitiesCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CamerasTest, CardinalityMatchesPaper) {
+  Dataset d = MakeCamerasDataset();
+  EXPECT_EQ(d.size(), kCamerasCardinality);
+  EXPECT_EQ(d.dim(), kCamerasAttributes);
+}
+
+TEST(CamerasTest, Deterministic) {
+  Dataset a = MakeCamerasDataset();
+  Dataset b = MakeCamerasDataset();
+  for (ObjectId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.point(i), b.point(i));
+  }
+}
+
+TEST(CamerasTest, AttributeCodesAreIntegral) {
+  Dataset d = MakeCamerasDataset();
+  for (ObjectId i = 0; i < d.size(); ++i) {
+    for (size_t a = 0; a < d.dim(); ++a) {
+      double v = d.point(i)[a];
+      EXPECT_DOUBLE_EQ(v, std::floor(v));
+      EXPECT_GE(v, 0.0);
+    }
+  }
+}
+
+TEST(CamerasTest, AttributeValuesDecode) {
+  Dataset d = MakeCamerasDataset();
+  for (ObjectId i = 0; i < d.size(); ++i) {
+    for (size_t a = 0; a < kCamerasAttributes; ++a) {
+      EXPECT_FALSE(CameraAttributeValue(d, i, a).empty());
+    }
+  }
+}
+
+TEST(CamerasTest, HasLabelsAndAttributeNames) {
+  Dataset d = MakeCamerasDataset();
+  EXPECT_TRUE(d.has_labels());
+  EXPECT_FALSE(d.label(0).empty());
+  ASSERT_EQ(d.attribute_names().size(), kCamerasAttributes);
+  EXPECT_EQ(d.attribute_names()[0], "brand");
+}
+
+TEST(CamerasTest, HammingDistancesSpanUsefulRange) {
+  // The paper sweeps radii 1..6 over 7 attributes; the catalog must contain
+  // both near-duplicates (small distances) and fully distinct items.
+  Dataset d = MakeCamerasDataset();
+  HammingMetric metric;
+  std::set<int> observed;
+  for (ObjectId i = 0; i < d.size(); ++i) {
+    for (ObjectId j = i + 1; j < d.size(); ++j) {
+      observed.insert(
+          static_cast<int>(metric.Distance(d.point(i), d.point(j))));
+    }
+  }
+  EXPECT_TRUE(observed.count(1));
+  EXPECT_TRUE(observed.count(7));
+  // Multiple intermediate values must occur.
+  EXPECT_GE(observed.size(), 6u);
+}
+
+TEST(CamerasTest, BrandsFollowSkewedPopularity) {
+  Dataset d = MakeCamerasDataset();
+  std::vector<size_t> brand_count(32, 0);
+  for (ObjectId i = 0; i < d.size(); ++i) {
+    ++brand_count[static_cast<size_t>(d.point(i)[0])];
+  }
+  size_t top = *std::max_element(brand_count.begin(), brand_count.end());
+  // A popularity power law: the most common brand should own a significant
+  // share of the catalog.
+  EXPECT_GT(top, d.size() / 10);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,165 @@
+#include "core/weighted.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/generators.h"
+#include "graph/properties.h"
+#include "metric/metric.h"
+#include "util/random.h"
+
+namespace disc {
+namespace {
+
+std::vector<double> RandomWeights(size_t n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<double> w(n);
+  for (double& v : w) v = rng.Uniform(0.1, 1.0);
+  return w;
+}
+
+TEST(WeightedDiscTest, RejectsBadInputs) {
+  Dataset d = MakeUniformDataset(50, 2, 1);
+  EuclideanMetric metric;
+  std::vector<double> short_weights(10, 1.0);
+  EXPECT_FALSE(GreedyWeightedDisc(d, metric, 0.1, short_weights).ok());
+  std::vector<double> negative(50, 1.0);
+  negative[3] = -1.0;
+  EXPECT_FALSE(GreedyWeightedDisc(d, metric, 0.1, negative).ok());
+  std::vector<double> good(50, 1.0);
+  EXPECT_FALSE(GreedyWeightedDisc(d, metric, -0.5, good).ok());
+  EXPECT_TRUE(GreedyWeightedDisc(d, metric, 0.1, good).ok());
+}
+
+TEST(WeightedDiscTest, AlwaysProducesValidDisCSubset) {
+  EuclideanMetric metric;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Dataset d = MakeClusteredDataset(300, 2, seed);
+    auto weights = RandomWeights(d.size(), seed + 100);
+    for (auto objective : {WeightedObjective::kMaxWeight,
+                           WeightedObjective::kWeightTimesCoverage}) {
+      auto result = GreedyWeightedDisc(d, metric, 0.08, weights, objective);
+      ASSERT_TRUE(result.ok());
+      EXPECT_TRUE(VerifyDisCDiverse(d, metric, 0.08, *result).ok());
+    }
+  }
+}
+
+TEST(WeightedDiscTest, PrefersHeavyObjects) {
+  // Two nearby objects; the heavier one must be selected.
+  Dataset d;
+  ASSERT_TRUE(d.Add(Point{0.50, 0.50}).ok());  // light
+  ASSERT_TRUE(d.Add(Point{0.52, 0.50}).ok());  // heavy (similar to light)
+  ASSERT_TRUE(d.Add(Point{0.90, 0.90}).ok());  // far away
+  EuclideanMetric metric;
+  std::vector<double> weights = {0.1, 5.0, 1.0};
+  auto result = GreedyWeightedDisc(d, metric, 0.1, weights,
+                                   WeightedObjective::kMaxWeight);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(std::find(result->begin(), result->end(), 1), result->end());
+  EXPECT_EQ(std::find(result->begin(), result->end(), 0), result->end());
+}
+
+TEST(WeightedDiscTest, HigherTotalWeightThanUnweightedGreedyOnAverage) {
+  EuclideanMetric metric;
+  size_t wins = 0, trials = 5;
+  for (uint64_t seed = 1; seed <= trials; ++seed) {
+    Dataset d = MakeClusteredDataset(250, 2, seed + 40);
+    auto weights = RandomWeights(d.size(), seed);
+    auto weighted = GreedyWeightedDisc(d, metric, 0.1, weights,
+                                       WeightedObjective::kMaxWeight);
+    ASSERT_TRUE(weighted.ok());
+    // Unweighted proxy: same algorithm with all-equal weights.
+    std::vector<double> flat(d.size(), 1.0);
+    auto unweighted = GreedyWeightedDisc(d, metric, 0.1, flat,
+                                         WeightedObjective::kMaxWeight);
+    ASSERT_TRUE(unweighted.ok());
+    double ww = TotalWeight(*weighted, weights);
+    double uw = TotalWeight(*unweighted, weights);
+    // Normalize per object so set-size differences don't dominate.
+    if (ww / weighted->size() >= uw / unweighted->size()) ++wins;
+  }
+  EXPECT_GE(wins, trials - 1);
+}
+
+TEST(RelevanceRadiiTest, MapsRelevanceToRadiusRange) {
+  auto radii = RelevanceRadii({0.0, 0.5, 1.0}, 0.1, 0.5);
+  ASSERT_TRUE(radii.ok());
+  EXPECT_DOUBLE_EQ((*radii)[0], 0.5);  // irrelevant -> coarse
+  EXPECT_DOUBLE_EQ((*radii)[1], 0.3);
+  EXPECT_DOUBLE_EQ((*radii)[2], 0.1);  // relevant -> fine
+}
+
+TEST(RelevanceRadiiTest, Validation) {
+  EXPECT_FALSE(RelevanceRadii({0.5}, 0.0, 0.5).ok());
+  EXPECT_FALSE(RelevanceRadii({0.5}, 0.5, 0.1).ok());
+  EXPECT_FALSE(RelevanceRadii({1.5}, 0.1, 0.5).ok());
+}
+
+TEST(MultiRadiusDiscTest, CoversEveryObjectAtItsRepresentativeRadius) {
+  EuclideanMetric metric;
+  Dataset d = MakeClusteredDataset(300, 2, 71);
+  Random rng(5);
+  std::vector<double> relevance(d.size());
+  for (double& v : relevance) v = rng.Uniform01();
+  auto radii = RelevanceRadii(relevance, 0.05, 0.2);
+  ASSERT_TRUE(radii.ok());
+  auto result = MultiRadiusDisc(d, metric, *radii, relevance);
+  ASSERT_TRUE(result.ok());
+  // Coverage: every object within r(s) of some selected s.
+  for (ObjectId i = 0; i < d.size(); ++i) {
+    bool covered = false;
+    for (ObjectId s : *result) {
+      if (metric.Distance(d.point(i), d.point(s)) <= (*radii)[s]) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "object " << i;
+  }
+  // Dissimilarity under the min-radius rule.
+  for (size_t a = 0; a < result->size(); ++a) {
+    for (size_t b = a + 1; b < result->size(); ++b) {
+      ObjectId s1 = (*result)[a], s2 = (*result)[b];
+      double min_r = std::min((*radii)[s1], (*radii)[s2]);
+      EXPECT_GT(metric.Distance(d.point(s1), d.point(s2)), min_r);
+    }
+  }
+}
+
+TEST(MultiRadiusDiscTest, RelevantAreasGetDenserRepresentation) {
+  // Left half highly relevant (small radius), right half irrelevant: the
+  // solution must place more representatives per object on the left.
+  EuclideanMetric metric;
+  Dataset d = MakeUniformDataset(400, 2, 73);
+  std::vector<double> relevance(d.size());
+  size_t left_count = 0;
+  for (ObjectId i = 0; i < d.size(); ++i) {
+    bool left = d.point(i)[0] < 0.5;
+    relevance[i] = left ? 1.0 : 0.0;
+    left_count += left;
+  }
+  auto radii = RelevanceRadii(relevance, 0.04, 0.25);
+  ASSERT_TRUE(radii.ok());
+  auto result = MultiRadiusDisc(d, metric, *radii, relevance);
+  ASSERT_TRUE(result.ok());
+  size_t left_reps = 0, right_reps = 0;
+  for (ObjectId s : *result) {
+    (d.point(s)[0] < 0.5 ? left_reps : right_reps)++;
+  }
+  EXPECT_GT(left_reps, 2 * right_reps);
+}
+
+TEST(MultiRadiusDiscTest, UniformRadiiReduceToClassicDisC) {
+  EuclideanMetric metric;
+  Dataset d = MakeClusteredDataset(200, 2, 79);
+  std::vector<double> relevance(d.size(), 0.5);
+  std::vector<double> radii(d.size(), 0.1);
+  auto result = MultiRadiusDisc(d, metric, radii, relevance);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(VerifyDisCDiverse(d, metric, 0.1, *result).ok());
+}
+
+}  // namespace
+}  // namespace disc

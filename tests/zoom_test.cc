@@ -1,0 +1,286 @@
+#include "core/zoom.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/bounds.h"
+#include "core/disc_algorithms.h"
+#include "data/cities.h"
+#include "data/generators.h"
+#include "eval/quality.h"
+#include "graph/properties.h"
+#include "metric/metric.h"
+
+namespace disc {
+namespace {
+
+bool IsSubset(const std::vector<ObjectId>& small,
+              const std::vector<ObjectId>& big) {
+  std::set<ObjectId> big_set(big.begin(), big.end());
+  for (ObjectId id : small) {
+    if (!big_set.count(id)) return false;
+  }
+  return true;
+}
+
+// Builds a tree, runs pruned Greedy-DisC at `r_old`, and performs the §5.2
+// post-processing so the zooming rule has exact closest-black distances.
+struct ZoomFixture {
+  ZoomFixture(Dataset ds, double r_old_in)
+      : dataset(std::move(ds)), r_old(r_old_in), tree(dataset, metric) {
+    EXPECT_TRUE(tree.Build().ok());
+    old_result = GreedyDisc(&tree, r_old, {});
+    tree.RecomputeClosestBlackDistances(r_old);
+  }
+
+  Dataset dataset;
+  EuclideanMetric metric;
+  double r_old;
+  MTree tree;
+  DiscResult old_result;
+};
+
+class ZoomInTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ZoomInTest, ProducesValidSupersetSolution) {
+  const bool greedy = GetParam();
+  for (uint64_t seed : {1u, 2u}) {
+    ZoomFixture fx(MakeClusteredDataset(700, 2, seed), 0.1);
+    DiscResult zoomed = ZoomIn(&fx.tree, 0.05, greedy);
+    // Lemma 5(i): the old solution is kept.
+    EXPECT_TRUE(IsSubset(fx.old_result.solution, zoomed.solution));
+    // The result is a valid solution at the new radius.
+    Status valid =
+        VerifyDisCDiverse(fx.dataset, fx.metric, 0.05, zoomed.solution);
+    EXPECT_TRUE(valid.ok()) << valid.ToString();
+  }
+}
+
+TEST_P(ZoomInTest, GrowthWithinTheoreticalBound) {
+  const bool greedy = GetParam();
+  ZoomFixture fx(MakeClusteredDataset(800, 2, 3), 0.08);
+  const double r_new = 0.04;
+  DiscResult zoomed = ZoomIn(&fx.tree, r_new, greedy);
+  // Lemma 5(ii) with the Euclidean NI bound of Lemma 4.
+  auto bound = ZoomInGrowthBound(MetricKind::kEuclidean, r_new, fx.r_old);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_LE(zoomed.size(),
+            static_cast<size_t>(*bound * fx.old_result.size()) + 1);
+}
+
+TEST_P(ZoomInTest, CheaperThanRecomputingFromScratch) {
+  const bool greedy = GetParam();
+  ZoomFixture fx(MakeClusteredDataset(2500, 2, 5), 0.08);
+  DiscResult zoomed = ZoomIn(&fx.tree, 0.04, greedy);
+
+  MTree fresh(fx.dataset, fx.metric);
+  ASSERT_TRUE(fresh.Build().ok());
+  fresh.ResetStats();
+  DiscResult scratch = GreedyDisc(&fresh, 0.04, {});
+  EXPECT_LT(zoomed.stats.node_accesses, scratch.stats.node_accesses);
+}
+
+TEST_P(ZoomInTest, ClosterToOldSolutionThanScratch) {
+  const bool greedy = GetParam();
+  ZoomFixture fx(MakeClusteredDataset(1200, 2, 7), 0.09);
+  DiscResult zoomed = ZoomIn(&fx.tree, 0.045, greedy);
+
+  MTree fresh(fx.dataset, fx.metric);
+  ASSERT_TRUE(fresh.Build().ok());
+  DiscResult scratch = GreedyDisc(&fresh, 0.045, {});
+
+  double zoom_dist =
+      JaccardDistance(fx.old_result.solution, zoomed.solution);
+  double scratch_dist =
+      JaccardDistance(fx.old_result.solution, scratch.solution);
+  EXPECT_LT(zoom_dist, scratch_dist);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, ZoomInTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Greedy" : "Arbitrary";
+                         });
+
+class ZoomOutTest : public ::testing::TestWithParam<ZoomOutVariant> {};
+
+TEST_P(ZoomOutTest, ProducesValidSolutionAtLargerRadius) {
+  for (uint64_t seed : {11u, 12u}) {
+    ZoomFixture fx(MakeClusteredDataset(700, 2, seed), 0.04);
+    const double r_new = 0.09;
+    DiscResult zoomed = ZoomOut(&fx.tree, r_new, GetParam());
+    Status valid =
+        VerifyDisCDiverse(fx.dataset, fx.metric, r_new, zoomed.solution);
+    EXPECT_TRUE(valid.ok())
+        << ZoomOutVariantToString(GetParam()) << ": " << valid.ToString();
+    // Zooming out must shrink the solution on these workloads.
+    EXPECT_LT(zoomed.size(), fx.old_result.size());
+  }
+}
+
+TEST_P(ZoomOutTest, KeepsPartOfTheOldSolution) {
+  ZoomFixture fx(MakeClusteredDataset(900, 2, 13), 0.05);
+  DiscResult zoomed = ZoomOut(&fx.tree, 0.1, GetParam());
+  // At least one previously shown object survives in every variant (the
+  // first confirmed red always stays).
+  std::set<ObjectId> old_set(fx.old_result.solution.begin(),
+                             fx.old_result.solution.end());
+  size_t kept = 0;
+  for (ObjectId id : zoomed.solution) kept += old_set.count(id);
+  EXPECT_GT(kept, 0u);
+}
+
+TEST_P(ZoomOutTest, CloserToOldSolutionThanScratch) {
+  ZoomFixture fx(MakeClusteredDataset(1200, 2, 17), 0.05);
+  const double r_new = 0.1;
+  DiscResult zoomed = ZoomOut(&fx.tree, r_new, GetParam());
+
+  MTree fresh(fx.dataset, fx.metric);
+  ASSERT_TRUE(fresh.Build().ok());
+  DiscResult scratch = GreedyDisc(&fresh, r_new, {});
+
+  EXPECT_LE(JaccardDistance(fx.old_result.solution, zoomed.solution),
+            JaccardDistance(fx.old_result.solution, scratch.solution));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, ZoomOutTest,
+    ::testing::Values(ZoomOutVariant::kArbitrary,
+                      ZoomOutVariant::kGreedyMostRed,
+                      ZoomOutVariant::kGreedyFewestRed,
+                      ZoomOutVariant::kGreedyMostWhite),
+    [](const ::testing::TestParamInfo<ZoomOutVariant>& info) {
+      switch (info.param) {
+        case ZoomOutVariant::kArbitrary:
+          return "Arbitrary";
+        case ZoomOutVariant::kGreedyMostRed:
+          return "GreedyA";
+        case ZoomOutVariant::kGreedyFewestRed:
+          return "GreedyB";
+        case ZoomOutVariant::kGreedyMostWhite:
+          return "GreedyC";
+      }
+      return "Unknown";
+    });
+
+TEST(ZoomOutBehaviorTest, FewestRedKeepsMoreOfTheOldSolution) {
+  // Variant (b) explicitly maximizes S^r ∩ S^r'.
+  ZoomFixture fx_a(MakeClusteredDataset(1500, 2, 19), 0.04);
+  ZoomFixture fx_b(MakeClusteredDataset(1500, 2, 19), 0.04);
+  const double r_new = 0.08;
+  auto kept = [](const DiscResult& old_result, const DiscResult& zoomed) {
+    std::set<ObjectId> old_set(old_result.solution.begin(),
+                               old_result.solution.end());
+    size_t count = 0;
+    for (ObjectId id : zoomed.solution) count += old_set.count(id);
+    return count;
+  };
+  DiscResult za = ZoomOut(&fx_a.tree, r_new, ZoomOutVariant::kGreedyMostRed);
+  DiscResult zb = ZoomOut(&fx_b.tree, r_new, ZoomOutVariant::kGreedyFewestRed);
+  EXPECT_GE(kept(fx_b.old_result, zb), kept(fx_a.old_result, za));
+}
+
+TEST(ZoomChainTest, InThenOutThenInRemainsValid) {
+  ZoomFixture fx(MakeClusteredDataset(800, 2, 23), 0.08);
+  DiscResult in1 = ZoomIn(&fx.tree, 0.04, true);
+  ASSERT_TRUE(
+      VerifyDisCDiverse(fx.dataset, fx.metric, 0.04, in1.solution).ok());
+
+  DiscResult out = ZoomOut(&fx.tree, 0.1, ZoomOutVariant::kGreedyMostRed);
+  ASSERT_TRUE(
+      VerifyDisCDiverse(fx.dataset, fx.metric, 0.1, out.solution).ok());
+
+  fx.tree.RecomputeClosestBlackDistances(0.1);
+  DiscResult in2 = ZoomIn(&fx.tree, 0.06, true);
+  EXPECT_TRUE(
+      VerifyDisCDiverse(fx.dataset, fx.metric, 0.06, in2.solution).ok());
+}
+
+TEST(LocalZoomTest, LocalZoomInRefinesOnlyTheRegion) {
+  ZoomFixture fx(MakeCitiesDataset(), 0.05);
+  ObjectId center = fx.old_result.solution.front();
+  DiscResult local = LocalZoom(&fx.tree, center, 0.05, 0.02, true);
+
+  // The solution changes only inside the region.
+  std::set<ObjectId> region;
+  for (ObjectId i = 0; i < fx.dataset.size(); ++i) {
+    if (fx.metric.Distance(fx.dataset.point(i), fx.dataset.point(center)) <=
+        0.05) {
+      region.insert(i);
+    }
+  }
+  std::set<ObjectId> old_set(fx.old_result.solution.begin(),
+                             fx.old_result.solution.end());
+  std::set<ObjectId> new_set(local.solution.begin(), local.solution.end());
+  for (ObjectId id : old_set) {
+    if (!region.count(id)) {
+      EXPECT_TRUE(new_set.count(id)) << id;
+    }
+  }
+  for (ObjectId id : new_set) {
+    if (!region.count(id)) {
+      EXPECT_TRUE(old_set.count(id)) << id;
+    }
+  }
+  // More representatives inside the region than before (finer radius).
+  size_t old_in_region = 0, new_in_region = 0;
+  for (ObjectId id : old_set) old_in_region += region.count(id);
+  for (ObjectId id : new_set) new_in_region += region.count(id);
+  EXPECT_GE(new_in_region, old_in_region);
+  // Region objects are covered at the new radius. The representative may be
+  // a region member or a pre-existing one just outside the boundary (its
+  // coverage ball reaches in); both count.
+  for (ObjectId id : region) {
+    bool covered = false;
+    for (ObjectId s : new_set) {
+      if (fx.metric.Distance(fx.dataset.point(id), fx.dataset.point(s)) <=
+          0.02) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "region object " << id << " uncovered";
+  }
+}
+
+TEST(LocalZoomTest, LocalZoomOutCoarsensOnlyTheRegion) {
+  ZoomFixture fx(MakeClusteredDataset(1000, 2, 29), 0.04);
+  ObjectId center = fx.old_result.solution.front();
+  DiscResult local = LocalZoom(&fx.tree, center, 0.04, 0.08, true);
+
+  std::set<ObjectId> old_set(fx.old_result.solution.begin(),
+                             fx.old_result.solution.end());
+  std::set<ObjectId> new_set(local.solution.begin(), local.solution.end());
+  std::set<ObjectId> region;
+  for (ObjectId i = 0; i < fx.dataset.size(); ++i) {
+    if (fx.metric.Distance(fx.dataset.point(i), fx.dataset.point(center)) <=
+        0.04) {
+      region.insert(i);
+    }
+  }
+  for (ObjectId id : new_set) {
+    if (!region.count(id)) {
+      EXPECT_TRUE(old_set.count(id));
+    }
+  }
+  // Inside the region, representatives at the coarser radius are fewer or
+  // equal.
+  size_t old_in = 0, new_in = 0;
+  for (ObjectId id : old_set) old_in += region.count(id);
+  for (ObjectId id : new_set) new_in += region.count(id);
+  EXPECT_LE(new_in, old_in);
+}
+
+TEST(ZoomEdgeCaseTest, ZoomInWithEqualRadiusKeepsSolution) {
+  ZoomFixture fx(MakeClusteredDataset(500, 2, 31), 0.06);
+  DiscResult same = ZoomIn(&fx.tree, 0.06, false);
+  std::vector<ObjectId> sorted_old = fx.old_result.solution;
+  std::vector<ObjectId> sorted_new = same.solution;
+  std::sort(sorted_old.begin(), sorted_old.end());
+  std::sort(sorted_new.begin(), sorted_new.end());
+  EXPECT_EQ(sorted_old, sorted_new);
+}
+
+}  // namespace
+}  // namespace disc
