@@ -1,6 +1,10 @@
 #include "baselines/kmedoids.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "util/random.h"
 

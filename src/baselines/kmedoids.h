@@ -8,6 +8,8 @@
 #ifndef DISC_BASELINES_KMEDOIDS_H_
 #define DISC_BASELINES_KMEDOIDS_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "data/dataset.h"

@@ -1,6 +1,9 @@
 #include "baselines/maxmin.h"
 
+#include <cstddef>
 #include <limits>
+#include <string>
+#include <vector>
 
 namespace disc {
 

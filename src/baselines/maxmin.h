@@ -6,6 +6,7 @@
 #ifndef DISC_BASELINES_MAXMIN_H_
 #define DISC_BASELINES_MAXMIN_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "data/dataset.h"

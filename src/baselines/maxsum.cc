@@ -1,5 +1,7 @@
 #include "baselines/maxsum.h"
 
+#include <cstddef>
+#include <string>
 #include <vector>
 
 namespace disc {

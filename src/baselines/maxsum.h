@@ -8,6 +8,7 @@
 #ifndef DISC_BASELINES_MAXSUM_H_
 #define DISC_BASELINES_MAXSUM_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "data/dataset.h"

@@ -1,6 +1,8 @@
 #include "core/bounds.h"
 
 #include <cmath>
+#include <cstddef>
+#include <string>
 
 namespace disc {
 

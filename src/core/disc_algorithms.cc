@@ -1,6 +1,10 @@
 #include "core/disc_algorithms.h"
 
 #include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "core/internal.h"
 #include "util/indexed_heap.h"

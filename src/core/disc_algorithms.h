@@ -25,6 +25,8 @@
 #ifndef DISC_CORE_DISC_ALGORITHMS_H_
 #define DISC_CORE_DISC_ALGORITHMS_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "mtree/mtree.h"

@@ -8,6 +8,10 @@
 // for pruned, grey-stopping bottom-up queries.
 
 #include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "core/disc_algorithms.h"
 #include "core/internal.h"

@@ -1,5 +1,9 @@
 #include "core/reference.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "core/color.h"
 #include "util/indexed_heap.h"
 

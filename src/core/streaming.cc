@@ -1,10 +1,21 @@
 #include "core/streaming.h"
 
 #include <limits>
+#include <string>
+#include <utility>
 
 namespace disc {
 
 Result<bool> StreamingDisc::Insert(Point point) {
+  // Validate the dimension before any distance computation: the metric
+  // assumes (and asserts) matching dimensions, so a mismatched arrival must
+  // be rejected up front, not discovered mid-scan.
+  if (!seen_.empty() && point.dim() != seen_.dim()) {
+    return Status::InvalidArgument(
+        "arrival dimension " + std::to_string(point.dim()) +
+        " does not match stream dimension " + std::to_string(seen_.dim()));
+  }
+
   // Check coverage against the current solution. The solution is small
   // compared to the stream, so a linear scan is the right tool; an index
   // would pay more in maintenance than it saves here.

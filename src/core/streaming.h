@@ -13,6 +13,7 @@
 #ifndef DISC_CORE_STREAMING_H_
 #define DISC_CORE_STREAMING_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "data/dataset.h"

@@ -1,7 +1,11 @@
 #include "core/weighted.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "core/color.h"
 #include "graph/neighborhood.h"

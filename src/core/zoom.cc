@@ -1,7 +1,11 @@
 #include "core/zoom.h"
 
 #include <cassert>
+#include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "core/internal.h"
 #include "util/indexed_heap.h"

@@ -12,6 +12,7 @@
 #ifndef DISC_DATA_CAMERAS_H_
 #define DISC_DATA_CAMERAS_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

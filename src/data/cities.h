@@ -14,6 +14,7 @@
 #ifndef DISC_DATA_CITIES_H_
 #define DISC_DATA_CITIES_H_
 
+#include <cstddef>
 #include <string>
 
 #include "data/dataset.h"

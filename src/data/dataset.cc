@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <cstdlib>
 #include <limits>
+#include <string>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "metric/metric.h"
 #include "util/csv.h"

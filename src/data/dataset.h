@@ -7,7 +7,9 @@
 #ifndef DISC_DATA_DATASET_H_
 #define DISC_DATA_DATASET_H_
 
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "metric/point.h"

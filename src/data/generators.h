@@ -6,6 +6,7 @@
 #ifndef DISC_DATA_GENERATORS_H_
 #define DISC_DATA_GENERATORS_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "data/dataset.h"

@@ -1,8 +1,10 @@
 #include "eval/quality.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <limits>
 #include <unordered_set>
+#include <vector>
 
 namespace disc {
 

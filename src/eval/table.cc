@@ -1,7 +1,11 @@
 #include "eval/table.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/csv.h"
 

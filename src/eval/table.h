@@ -5,7 +5,9 @@
 #ifndef DISC_EVAL_TABLE_H_
 #define DISC_EVAL_TABLE_H_
 
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"

@@ -1,6 +1,10 @@
 #include "graph/exact.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 namespace disc {
 

@@ -9,6 +9,8 @@
 #ifndef DISC_GRAPH_EXACT_H_
 #define DISC_GRAPH_EXACT_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "graph/neighborhood.h"

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 namespace disc {
 

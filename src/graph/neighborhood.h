@@ -8,6 +8,7 @@
 #ifndef DISC_GRAPH_NEIGHBORHOOD_H_
 #define DISC_GRAPH_NEIGHBORHOOD_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "data/dataset.h"

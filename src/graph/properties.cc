@@ -1,5 +1,6 @@
 #include "graph/properties.h"
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

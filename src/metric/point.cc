@@ -1,6 +1,8 @@
 #include "metric/point.h"
 
+#include <cstddef>
 #include <cstdio>
+#include <string>
 
 namespace disc {
 

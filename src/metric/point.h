@@ -7,9 +7,11 @@
 #ifndef DISC_METRIC_POINT_H_
 #define DISC_METRIC_POINT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace disc {

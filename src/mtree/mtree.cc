@@ -3,6 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "mtree/mtree_internal.h"
 
@@ -49,9 +56,11 @@ Status MTree::BuildWithNeighborCounts(double radius,
     if (root_ != nullptr) {
       // Query the partial tree before inserting: every already-present
       // neighbor contributes 1 to the new object's count and gains 1 itself.
+      // The tree is mid-construction by design, so the built_ precondition
+      // does not apply here.
       found.clear();
-      RangeQuery(dataset_.point(id), radius, QueryFilter::kAll,
-                 /*pruned=*/false, &found);
+      RangeQueryUnchecked(dataset_.point(id), radius, QueryFilter::kAll,
+                          /*pruned=*/false, &found);
       (*counts)[id] = static_cast<uint32_t>(found.size());
       for (const Neighbor& nb : found) ++(*counts)[nb.id];
     }
@@ -164,6 +173,12 @@ void MTree::AdjustWhiteCount(Node* leaf, int delta) {
 void MTree::RangeQuery(const Point& center, double radius, QueryFilter filter,
                        bool pruned, std::vector<Neighbor>* out) const {
   assert(built_);
+  RangeQueryUnchecked(center, radius, filter, pruned, out);
+}
+
+void MTree::RangeQueryUnchecked(const Point& center, double radius,
+                                QueryFilter filter, bool pruned,
+                                std::vector<Neighbor>* out) const {
   ++stats_.range_queries;
   RangeSearchNode(root_.get(), center, radius,
                   std::numeric_limits<double>::quiet_NaN(), filter, pruned,

@@ -16,6 +16,7 @@
 #ifndef DISC_MTREE_MTREE_H_
 #define DISC_MTREE_MTREE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -240,6 +241,11 @@ class MTree {
   Status CheckBuildPreconditions() const;
   void Insert(ObjectId id);
   void SplitNode(Node* node);
+  // RangeQuery without the built_ precondition, for querying the partial
+  // tree during BuildWithNeighborCounts.
+  void RangeQueryUnchecked(const Point& center, double radius,
+                           QueryFilter filter, bool pruned,
+                           std::vector<Neighbor>* out) const;
   void RangeSearchNode(const Node* node, const Point& center, double radius,
                        double dist_center_to_node_pivot, QueryFilter filter,
                        bool pruned, ObjectId exclude,

@@ -4,6 +4,8 @@
 #ifndef DISC_MTREE_MTREE_INTERNAL_H_
 #define DISC_MTREE_MTREE_INTERNAL_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <vector>

@@ -6,7 +6,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "mtree/mtree.h"
 #include "mtree/mtree_internal.h"

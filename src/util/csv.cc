@@ -1,6 +1,10 @@
 #include "util/csv.h"
 
+#include <cstddef>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace disc {
 

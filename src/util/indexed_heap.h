@@ -14,8 +14,9 @@
 #define DISC_UTIL_INDEXED_HEAP_H_
 
 #include <cassert>
-#include <cstdint>
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace disc {

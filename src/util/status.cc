@@ -1,5 +1,7 @@
 #include "util/status.h"
 
+#include <string>
+
 namespace disc {
 
 const char* StatusCodeToString(StatusCode code) {

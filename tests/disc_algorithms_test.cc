@@ -140,9 +140,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          Algo::kGreedyLazyGrey,
                                          Algo::kGreedyLazyWhite),
                        ::testing::Range(0, kNumWorkloads)),
-    [](const ::testing::TestParamInfo<std::tuple<Algo, int>>& info) {
-      return std::string(AlgoName(std::get<0>(info.param))) + "_w" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<Algo, int>>& param_info) {
+      return std::string(AlgoName(std::get<0>(param_info.param))) + "_w" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 // ---------------------------------------------------------------------------

@@ -94,9 +94,9 @@ TEST_P(PipelineTest, TreeStateReusableAcrossRuns) {
 
 INSTANTIATE_TEST_SUITE_P(PaperWorkloads, PipelineTest,
                          ::testing::Range(0, 4),
-                         [](const ::testing::TestParamInfo<int>& info)
+                         [](const ::testing::TestParamInfo<int>& param_info)
                              -> std::string {
-                           switch (info.param) {
+                           switch (param_info.param) {
                              case 0:
                                return "Uniform";
                              case 1:

@@ -139,8 +139,8 @@ INSTANTIATE_TEST_SUITE_P(
         StressParam{6, 333, 5, 10, 1, MetricKind::kEuclidean},
         StressParam{7, 500, 2, 50, 2, MetricKind::kManhattan},
         StressParam{8, 222, 4, 6, 3, MetricKind::kEuclidean}),
-    [](const ::testing::TestParamInfo<StressParam>& info) {
-      const StressParam& p = info.param;
+    [](const ::testing::TestParamInfo<StressParam>& param_info) {
+      const StressParam& p = param_info.param;
       return "seed" + std::to_string(p.seed) + "_n" + std::to_string(p.n) +
              "_d" + std::to_string(p.dim) + "_c" + std::to_string(p.capacity) +
              "_p" + std::to_string(p.policy);

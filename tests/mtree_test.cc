@@ -148,8 +148,8 @@ INSTANTIATE_TEST_SUITE_P(
     Policies, MTreePolicyTest,
     ::testing::Values(SplitPolicy::MinOverlap(), SplitPolicy::MaxDistanceSplit(),
                       SplitPolicy::BalancedSplit(), SplitPolicy::RandomSplit()),
-    [](const ::testing::TestParamInfo<SplitPolicy>& info) -> std::string {
-      switch (info.index) {
+    [](const ::testing::TestParamInfo<SplitPolicy>& param_info) -> std::string {
+      switch (param_info.index) {
         case 0:
           return "MinOverlap";
         case 1:

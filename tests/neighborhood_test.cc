@@ -126,11 +126,11 @@ INSTANTIATE_TEST_SUITE_P(
                       GridParam{300, 3, MetricKind::kEuclidean, 0.15},
                       GridParam{300, 2, MetricKind::kChebyshev, 0.08},
                       GridParam{100, 2, MetricKind::kEuclidean, 0.1}),
-    [](const ::testing::TestParamInfo<GridParam>& info) {
-      const GridParam& p = info.param;
+    [](const ::testing::TestParamInfo<GridParam>& param_info) {
+      const GridParam& p = param_info.param;
       return std::string(MetricKindToString(p.kind)) + "_n" +
              std::to_string(p.n) + "_d" + std::to_string(p.dim) + "_i" +
-             std::to_string(info.index);
+             std::to_string(param_info.index);
     });
 
 TEST(NeighborhoodGraphTest, HammingGraphOnCategoricalData) {

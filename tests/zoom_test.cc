@@ -99,8 +99,8 @@ TEST_P(ZoomInTest, ClosterToOldSolutionThanScratch) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Variants, ZoomInTest, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "Greedy" : "Arbitrary";
+                         [](const ::testing::TestParamInfo<bool>& param_info) {
+                           return param_info.param ? "Greedy" : "Arbitrary";
                          });
 
 class ZoomOutTest : public ::testing::TestWithParam<ZoomOutVariant> {};
@@ -150,8 +150,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ZoomOutVariant::kGreedyMostRed,
                       ZoomOutVariant::kGreedyFewestRed,
                       ZoomOutVariant::kGreedyMostWhite),
-    [](const ::testing::TestParamInfo<ZoomOutVariant>& info) {
-      switch (info.param) {
+    [](const ::testing::TestParamInfo<ZoomOutVariant>& param_info) {
+      switch (param_info.param) {
         case ZoomOutVariant::kArbitrary:
           return "Arbitrary";
         case ZoomOutVariant::kGreedyMostRed:
