@@ -1,4 +1,4 @@
-// §6 text claims about the M-tree machinery, as three ablations:
+// §6 text claims about the M-tree machinery, as four ablations:
 //
 //  (1) node capacity — "when doubling the node capacity, the computational
 //      cost was reduced by almost 45%": Greedy-DisC accesses at capacity
@@ -8,9 +8,15 @@
 //      45%" versus a post-build counting pass;
 //  (3) query mode — "employing bottom-up rather than top-down range queries
 //      [benefited] less than 5% at most cases": total accesses for the same
-//      query load issued both ways.
+//      query load issued both ways;
+//  (4) build strategy — insert-at-a-time vs Ciaccia–Patella-style bulk load
+//      (MTree::BulkLoad): construction wall time and distance computations,
+//      plus the node accesses of a fixed downstream range-query load, per
+//      cardinality. The bulk loader must win construction outright at
+//      n >= 10000 (the PR gate tracked via the JSON artifact in CI).
 
 #include "bench/common.h"
+#include "util/stopwatch.h"
 
 namespace disc {
 namespace bench {
@@ -89,8 +95,8 @@ void BM_CountInit(benchmark::State& state, bool during_build) {
 
 TableCollector* QueryModeTable() {
   static TableCollector table(
-      "Ablation — query mode, 2000 white-filtered queries, region-consolidated greys "
-      "(Clustered)",
+      "Ablation — query mode, 2000 white-filtered queries, "
+      "region-consolidated greys (Clustered)",
       "ablation_query_mode.csv",
       {"mode", "r=0.01", "r=0.03", "r=0.05", "r=0.07"});
   return &table;
@@ -144,6 +150,71 @@ void BM_QueryMode(benchmark::State& state, int mode) {
   QueryModeTable()->AddRow(std::move(row));
 }
 
+// ------------------------------------------------------- build strategy
+
+TableCollector* BuildStrategyTable() {
+  static TableCollector table(
+      "Ablation — build strategy: construction cost and downstream query "
+      "accesses (Clustered, capacity 50, 2000 queries at r=0.03)",
+      "ablation_build_strategy.csv",
+      {"strategy", "n", "build_ms", "build_dists", "nodes", "fat_factor",
+       "query_accesses"});
+  return &table;
+}
+
+void BM_BuildStrategy(benchmark::State& state, BuildStrategy strategy,
+                      size_t n) {
+  const Dataset& dataset = Clustered(n, 2);
+  MTreeOptions options;
+  options.build.strategy = strategy;
+  const double query_radius = 0.03;
+  const size_t num_queries = 2000;
+
+  double build_ms = 0.0;
+  uint64_t build_dists = 0;
+  uint64_t query_accesses = 0;
+  size_t nodes = 0;
+  double fat = 0.0;
+  for (auto _ : state) {
+    // Fresh tree each iteration: construction is the thing being measured.
+    MTree tree(dataset, Euclidean(), options);
+    Stopwatch watch;
+    Status status = tree.Build();
+    build_ms = watch.ElapsedMillis();
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    build_dists = tree.stats().distance_computations;
+    nodes = tree.num_nodes();
+
+    // Downstream cost: the same fixed range-query load on each tree shape.
+    // Paused so the benchmark's reported time measures construction only
+    // (matching the build_ms counter in the JSON artifact).
+    state.PauseTiming();
+    tree.ResetStats();
+    std::vector<Neighbor> found;
+    for (ObjectId center = 0; center < num_queries && center < tree.size();
+         ++center) {
+      found.clear();
+      tree.RangeQueryAround(center, query_radius, QueryFilter::kAll,
+                            /*pruned=*/false, &found);
+    }
+    query_accesses = tree.stats().node_accesses;
+    fat = tree.FatFactor();
+    state.ResumeTiming();
+  }
+  state.counters["build_ms"] = build_ms;
+  state.counters["build_dists"] = static_cast<double>(build_dists);
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["query_accesses"] = static_cast<double>(query_accesses);
+  BuildStrategyTable()->AddRow(
+      {BuildStrategyToString(strategy), std::to_string(n),
+       FormatDouble(build_ms, 4), std::to_string(build_dists),
+       std::to_string(nodes), FormatDouble(fat, 3),
+       std::to_string(query_accesses)});
+}
+
 [[maybe_unused]] const bool registered = [] {
   for (size_t capacity : {25u, 50u, 100u}) {
     std::string name = "Ablation/Capacity/" + std::to_string(capacity);
@@ -173,6 +244,20 @@ void BM_QueryMode(benchmark::State& state, int mode) {
                                  })
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
+  }
+  for (size_t n : {1000u, 10000u, 20000u}) {
+    for (BuildStrategy strategy :
+         {BuildStrategy::kInsertAtATime, BuildStrategy::kBulkLoad}) {
+      std::string name = "Ablation/BuildStrategy/" +
+                         std::string(BuildStrategyToString(strategy)) + "/n=" +
+                         std::to_string(n);
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [strategy, n](benchmark::State& state) {
+                                     BM_BuildStrategy(state, strategy, n);
+                                   })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
   }
   return true;
 }();

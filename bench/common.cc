@@ -75,16 +75,22 @@ MTree* CachedTree(const Dataset& dataset, const DistanceMetric& metric,
     size_t capacity;
     PromotePolicy promote;
     PartitionPolicy partition;
+    BuildStrategy strategy;
     bool operator<(const Key& other) const {
-      return std::tie(dataset, metric, capacity, promote, partition) <
+      return std::tie(dataset, metric, capacity, promote, partition,
+                      strategy) <
              std::tie(other.dataset, other.metric, other.capacity,
-                      other.promote, other.partition);
+                      other.promote, other.partition, other.strategy);
     }
   };
   static std::map<Key, std::unique_ptr<MTree>> cache;
   static std::mutex mu;
-  Key key{&dataset, &metric, options.node_capacity,
-          options.split_policy.promote, options.split_policy.partition};
+  Key key{&dataset,
+          &metric,
+          options.node_capacity,
+          options.split_policy.promote,
+          options.split_policy.partition,
+          options.build.strategy};
   std::lock_guard<std::mutex> lock(mu);
   auto& slot = cache[key];
   if (slot == nullptr) {
@@ -109,10 +115,13 @@ TreeWithCounts CachedTreeWithCounts(const Dataset& dataset,
     size_t capacity;
     PromotePolicy promote;
     PartitionPolicy partition;
+    BuildStrategy strategy;
     bool operator<(const Key& other) const {
-      return std::tie(dataset, metric, radius, capacity, promote, partition) <
+      return std::tie(dataset, metric, radius, capacity, promote, partition,
+                      strategy) <
              std::tie(other.dataset, other.metric, other.radius,
-                      other.capacity, other.promote, other.partition);
+                      other.capacity, other.promote, other.partition,
+                      other.strategy);
     }
   };
   struct Entry {
@@ -126,7 +135,8 @@ TreeWithCounts CachedTreeWithCounts(const Dataset& dataset,
           radius,
           options.node_capacity,
           options.split_policy.promote,
-          options.split_policy.partition};
+          options.split_policy.partition,
+          options.build.strategy};
   std::lock_guard<std::mutex> lock(mu);
   Entry& entry = cache[key];
   if (entry.tree == nullptr) {
@@ -179,6 +189,23 @@ void TableCollector::PrintAndSaveAll() {
       std::printf("(csv: %s)\n", collector->csv_name_.c_str());
     } else {
       std::fprintf(stderr, "csv write failed: %s\n",
+                   status.ToString().c_str());
+    }
+    // Machine-readable twin of the CSV, so CI can archive the perf
+    // trajectory per PR (see the bench job and BUILDING.md).
+    std::string json_name = collector->csv_name_;
+    const std::string suffix = ".csv";
+    if (json_name.size() >= suffix.size() &&
+        json_name.compare(json_name.size() - suffix.size(), suffix.size(),
+                          suffix) == 0) {
+      json_name.resize(json_name.size() - suffix.size());
+    }
+    json_name += ".json";
+    status = collector->printer_.WriteJson(json_name);
+    if (status.ok()) {
+      std::printf("(json: %s)\n", json_name.c_str());
+    } else {
+      std::fprintf(stderr, "json write failed: %s\n",
                    status.ToString().c_str());
     }
   }

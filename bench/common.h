@@ -74,8 +74,8 @@ TreeWithCounts CachedTreeWithCounts(const Dataset& dataset,
 /// Copies the run's metrics into the benchmark counters.
 void ReportResult(benchmark::State& state, const DiscResult& result);
 
-/// Accumulates paper-style rows; printed + written to CSV at process exit
-/// via PrintAndSaveTables().
+/// Accumulates paper-style rows; printed + written to CSV and a JSON twin
+/// (same stem, .json extension) at process exit via PrintAndSaveAll().
 class TableCollector {
  public:
   /// `csv_name` is the output file written next to the binary.

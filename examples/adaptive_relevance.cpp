@@ -85,12 +85,14 @@ int main() {
     (near ? near_reps : far_reps)++;
   }
   std::printf("\nMulti-radius DisC: %zu representatives\n", multi->size());
-  std::printf("  near the query (<0.3): %zu reps for %zu objects (1 per %.0f)\n",
-              near_reps, near_total,
-              near_reps ? static_cast<double>(near_total) / near_reps : 0.0);
-  std::printf("  far from query (>0.3): %zu reps for %zu objects (1 per %.0f)\n",
-              far_reps, far_total,
-              far_reps ? static_cast<double>(far_total) / far_reps : 0.0);
+  std::printf(
+      "  near the query (<0.3): %zu reps for %zu objects (1 per %.0f)\n",
+      near_reps, near_total,
+      near_reps ? static_cast<double>(near_total) / near_reps : 0.0);
+  std::printf(
+      "  far from query (>0.3): %zu reps for %zu objects (1 per %.0f)\n",
+      far_reps, far_total,
+      far_reps ? static_cast<double>(far_total) / far_reps : 0.0);
   std::printf("  -> relevant regions are represented in finer detail\n");
   return 0;
 }

@@ -9,7 +9,7 @@
 //            [--n=10000] [--dim=2] [--seed=42]
 //            [--metric=euclidean|manhattan|chebyshev|hamming]
 //            [--algorithm=basic|greedy|lazy-grey|lazy-white|greedy-c|fast-c]
-//            [--radius=0.05] [--zoom-to=<r'>]
+//            [--build=insert|bulk] [--radius=0.05] [--zoom-to=<r'>]
 //            [--out=<points.csv>]
 //
 // Examples:
@@ -72,8 +72,10 @@ int main(int argc, char** argv) {
 
   // ---- dataset ----
   const std::string which = FlagOr(flags, "dataset", "clustered");
-  const size_t n = std::strtoull(FlagOr(flags, "n", "10000").c_str(), nullptr, 10);
-  const size_t dim = std::strtoull(FlagOr(flags, "dim", "2").c_str(), nullptr, 10);
+  const size_t n =
+      std::strtoull(FlagOr(flags, "n", "10000").c_str(), nullptr, 10);
+  const size_t dim =
+      std::strtoull(FlagOr(flags, "dim", "2").c_str(), nullptr, 10);
   const uint64_t seed =
       std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
   std::string default_metric = "euclidean";
@@ -109,7 +111,14 @@ int main(int argc, char** argv) {
   if (radius < 0) Fail("radius must be non-negative");
 
   // ---- index ----
-  MTree tree(dataset, *metric);
+  MTreeOptions tree_options;
+  const std::string build = FlagOr(flags, "build", "insert");
+  if (build == "bulk") {
+    tree_options.build.strategy = BuildStrategy::kBulkLoad;
+  } else if (build != "insert") {
+    Fail("unknown build strategy '" + build + "' (want insert or bulk)");
+  }
+  MTree tree(dataset, *metric, tree_options);
   if (Status s = tree.Build(); !s.ok()) Fail(s.ToString());
 
   // ---- algorithm ----
@@ -138,6 +147,7 @@ int main(int argc, char** argv) {
                                " objects, dim " +
                                std::to_string(dataset.dim()) + ")"});
   table.AddRow({"metric", metric->name()});
+  table.AddRow({"index build", build});
   table.AddRow({"algorithm", algo});
   table.AddRow({"radius", FormatDouble(radius, 6)});
   table.AddRow({"solution size", std::to_string(result.size())});
@@ -148,7 +158,8 @@ int main(int argc, char** argv) {
       {"coverage@r", FormatDouble(CoverageFraction(dataset, *metric, radius,
                                                    result.solution),
                                   4)});
-  table.AddRow({"fMin", FormatDouble(FMin(dataset, *metric, result.solution), 5)});
+  table.AddRow(
+      {"fMin", FormatDouble(FMin(dataset, *metric, result.solution), 5)});
   Status valid = algo == "greedy-c" || algo == "fast-c"
                      ? VerifyCovering(dataset, *metric, radius, result.solution)
                      : VerifyDisCDiverse(dataset, *metric, radius,

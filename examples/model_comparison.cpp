@@ -55,7 +55,8 @@ int main(int argc, char** argv) {
                    "mean-rep-dist"});
   auto add = [&](const std::string& name, const std::vector<ObjectId>& set) {
     table.AddRow({name, std::to_string(set.size()),
-                  FormatDouble(CoverageFraction(dataset, metric, radius, set), 4),
+                  FormatDouble(CoverageFraction(dataset, metric, radius, set),
+                               4),
                   FormatDouble(FMin(dataset, metric, set), 4),
                   FormatDouble(FSum(dataset, metric, set), 5),
                   FormatDouble(MeanRepresentationDistance(dataset, metric, set),

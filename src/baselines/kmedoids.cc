@@ -109,8 +109,8 @@ Result<KMedoidsResult> KMedoids(const Dataset& dataset,
   // Final objective.
   double total = 0.0;
   for (ObjectId i = 0; i < n; ++i) {
-    total += metric.Distance(dataset.point(i),
-                             dataset.point(result.medoids[result.assignment[i]]));
+    total += metric.Distance(
+        dataset.point(i), dataset.point(result.medoids[result.assignment[i]]));
   }
   result.mean_distance = total / static_cast<double>(n);
   return result;

@@ -61,8 +61,9 @@ struct GreedyDiscOptions {
   /// Pruned runs require MTree::RecomputeClosestBlackDistances before
   /// zooming (§5.2); unpruned runs keep those distances exact as they go.
   bool pruned = true;
-  /// White-neighborhood sizes computed by MTree::BuildWithNeighborCounts.
-  /// When null, a post-build counting pass runs (and is charged to stats).
+  /// White-neighborhood sizes computed by MTree::BuildWithNeighborCounts
+  /// (either build strategy; the counts are identical for both). When null,
+  /// a post-build counting pass runs (and is charged to stats).
   const std::vector<uint32_t>* initial_counts = nullptr;
 };
 

@@ -54,10 +54,9 @@ Result<std::vector<double>> RelevanceRadii(const std::vector<double>& relevance,
 /// by decreasing relevance (ties toward smaller id). Guarantees: every
 /// object is within r(s) of some selected s; selected objects are pairwise
 /// dissimilar under the min-radius rule.
-Result<std::vector<ObjectId>> MultiRadiusDisc(const Dataset& dataset,
-                                              const DistanceMetric& metric,
-                                              const std::vector<double>& radii,
-                                              const std::vector<double>& relevance);
+Result<std::vector<ObjectId>> MultiRadiusDisc(
+    const Dataset& dataset, const DistanceMetric& metric,
+    const std::vector<double>& radii, const std::vector<double>& relevance);
 
 }  // namespace disc
 

@@ -123,8 +123,9 @@ Dataset MakeCitiesDataset() {
 Result<Dataset> LoadCitiesCsv(const std::string& path) {
   DISC_ASSIGN_OR_RETURN(Dataset dataset, LoadPointsCsv(path));
   if (dataset.dim() != 2) {
-    return Status::InvalidArgument("cities CSV must have exactly 2 columns, got " +
-                                   std::to_string(dataset.dim()));
+    return Status::InvalidArgument(
+        "cities CSV must have exactly 2 columns, got " +
+        std::to_string(dataset.dim()));
   }
   dataset.NormalizeToUnitBox();
   return dataset;

@@ -67,6 +67,77 @@ Status TablePrinter::WriteCsv(const std::string& path) const {
   return writer.status();
 }
 
+namespace {
+
+// Minimal JSON string escaping: quotes, backslashes, and control characters.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendJsonStringArray(const std::vector<std::string>& cells,
+                           std::string* out) {
+  *out += '[';
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) *out += ", ";
+    *out += '"' + JsonEscape(cells[i]) + '"';
+  }
+  *out += ']';
+}
+
+}  // namespace
+
+Status TablePrinter::WriteJson(const std::string& path) const {
+  std::string out = "{\n  \"title\": \"" + JsonEscape(title_) + "\",\n";
+  out += "  \"header\": ";
+  AppendJsonStringArray(header_, &out);
+  out += ",\n  \"rows\": [";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    out += i > 0 ? ",\n    " : "\n    ";
+    AppendJsonStringArray(rows_[i], &out);
+  }
+  out += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(out.data(), 1, out.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != out.size() || !closed) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
 std::string FormatDouble(double value, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*g", digits, value);

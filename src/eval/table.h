@@ -33,6 +33,12 @@ class TablePrinter {
   /// unwritable.
   Status WriteCsv(const std::string& path) const;
 
+  /// Writes the table as a machine-readable JSON object
+  /// {"title": ..., "header": [...], "rows": [[...], ...]} with all cells as
+  /// strings, for perf-trajectory tooling (see BUILDING.md). Returns IOError
+  /// when the path is unwritable.
+  Status WriteJson(const std::string& path) const;
+
   size_t num_rows() const { return rows_.size(); }
 
  private:

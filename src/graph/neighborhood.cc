@@ -36,6 +36,22 @@ NeighborhoodGraph::NeighborhoodGraph(const Dataset& dataset,
   for (auto& list : adjacency_) std::sort(list.begin(), list.end());
 }
 
+NeighborhoodGraph::NeighborhoodGraph(const MTree& tree, double radius)
+    : radius_(radius), adjacency_(tree.size()) {
+  std::vector<Neighbor> found;
+  for (ObjectId i = 0; i < tree.size(); ++i) {
+    found.clear();
+    tree.RangeQueryAround(i, radius, QueryFilter::kAll, /*pruned=*/false,
+                          &found);
+    auto& list = adjacency_[i];
+    list.reserve(found.size());
+    for (const Neighbor& nb : found) list.push_back(nb.id);
+    std::sort(list.begin(), list.end());
+    num_edges_ += list.size();  // every edge seen from both endpoints
+  }
+  num_edges_ /= 2;
+}
+
 void NeighborhoodGraph::BuildBruteForce(const Dataset& dataset,
                                         const DistanceMetric& metric) {
   const size_t n = dataset.size();

@@ -13,6 +13,7 @@
 
 #include "data/dataset.h"
 #include "metric/metric.h"
+#include "mtree/mtree.h"
 
 namespace disc {
 
@@ -25,6 +26,14 @@ class NeighborhoodGraph {
   /// exact O(n^2) scan otherwise; both produce identical graphs.
   NeighborhoodGraph(const Dataset& dataset, const DistanceMetric& metric,
                     double radius);
+
+  /// Builds the graph from a built M-tree with one range query per object —
+  /// the index-backed path for workloads where the grid accelerator does not
+  /// apply (high dimensionality, non-Minkowski metrics). Produces exactly
+  /// the same graph as the direct constructors; cost scales with the tree's
+  /// clustering quality, so bulk-loaded trees (MTree::BulkLoad) pay off
+  /// here. The queries are charged to tree.stats().
+  NeighborhoodGraph(const MTree& tree, double radius);
 
   size_t num_vertices() const { return adjacency_.size(); }
   size_t num_edges() const { return num_edges_; }

@@ -1,0 +1,281 @@
+// Bulk loading: builds the whole M-tree at once instead of inserting objects
+// one at a time, in the style of Ciaccia & Patella's BulkLoading algorithm.
+//
+// Phase 1 clusters the objects into leaf-sized groups by sampled-recursive
+// partitioning: sample k seeds, assign every object to its nearest seed, and
+// recurse into groups still larger than the node capacity. Phase 2 turns the
+// groups into leaves (pivot = group seed, covering radius = farthest member)
+// and then assembles the internal levels bottom-up by clustering the pivots
+// of the level below, so every level satisfies the same covering-radius and
+// parent-distance invariants the insert path maintains (MTree::Validate
+// checks both builds against the identical rules).
+//
+// Compared with insert-at-a-time the bulk path performs no node splits and
+// no per-object root-to-leaf descents, which makes construction cheaper, and
+// the seeded clustering yields tighter balls, which makes downstream range
+// queries cheaper too (measured in bench_ablation_mtree).
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mtree/mtree.h"
+#include "mtree/mtree_internal.h"
+
+namespace disc {
+
+namespace {
+
+// One object assigned to a cluster, with its distance to the cluster seed
+// (reused as the leaf entry's parent_dist, so assignment distances are never
+// recomputed).
+struct Member {
+  ObjectId id;
+  double dist_to_seed;
+};
+
+// A group of at most node_capacity objects clustered around `seed` (which is
+// itself a member, at distance 0).
+struct Cluster {
+  ObjectId seed;
+  std::vector<Member> members;
+};
+
+// Sampled-recursive partitioner. Works on plain object ids, so the same
+// instance clusters dataset objects into leaves and node pivots into
+// internal levels.
+class SeedPartitioner {
+ public:
+  using DistFn = double (*)(const MTree&, ObjectId, ObjectId);
+
+  SeedPartitioner(const MTree& tree, DistFn dist, size_t max_group,
+                  uint64_t* rng)
+      : tree_(tree), dist_(dist), max_group_(max_group), rng_(rng) {}
+
+  std::vector<Cluster> Partition(std::vector<ObjectId> ids) {
+    std::vector<Cluster> out;
+    Recurse(std::move(ids), &out);
+    return out;
+  }
+
+ private:
+  void Recurse(std::vector<ObjectId> ids, std::vector<Cluster>* out) {
+    const size_t n = ids.size();
+    if (n <= max_group_) {
+      EmitChunks(ids, out);
+      return;
+    }
+
+    // Sample k distinct seeds with a partial Fisher-Yates shuffle. k is the
+    // number of max_group_-sized groups the ids would ideally form, but
+    // capped low: assignment costs n*k distances per recursion step, so a
+    // small fanout with one extra recursion level is far cheaper than
+    // matching the final fanout in one step (n*F*log_F(n) vs n*n/cap).
+    constexpr size_t kMaxSeeds = 8;
+    const size_t ideal = (n + max_group_ - 1) / max_group_;
+    const size_t k =
+        std::min({max_group_, kMaxSeeds, std::max<size_t>(2, ideal)});
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + static_cast<size_t>(NextRandom(rng_) % (n - i));
+      std::swap(ids[i], ids[j]);
+    }
+
+    // Assign every id to its nearest seed (ties toward the earlier seed).
+    std::vector<std::vector<Member>> groups(k);
+    for (ObjectId id : ids) {
+      size_t best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (size_t s = 0; s < k; ++s) {
+        double d = dist_(tree_, id, ids[s]);
+        if (d < best_dist) {
+          best_dist = d;
+          best = s;
+        }
+      }
+      groups[best].push_back(Member{id, best_dist});
+    }
+
+    for (size_t s = 0; s < k; ++s) {
+      if (groups[s].empty()) continue;
+      if (groups[s].size() == n) {
+        // Degenerate geometry (e.g. all points coincide): assignment made no
+        // progress, so split positionally instead of spatially.
+        EmitChunks(ids, out);
+        return;
+      }
+      if (groups[s].size() <= max_group_) {
+        out->push_back(Cluster{ids[s], std::move(groups[s])});
+      } else {
+        std::vector<ObjectId> sub;
+        sub.reserve(groups[s].size());
+        for (const Member& m : groups[s]) sub.push_back(m.id);
+        Recurse(std::move(sub), out);
+      }
+    }
+  }
+
+  // Fallback that always makes progress: consecutive runs of at most
+  // max_group_ ids, each seeded by its first element.
+  void EmitChunks(const std::vector<ObjectId>& ids,
+                  std::vector<Cluster>* out) {
+    for (size_t begin = 0; begin < ids.size(); begin += max_group_) {
+      const size_t end = std::min(ids.size(), begin + max_group_);
+      Cluster cluster;
+      cluster.seed = ids[begin];
+      cluster.members.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        cluster.members.push_back(
+            Member{ids[i], dist_(tree_, ids[i], cluster.seed)});
+      }
+      out->push_back(std::move(cluster));
+    }
+  }
+
+  const MTree& tree_;
+  DistFn dist_;
+  size_t max_group_;
+  uint64_t* rng_;
+};
+
+double TreeDistance(const MTree& tree, ObjectId a, ObjectId b) {
+  return tree.Distance(a, b);
+}
+
+}  // namespace
+
+Status MTree::BulkLoad() {
+  DISC_RETURN_NOT_OK(CheckBuildPreconditions());
+  InitObjectState();
+  const size_t n = dataset_.size();
+  const size_t capacity = options_.node_capacity;
+
+  if (n <= capacity) {
+    // Everything fits in one leaf, which doubles as the root (pivot-less,
+    // infinite radius — the same degenerate shape the insert path produces).
+    root_ = std::make_unique<Node>(/*leaf=*/true);
+    first_leaf_ = root_.get();
+    num_nodes_ = 1;
+    ++stats_.node_accesses;
+    root_->objects.reserve(n);
+    for (ObjectId id = 0; id < n; ++id) {
+      root_->objects.push_back(LeafEntry{id, 0.0});
+      leaf_of_[id] = root_.get();
+    }
+    root_->white_count = static_cast<uint32_t>(n);
+    built_ = true;
+    ResetColors();
+    return Status::OK();
+  }
+
+  SeedPartitioner partitioner(*this, &TreeDistance, capacity, &rng_state_);
+
+  // ---- Phase 1: cluster objects into leaf-sized groups ----
+  std::vector<ObjectId> ids(n);
+  for (ObjectId id = 0; id < n; ++id) ids[id] = id;
+  std::vector<Cluster> clusters = partitioner.Partition(std::move(ids));
+
+  // ---- Phase 2a: materialize the leaf level (and the leaf chain) ----
+  std::vector<std::unique_ptr<Node>> level;
+  level.reserve(clusters.size());
+  Node* prev_leaf = nullptr;
+  for (Cluster& cluster : clusters) {
+    auto leaf = std::make_unique<Node>(/*leaf=*/true);
+    ++num_nodes_;
+    ++stats_.node_accesses;  // the new leaf is written
+    leaf->pivot = cluster.seed;
+    double radius = 0.0;
+    leaf->objects.reserve(cluster.members.size());
+    for (const Member& m : cluster.members) {
+      leaf->objects.push_back(LeafEntry{m.id, m.dist_to_seed});
+      leaf_of_[m.id] = leaf.get();
+      radius = std::max(radius, m.dist_to_seed);
+    }
+    leaf->radius = radius;
+    leaf->white_count = static_cast<uint32_t>(cluster.members.size());
+    leaf->prev_leaf = prev_leaf;
+    if (prev_leaf != nullptr) {
+      prev_leaf->next_leaf = leaf.get();
+    } else {
+      first_leaf_ = leaf.get();
+    }
+    prev_leaf = leaf.get();
+    level.push_back(std::move(leaf));
+  }
+
+  // ---- Phase 2b: assemble internal levels bottom-up ----
+  // Each pass clusters the current level's pivots and wraps every cluster in
+  // a parent node whose covering radius bounds its children via the triangle
+  // inequality (parent_dist + child radius).
+  while (level.size() > capacity) {
+    std::unordered_map<ObjectId, size_t> index_of_pivot;
+    index_of_pivot.reserve(level.size());
+    std::vector<ObjectId> pivots;
+    pivots.reserve(level.size());
+    for (size_t i = 0; i < level.size(); ++i) {
+      index_of_pivot.emplace(level[i]->pivot, i);
+      pivots.push_back(level[i]->pivot);
+    }
+
+    std::vector<Cluster> groups = partitioner.Partition(std::move(pivots));
+    if (groups.size() >= level.size()) {
+      // All-singleton clustering (pathological ties) would never converge;
+      // group the nodes positionally instead.
+      groups.clear();
+      for (size_t begin = 0; begin < level.size(); begin += capacity) {
+        const size_t end = std::min(level.size(), begin + capacity);
+        Cluster group;
+        group.seed = level[begin]->pivot;
+        for (size_t i = begin; i < end; ++i) {
+          group.members.push_back(
+              Member{level[i]->pivot, Distance(level[i]->pivot, group.seed)});
+        }
+        groups.push_back(std::move(group));
+      }
+    }
+
+    std::vector<std::unique_ptr<Node>> next_level;
+    next_level.reserve(groups.size());
+    for (Cluster& group : groups) {
+      auto parent = std::make_unique<Node>(/*leaf=*/false);
+      ++num_nodes_;
+      ++stats_.node_accesses;  // the new internal node is written
+      parent->pivot = group.seed;
+      double radius = 0.0;
+      parent->children.reserve(group.members.size());
+      for (const Member& m : group.members) {
+        std::unique_ptr<Node>& child = level[index_of_pivot.at(m.id)];
+        radius = std::max(radius, m.dist_to_seed + child->radius);
+        parent->white_count += child->white_count;
+        child->parent = parent.get();
+        parent->children.push_back(RoutingEntry{
+            child->pivot, child->radius, m.dist_to_seed, std::move(child)});
+      }
+      parent->radius = radius;
+      next_level.push_back(std::move(parent));
+    }
+    level = std::move(next_level);
+  }
+
+  // ---- Phase 2c: the root adopts the surviving top level ----
+  root_ = std::make_unique<Node>(/*leaf=*/false);
+  ++num_nodes_;
+  ++stats_.node_accesses;  // the root is written
+  root_->children.reserve(level.size());
+  for (std::unique_ptr<Node>& child : level) {
+    root_->white_count += child->white_count;
+    child->parent = root_.get();
+    root_->children.push_back(
+        RoutingEntry{child->pivot, child->radius, 0.0, std::move(child)});
+  }
+
+  built_ = true;
+  ResetColors();
+  return Status::OK();
+}
+
+}  // namespace disc

@@ -34,7 +34,20 @@ double MTree::DistanceToPoint(const Point& q, ObjectId b) const {
   return metric_.Distance(q, dataset_.point(b));
 }
 
+const char* BuildStrategyToString(BuildStrategy strategy) {
+  switch (strategy) {
+    case BuildStrategy::kInsertAtATime:
+      return "insert";
+    case BuildStrategy::kBulkLoad:
+      return "bulk";
+  }
+  return "unknown";
+}
+
 Status MTree::Build() {
+  if (options_.build.strategy == BuildStrategy::kBulkLoad) {
+    return BulkLoad();
+  }
   DISC_RETURN_NOT_OK(CheckBuildPreconditions());
   for (ObjectId id = 0; id < dataset_.size(); ++id) {
     Insert(id);
@@ -49,6 +62,14 @@ Status MTree::BuildWithNeighborCounts(double radius,
   DISC_RETURN_NOT_OK(CheckBuildPreconditions());
   if (radius < 0) {
     return Status::InvalidArgument("radius must be non-negative");
+  }
+  if (options_.build.strategy == BuildStrategy::kBulkLoad) {
+    // The bulk loader has no insert loop to fold the counting into; build
+    // first, then count with one range query per object. The counts are
+    // identical to the insert path's (both are exact neighborhood sizes).
+    DISC_RETURN_NOT_OK(BulkLoad());
+    ComputeNeighborCountsPostBuild(radius, counts);
+    return Status::OK();
   }
   counts->assign(dataset_.size(), 0);
   std::vector<Neighbor> found;
@@ -92,9 +113,18 @@ Status MTree::CheckBuildPreconditions() const {
                                    std::to_string(options_.node_capacity));
   }
   if (dataset_.empty()) {
-    return Status::InvalidArgument("cannot build an M-tree over an empty dataset");
+    return Status::InvalidArgument(
+        "cannot build an M-tree over an empty dataset");
   }
   return Status::OK();
+}
+
+void MTree::InitObjectState() {
+  leaf_of_.assign(dataset_.size(), nullptr);
+  colors_.assign(dataset_.size(), Color::kWhite);
+  closest_black_dist_.assign(dataset_.size(),
+                             std::numeric_limits<double>::infinity());
+  total_white_ = dataset_.size();
 }
 
 void MTree::Insert(ObjectId id) {
@@ -103,11 +133,7 @@ void MTree::Insert(ObjectId id) {
     root_ = std::make_unique<Node>(/*leaf=*/true);
     first_leaf_ = root_.get();
     num_nodes_ = 1;
-    leaf_of_.assign(dataset_.size(), nullptr);
-    colors_.assign(dataset_.size(), Color::kWhite);
-    closest_black_dist_.assign(dataset_.size(),
-                               std::numeric_limits<double>::infinity());
-    total_white_ = dataset_.size();
+    InitObjectState();
   }
 
   Node* node = root_.get();
@@ -458,7 +484,13 @@ Status MTree::Validate() const {
   // Uniform leaf depth.
   size_t leaf_depth = height();
 
-  DISC_RETURN_NOT_OK(ValidateNode(root_.get(), 1, leaf_depth));
+  size_t node_count = 0;
+  DISC_RETURN_NOT_OK(ValidateNode(root_.get(), 1, leaf_depth, &node_count));
+  if (node_count != num_nodes_) {
+    return Status::Corruption("node counter records " +
+                              std::to_string(num_nodes_) + " nodes, tree has " +
+                              std::to_string(node_count));
+  }
 
   // Leaf chain covers every object exactly once.
   std::vector<char> seen(dataset_.size(), 0);
@@ -523,8 +555,9 @@ Status MTree::ValidateContainment(const Node* node, ObjectId pivot,
   return Status::OK();
 }
 
-Status MTree::ValidateNode(const Node* node, size_t depth,
-                           size_t leaf_depth) const {
+Status MTree::ValidateNode(const Node* node, size_t depth, size_t leaf_depth,
+                           size_t* node_count) const {
+  ++*node_count;
   const size_t entries = node->size();
   if (node != root_.get() && entries == 0) {
     return Status::Corruption("non-root node is empty");
@@ -582,7 +615,7 @@ Status MTree::ValidateNode(const Node* node, size_t depth,
     // object containment is an invariant.)
     DISC_RETURN_NOT_OK(ValidateContainment(child, entry.pivot, entry.radius));
     white_sum += child->white_count;
-    DISC_RETURN_NOT_OK(ValidateNode(child, depth + 1, leaf_depth));
+    DISC_RETURN_NOT_OK(ValidateNode(child, depth + 1, leaf_depth, node_count));
   }
   if (white_sum != node->white_count) {
     return Status::Corruption("internal white counter out of sync");

@@ -14,6 +14,17 @@
 
 namespace disc {
 
+/// xorshift64: deterministic stream shared by PromotePolicy::kRandom and the
+/// bulk loader's seed sampling. Both consume MTree::rng_state_, so a tree's
+/// shape is a pure function of (dataset, options).
+inline uint64_t NextRandom(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *state = x;
+}
+
 /// Internal-node entry: routes to a child subtree whose objects all lie
 /// within `radius` of `pivot`.
 struct MTree::RoutingEntry {

@@ -18,19 +18,6 @@
 
 namespace disc {
 
-namespace {
-
-// xorshift64: deterministic stream for PromotePolicy::kRandom.
-uint64_t NextRandom(uint64_t* state) {
-  uint64_t x = *state;
-  x ^= x << 13;
-  x ^= x >> 7;
-  x ^= x << 17;
-  return *state = x;
-}
-
-}  // namespace
-
 void MTree::SplitNode(Node* node) {
   const bool is_leaf = node->is_leaf;
   const size_t count = node->size();
@@ -169,7 +156,8 @@ void MTree::SplitNode(Node* node) {
       double pd = to_a[i] ? da[i] : db[i];
       target->objects.push_back(LeafEntry{entries[i].object, pd});
       leaf_of_[entries[i].object] = target;
-      bool white = colors_.empty() || colors_[entries[i].object] == Color::kWhite;
+      bool white =
+          colors_.empty() || colors_[entries[i].object] == Color::kWhite;
       if (white) (to_a[i] ? white_a : white_b)++;
       (to_a[i] ? radius_a : radius_b) =
           std::max(to_a[i] ? radius_a : radius_b, pd);

@@ -26,7 +26,8 @@ enum class StatusCode {
   kUnimplemented,
 };
 
-/// Returns a short human-readable name for a status code, e.g. "InvalidArgument".
+/// Returns a short human-readable name for a status code,
+/// e.g. "InvalidArgument".
 const char* StatusCodeToString(StatusCode code);
 
 /// A lightweight success-or-error value. Cheap to copy on the OK path

@@ -74,6 +74,28 @@ TEST(DiscCliSmokeTest, EveryAlgorithmVariantVerifies) {
   }
 }
 
+TEST(DiscCliSmokeTest, BulkLoadedIndexYieldsSameVerifiedSubset) {
+  const std::string workload = "--dataset=clustered --n=200 --dim=2 --seed=7 "
+                               "--radius=0.1 --algorithm=greedy";
+  CommandResult insert = RunCli(workload + " --build=insert");
+  CommandResult bulk = RunCli(workload + " --build=bulk");
+  ASSERT_EQ(insert.exit_code, 0) << insert.output;
+  ASSERT_EQ(bulk.exit_code, 0) << bulk.output;
+  EXPECT_NE(bulk.output.find("bulk"), std::string::npos) << bulk.output;
+  // Greedy-DisC is deterministic in the neighborhood structure, so the two
+  // index shapes must report identical solution sizes (both verified).
+  EXPECT_EQ(ExtractCount(insert.output, "solution size"),
+            ExtractCount(bulk.output, "solution size"))
+      << bulk.output;
+}
+
+TEST(DiscCliSmokeTest, RejectsUnknownBuildStrategy) {
+  CommandResult r = RunCli("--dataset=uniform --n=50 --build=magic");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("unknown build strategy"), std::string::npos)
+      << r.output;
+}
+
 TEST(DiscCliSmokeTest, ZoomInReportsVerifiedSolution) {
   CommandResult r = RunCli(
       "--dataset=clustered --n=200 --dim=2 --seed=7 --radius=0.1 "
@@ -119,7 +141,8 @@ TEST(DiscCliSmokeTest, WritesSelectionCsv) {
 }
 
 TEST(DiscCliSmokeTest, RejectsUnknownAlgorithm) {
-  CommandResult r = RunCli("--dataset=uniform --n=50 --algorithm=does-not-exist");
+  CommandResult r =
+      RunCli("--dataset=uniform --n=50 --algorithm=does-not-exist");
   EXPECT_NE(r.exit_code, 0);
   EXPECT_NE(r.output.find("unknown algorithm"), std::string::npos) << r.output;
 }

@@ -149,9 +149,10 @@ INSTANTIATE_TEST_SUITE_P(
                                          MetricKind::kChebyshev,
                                          MetricKind::kHamming),
                        ::testing::Values(1u, 2u, 3u, 7u, 10u)),
-    [](const ::testing::TestParamInfo<std::tuple<MetricKind, size_t>>& param_info) {
-      return std::string(MetricKindToString(std::get<0>(param_info.param))) + "_d" +
-             std::to_string(std::get<1>(param_info.param));
+    [](const ::testing::TestParamInfo<std::tuple<MetricKind, size_t>>&
+           param_info) {
+      return std::string(MetricKindToString(std::get<0>(param_info.param))) +
+             "_d" + std::to_string(std::get<1>(param_info.param));
     });
 
 }  // namespace

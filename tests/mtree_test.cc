@@ -146,7 +146,8 @@ TEST_P(MTreePolicyTest, RangeQueriesExactUnderEveryPolicy) {
 
 INSTANTIATE_TEST_SUITE_P(
     Policies, MTreePolicyTest,
-    ::testing::Values(SplitPolicy::MinOverlap(), SplitPolicy::MaxDistanceSplit(),
+    ::testing::Values(SplitPolicy::MinOverlap(),
+                      SplitPolicy::MaxDistanceSplit(),
                       SplitPolicy::BalancedSplit(), SplitPolicy::RandomSplit()),
     [](const ::testing::TestParamInfo<SplitPolicy>& param_info) -> std::string {
       switch (param_info.index) {
