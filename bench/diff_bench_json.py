@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: diff a BENCH_pr.json against the committed baseline.
+
+BENCH_pr.json (produced by the CI bench job, see .github/workflows/ci.yml) is
+a `jq -s` merge of google-benchmark JSON files and the paper-style table JSON
+twins ({"title", "header", "rows"}). This tool extracts the *deterministic*
+metrics from both shapes — node accesses, distance computations, node counts,
+fat factors — and fails when the candidate regressed by more than the
+threshold against the baseline.
+
+Wall-clock metrics (real_time / cpu_time / *_ms columns) are machine
+dependent and excluded by default; pass --check-time to gate them too (only
+meaningful when baseline and candidate ran on comparable hardware).
+
+Exit codes: 0 ok, 1 regression or missing benchmark, 2 usage/input error.
+
+Usage:
+  diff_bench_json.py --baseline bench/baseline/BENCH_baseline.json \
+                     --candidate bench-out/BENCH_pr.json [--threshold 0.15]
+
+Regenerating the baseline after an intentional perf change:
+  run the CI bench job's commands locally (BUILDING.md) and commit the
+  merged JSON as bench/baseline/BENCH_baseline.json.
+"""
+
+import argparse
+import json
+import sys
+
+# google-benchmark bookkeeping fields; everything else numeric on a
+# benchmark entry is a user counter.
+GB_STANDARD_FIELDS = {
+    "name", "run_name", "run_type", "repetitions", "repetition_index",
+    "threads", "iterations", "family_index", "per_family_instance_index",
+    "aggregate_name", "aggregate_unit", "time_unit", "label",
+    "error_occurred", "error_message",
+}
+GB_TIME_FIELDS = {"real_time", "cpu_time"}
+
+
+def is_time_metric(name):
+    return (name in GB_TIME_FIELDS or name.endswith("_ms")
+            or name.endswith("_time") or name == "ms")
+
+
+def parse_float(cell):
+    try:
+        return float(cell)
+    except (TypeError, ValueError):
+        return None
+
+
+def extract_gb(doc, check_time):
+    """{metric_key: value} for one google-benchmark output document."""
+    metrics = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name", "?")
+        for field, value in bench.items():
+            if field in GB_STANDARD_FIELDS:
+                continue
+            if is_time_metric(field) and not check_time:
+                continue
+            if isinstance(value, (int, float)):
+                metrics[f"{name} :: {field}"] = float(value)
+    return metrics
+
+
+def extract_table(doc, check_time):
+    """{metric_key: value} for one {"title","header","rows"} table document.
+
+    Columns whose cells are non-numeric in any row are treated as row labels
+    (so are columns named like workload parameters); the rest are metrics.
+    """
+    title = doc.get("title", "?")
+    header = doc.get("header", [])
+    rows = doc.get("rows", [])
+    if not header or not rows:
+        return {}
+    param_columns = {"n", "dim", "seed", "capacity", "queries", "r", "radius"}
+    label_idx = set()
+    for i, column in enumerate(header):
+        if column.lower() in param_columns:
+            label_idx.add(i)
+            continue
+        for row in rows:
+            if i < len(row) and parse_float(row[i]) is None:
+                label_idx.add(i)
+                break
+    metrics = {}
+    for row in rows:
+        label = "/".join(row[i] for i in sorted(label_idx) if i < len(row))
+        for i, column in enumerate(header):
+            if i in label_idx or i >= len(row):
+                continue
+            if is_time_metric(column) and not check_time:
+                continue
+            value = parse_float(row[i])
+            if value is not None:
+                metrics[f"{title} :: {label} :: {column}"] = value
+    return metrics
+
+
+def extract_all(merged, check_time):
+    docs = merged if isinstance(merged, list) else [merged]
+    metrics = {}
+    for doc in docs:
+        if not isinstance(doc, dict):
+            continue
+        if "benchmarks" in doc:
+            metrics.update(extract_gb(doc, check_time))
+        elif "rows" in doc:
+            metrics.update(extract_table(doc, check_time))
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--candidate", required=True)
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative regression that fails the gate "
+                             "(default 0.15 = +15%%)")
+    parser.add_argument("--check-time", action="store_true",
+                        help="also gate wall-clock metrics (requires "
+                             "comparable hardware)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = extract_all(json.load(f), args.check_time)
+        with open(args.candidate) as f:
+            candidate = extract_all(json.load(f), args.check_time)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"error: no comparable metrics in {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    regressions, missing, improvements, compared = [], [], [], 0
+    for key, base in sorted(baseline.items()):
+        if key not in candidate:
+            missing.append(key)
+            continue
+        compared += 1
+        new = candidate[key]
+        if base == 0:
+            if new > 0:
+                regressions.append((key, base, new, float("inf")))
+            continue
+        delta = (new - base) / abs(base)
+        if delta > args.threshold:
+            regressions.append((key, base, new, delta))
+        elif delta < -args.threshold:
+            improvements.append((key, base, new, delta))
+
+    print(f"compared {compared} metrics "
+          f"(threshold +{args.threshold * 100:.0f}%)")
+    for key, base, new, delta in improvements:
+        print(f"  improved : {key}: {base:g} -> {new:g} ({delta * 100:+.1f}%)")
+    for key in missing:
+        print(f"  MISSING  : {key} (renamed or removed? regenerate the "
+              f"baseline, see --help)")
+    for key, base, new, delta in regressions:
+        print(f"  REGRESSED: {key}: {base:g} -> {new:g} ({delta * 100:+.1f}%)")
+
+    if regressions or missing:
+        print("FAIL: perf gate")
+        return 1
+    print("OK: no regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,33 +1,40 @@
 // §8 (future work) scenario: integrating relevance with DisC diversity.
 //
 // Simulates a query whose results carry relevance scores (distance to a
-// query point) and demonstrates both §8 proposals implemented in this
-// library:
+// query point) and demonstrates both §8 proposals through the DiscEngine
+// façade:
 //   1. Weighted DisC — valid DisC subsets biased toward relevant objects.
 //   2. Multi-radius DisC — relevant objects get a smaller radius, so the
 //      area near the query is represented in finer detail.
 
 #include <cmath>
 #include <cstdio>
+#include <utility>
+#include <vector>
 
-#include "core/weighted.h"
-#include "data/generators.h"
+#include "engine/engine.h"
 #include "eval/table.h"
-#include "graph/properties.h"
-#include "metric/metric.h"
 
 int main() {
   using namespace disc;
 
-  Dataset dataset = MakeClusteredDataset(1500, 2, /*seed=*/99);
-  EuclideanMetric metric;
+  EngineConfig config;
+  config.dataset = DatasetSpec::Clustered(1500, 2, /*seed=*/99);
+  auto engine_or = DiscEngine::Create(std::move(config));
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "engine creation failed: %s\n",
+                 engine_or.status().ToString().c_str());
+    return 1;
+  }
+  DiscEngine& engine = **engine_or;
+  const Dataset& dataset = engine.dataset();
 
   // Relevance: decays with distance from an imaginary query point.
   const Point query{0.3, 0.6};
   std::vector<double> relevance(dataset.size());
   std::vector<double> weights(dataset.size());
   for (ObjectId i = 0; i < dataset.size(); ++i) {
-    double d = metric.Distance(dataset.point(i), query);
+    double d = engine.metric().Distance(dataset.point(i), query);
     relevance[i] = std::exp(-3.0 * d);
     weights[i] = 0.05 + relevance[i];
   }
@@ -35,13 +42,19 @@ int main() {
   const double radius = 0.08;
 
   // --- 1. Weighted DisC ---------------------------------------------------
-  auto plain = GreedyWeightedDisc(dataset, metric, radius,
-                                  std::vector<double>(dataset.size(), 1.0),
-                                  WeightedObjective::kMaxWeight);
-  auto max_weight = GreedyWeightedDisc(dataset, metric, radius, weights,
-                                       WeightedObjective::kMaxWeight);
-  auto balanced = GreedyWeightedDisc(dataset, metric, radius, weights,
-                                     WeightedObjective::kWeightTimesCoverage);
+  WeightedRequest plain_request;
+  plain_request.radius = radius;
+  plain_request.weights.assign(dataset.size(), 1.0);
+  plain_request.objective = WeightedObjective::kMaxWeight;
+  plain_request.compute_quality = true;
+  WeightedRequest max_weight_request = plain_request;
+  max_weight_request.weights = weights;
+  WeightedRequest balanced_request = max_weight_request;
+  balanced_request.objective = WeightedObjective::kWeightTimesCoverage;
+
+  auto plain = engine.WeightedDiversify(plain_request);
+  auto max_weight = engine.WeightedDiversify(max_weight_request);
+  auto balanced = engine.WeightedDiversify(balanced_request);
   if (!plain.ok() || !max_weight.ok() || !balanced.ok()) {
     std::fprintf(stderr, "weighted DisC failed\n");
     return 1;
@@ -49,13 +62,14 @@ int main() {
   TablePrinter table("Weighted DisC at r=" + FormatDouble(radius, 3));
   table.SetHeader(
       {"variant", "size", "total-relevance", "relevance/object", "valid"});
-  auto add = [&](const char* name, const std::vector<ObjectId>& set) {
-    double total = TotalWeight(set, relevance);
-    table.AddRow({name, std::to_string(set.size()), FormatDouble(total, 5),
-                  FormatDouble(set.empty() ? 0.0 : total / set.size(), 4),
-                  VerifyDisCDiverse(dataset, metric, radius, set).ok()
-                      ? "yes"
-                      : "NO"});
+  auto add = [&](const char* name, const DiversifyResponse& response) {
+    double total = 0.0;
+    for (ObjectId id : response.solution) total += relevance[id];
+    table.AddRow(
+        {name, std::to_string(response.size()), FormatDouble(total, 5),
+         FormatDouble(
+             response.solution.empty() ? 0.0 : total / response.size(), 4),
+         response.quality->verification.ok() ? "yes" : "NO"});
   };
   add("uniform weights", *plain);
   add("max-weight", *max_weight);
@@ -63,12 +77,11 @@ int main() {
   table.Print();
 
   // --- 2. Multi-radius DisC -----------------------------------------------
-  auto radii = RelevanceRadii(relevance, 0.04, 0.16);
-  if (!radii.ok()) {
-    std::fprintf(stderr, "%s\n", radii.status().ToString().c_str());
-    return 1;
-  }
-  auto multi = MultiRadiusDisc(dataset, metric, *radii, relevance);
+  MultiRadiusRequest multi_request;
+  multi_request.r_min = 0.04;
+  multi_request.r_max = 0.16;
+  multi_request.relevance = relevance;
+  auto multi = engine.MultiRadiusDiversify(multi_request);
   if (!multi.ok()) {
     std::fprintf(stderr, "%s\n", multi.status().ToString().c_str());
     return 1;
@@ -77,11 +90,11 @@ int main() {
   // Representation density near vs far from the query.
   size_t near_reps = 0, far_reps = 0, near_total = 0, far_total = 0;
   for (ObjectId i = 0; i < dataset.size(); ++i) {
-    bool near = metric.Distance(dataset.point(i), query) < 0.3;
+    bool near = engine.metric().Distance(dataset.point(i), query) < 0.3;
     (near ? near_total : far_total)++;
   }
-  for (ObjectId s : *multi) {
-    bool near = metric.Distance(dataset.point(s), query) < 0.3;
+  for (ObjectId s : multi->solution) {
+    bool near = engine.metric().Distance(dataset.point(s), query) < 0.3;
     (near ? near_reps : far_reps)++;
   }
   std::printf("\nMulti-radius DisC: %zu representatives\n", multi->size());

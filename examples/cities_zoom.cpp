@@ -1,9 +1,12 @@
-// Figure 1 scenario: interactive exploration of a geographic dataset.
+// Figure 1 scenario: interactive exploration of a geographic dataset,
+// driven as one DiscEngine session.
 //
 // Computes an initial DisC diverse "map" of the (synthetic) Greek cities
 // dataset, then demonstrates the three adaptive operations of §3:
 // zooming-in (finer map), zooming-out (coarser map), and local zooming
-// around one selected city. Each step writes a CSV (x, y, selected) so the
+// around one selected city. Returning to the initial view between panels is
+// a cache hit — the engine restores the stored solution state instead of
+// re-running the algorithm. Each step writes a CSV (x, y, selected) so the
 // four panels of Figure 1 can be re-plotted from the output files.
 //
 // Usage: cities_zoom [output_dir]   (default output dir: current directory)
@@ -11,21 +14,18 @@
 #include <cstdio>
 #include <string>
 
-#include "core/disc_algorithms.h"
-#include "core/zoom.h"
-#include "data/cities.h"
+#include "data/dataset.h"
+#include "engine/engine.h"
 #include "eval/quality.h"
-#include "graph/properties.h"
-#include "metric/metric.h"
-#include "mtree/mtree.h"
 
 namespace {
 
-void Report(const char* panel, const disc::DiscResult& result,
+void Report(const char* panel, const disc::DiversifyResponse& result,
             const disc::Dataset& dataset, const std::string& csv_path) {
-  std::printf("%-28s %5zu cities shown  (%llu node accesses)\n", panel,
+  std::printf("%-28s %5zu cities shown  (%llu node accesses%s)\n", panel,
               result.size(),
-              static_cast<unsigned long long>(result.stats.node_accesses));
+              static_cast<unsigned long long>(result.stats.node_accesses),
+              result.from_cache ? ", cached" : "");
   disc::Status s = disc::SavePointsCsv(csv_path, dataset, &result.solution);
   if (!s.ok()) {
     std::fprintf(stderr, "  warning: %s\n", s.ToString().c_str());
@@ -40,49 +40,85 @@ int main(int argc, char** argv) {
   using namespace disc;
   const std::string out_dir = argc > 1 ? argv[1] : ".";
 
-  Dataset cities = MakeCitiesDataset();
-  EuclideanMetric metric;
-  MTree tree(cities, metric);
-  if (Status s = tree.Build(); !s.ok()) {
-    std::fprintf(stderr, "M-tree build failed: %s\n", s.ToString().c_str());
+  EngineConfig config;
+  config.dataset = DatasetSpec::Cities();
+  auto engine_or = DiscEngine::Create(std::move(config));
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "engine creation failed: %s\n",
+                 engine_or.status().ToString().c_str());
     return 1;
   }
+  DiscEngine& engine = **engine_or;
+  const Dataset& cities = engine.dataset();
 
   // Panel (a): initial diverse map at r = 0.02.
-  const double r = 0.02;
-  DiscResult initial = GreedyDisc(&tree, r, {});
-  Report("(a) initial r=0.02", initial, cities,
+  DiversifyRequest initial_request;
+  initial_request.radius = 0.02;
+  initial_request.compute_quality = true;
+  auto initial = engine.Diversify(initial_request);
+  if (!initial.ok()) {
+    std::fprintf(stderr, "%s\n", initial.status().ToString().c_str());
+    return 1;
+  }
+  Report("(a) initial r=0.02", *initial, cities,
          out_dir + "/fig1a_initial.csv");
-  tree.RecomputeClosestBlackDistances(r);
 
   // Panel (b): zooming-in to r = 0.01 — all previous cities remain.
-  DiscResult zoom_in = ZoomIn(&tree, 0.01, /*greedy=*/true);
-  Report("(b) zoom-in r=0.01", zoom_in, cities, out_dir + "/fig1b_in.csv");
-  std::printf("  kept all %zu initial cities: %s\n", initial.size(),
-              JaccardDistance(initial.solution, zoom_in.solution) < 1.0
+  ZoomRequest zoom_in_request;
+  zoom_in_request.radius = 0.01;
+  zoom_in_request.compute_quality = true;
+  auto zoom_in = engine.Zoom(zoom_in_request);
+  if (!zoom_in.ok()) {
+    std::fprintf(stderr, "%s\n", zoom_in.status().ToString().c_str());
+    return 1;
+  }
+  Report("(b) zoom-in r=0.01", *zoom_in, cities, out_dir + "/fig1b_in.csv");
+  std::printf("  kept all %zu initial cities: %s\n", initial->size(),
+              JaccardDistance(initial->solution, zoom_in->solution) < 1.0
                   ? "yes (superset)"
                   : "no");
 
-  // Panel (c): zooming-out to r = 0.04 from the initial view. Rebuild the
-  // initial state first (the tree currently holds the zoomed-in coloring).
-  DiscResult again = GreedyDisc(&tree, r, {});
-  (void)again;
-  DiscResult zoom_out = ZoomOut(&tree, 0.04, ZoomOutVariant::kGreedyMostRed);
-  Report("(c) zoom-out r=0.04", zoom_out, cities, out_dir + "/fig1c_out.csv");
+  // Panel (c): zooming-out to r = 0.04 from the initial view. Re-requesting
+  // the initial view is a cache hit that restores its solution state.
+  auto again = engine.Diversify(initial_request);
+  if (!again.ok()) {
+    std::fprintf(stderr, "%s\n", again.status().ToString().c_str());
+    return 1;
+  }
+  ZoomRequest zoom_out_request;
+  zoom_out_request.radius = 0.04;
+  zoom_out_request.compute_quality = true;
+  auto zoom_out = engine.Zoom(zoom_out_request);
+  if (!zoom_out.ok()) {
+    std::fprintf(stderr, "%s\n", zoom_out.status().ToString().c_str());
+    return 1;
+  }
+  Report("(c) zoom-out r=0.04", *zoom_out, cities, out_dir + "/fig1c_out.csv");
 
-  // Panel (d): local zoom-in around the first selected city.
-  DiscResult base = GreedyDisc(&tree, r, {});
-  tree.RecomputeClosestBlackDistances(r);
-  ObjectId focus = base.solution.front();
-  DiscResult local = LocalZoom(&tree, focus, r, 0.005, /*greedy=*/true);
+  // Panel (d): local zoom-in around the first selected city, again from the
+  // cached initial view.
+  auto base = engine.Diversify(initial_request);
+  if (!base.ok()) {
+    std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
+    return 1;
+  }
+  ObjectId focus = base->solution.front();
+  ZoomRequest local_request;
+  local_request.radius = 0.005;
+  local_request.center = focus;
+  auto local = engine.Zoom(local_request);
+  if (!local.ok()) {
+    std::fprintf(stderr, "%s\n", local.status().ToString().c_str());
+    return 1;
+  }
   std::printf("(d) local zoom-in around city %u (%.3f, %.3f)\n", focus,
               cities.point(focus)[0], cities.point(focus)[1]);
-  Report("    local r'=0.005", local, cities, out_dir + "/fig1d_local.csv");
+  Report("    local r'=0.005", *local, cities, out_dir + "/fig1d_local.csv");
 
-  // All four maps must satisfy their DisC guarantees.
-  Status a = VerifyDisCDiverse(cities, metric, r, base.solution);
-  Status b = VerifyDisCDiverse(cities, metric, 0.01, zoom_in.solution);
-  Status c = VerifyDisCDiverse(cities, metric, 0.04, zoom_out.solution);
+  // All three single-radius maps must satisfy their DisC guarantees.
+  Status a = base->quality->verification;
+  Status b = zoom_in->quality->verification;
+  Status c = zoom_out->quality->verification;
   std::printf("verification: (a) %s  (b) %s  (c) %s\n", a.ToString().c_str(),
               b.ToString().c_str(), c.ToString().c_str());
   return (a.ok() && b.ok() && c.ok()) ? 0 : 1;

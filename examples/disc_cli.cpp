@@ -1,16 +1,17 @@
 // disc_cli — command-line driver for the library.
 //
-// Diversifies a built-in or user-supplied dataset and reports the solution
-// with quality metrics and index cost, optionally zooming to a second
-// radius and writing plottable CSVs.
+// A thin translator from flags to DiscEngine requests: every flag maps onto
+// an EngineConfig field or a DiversifyRequest/ZoomRequest field, and all
+// index and algorithm work happens inside the engine.
 //
 // Usage:
 //   disc_cli [--dataset=uniform|clustered|cities|cameras|csv:<path>]
 //            [--n=10000] [--dim=2] [--seed=42]
 //            [--metric=euclidean|manhattan|chebyshev|hamming]
-//            [--algorithm=basic|greedy|lazy-grey|lazy-white|greedy-c|fast-c]
+//            [--algorithm=basic|greedy|greedy-white|lazy-grey|lazy-white|
+//                         greedy-c|fast-c]
 //            [--build=insert|bulk] [--radius=0.05] [--zoom-to=<r'>]
-//            [--out=<points.csv>]
+//            [--out=<points.csv>] [--help]
 //
 // Examples:
 //   disc_cli --dataset=cities --radius=0.01 --zoom-to=0.005
@@ -19,37 +20,55 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 
-#include "core/disc_algorithms.h"
-#include "core/zoom.h"
-#include "data/cameras.h"
-#include "data/cities.h"
-#include "data/generators.h"
+#include "data/dataset.h"
+#include "engine/engine.h"
 #include "eval/quality.h"
 #include "eval/table.h"
-#include "graph/properties.h"
-#include "metric/metric.h"
-#include "mtree/mtree.h"
 
 namespace {
 
 using namespace disc;
+
+constexpr const char* kUsage =
+    "usage: disc_cli [--dataset=uniform|clustered|cities|cameras|csv:<path>]\n"
+    "                [--n=<count>] [--dim=<dims>] [--seed=<seed>]\n"
+    "                [--metric=euclidean|manhattan|chebyshev|hamming]\n"
+    "                [--algorithm=basic|greedy|greedy-white|lazy-grey|"
+    "lazy-white|greedy-c|fast-c]\n"
+    "                [--build=insert|bulk] [--radius=<r>] [--zoom-to=<r'>]\n"
+    "                [--out=<points.csv>] [--help]\n";
+
+// The full flag vocabulary; anything else is rejected with the usage text.
+bool IsKnownFlag(const std::string& key) {
+  for (const char* flag : {"dataset", "n", "dim", "seed", "metric",
+                           "algorithm", "build", "radius", "zoom-to", "out",
+                           "help"}) {
+    if (key == flag) return true;
+  }
+  return false;
+}
 
 std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
   std::map<std::string, std::string> flags;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::fprintf(stderr, "unexpected argument: %s\n%s", arg.c_str(),
+                   kUsage);
       std::exit(2);
     }
     size_t eq = arg.find('=');
-    if (eq == std::string::npos) {
-      flags[arg.substr(2)] = "true";
-    } else {
-      flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    std::string key =
+        eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+    if (!IsKnownFlag(key)) {
+      std::fprintf(stderr, "unknown flag '--%s'\n%s", key.c_str(), kUsage);
+      std::exit(2);
     }
+    flags[key] = eq == std::string::npos ? "true" : arg.substr(eq + 1);
   }
   return flags;
 }
@@ -69,8 +88,12 @@ std::string FlagOr(const std::map<std::string, std::string>& flags,
 
 int main(int argc, char** argv) {
   auto flags = ParseFlags(argc, argv);
+  if (flags.count("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
 
-  // ---- dataset ----
+  // ---- flags -> EngineConfig ----
   const std::string which = FlagOr(flags, "dataset", "clustered");
   const size_t n =
       std::strtoull(FlagOr(flags, "n", "10000").c_str(), nullptr, 10);
@@ -78,123 +101,101 @@ int main(int argc, char** argv) {
       std::strtoull(FlagOr(flags, "dim", "2").c_str(), nullptr, 10);
   const uint64_t seed =
       std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
-  std::string default_metric = "euclidean";
-  std::string default_radius = "0.05";
 
-  Dataset dataset;
-  if (which == "uniform") {
-    dataset = MakeUniformDataset(n, dim, seed);
-  } else if (which == "clustered") {
-    dataset = MakeClusteredDataset(n, dim, seed);
-  } else if (which == "cities") {
-    dataset = MakeCitiesDataset();
-    default_radius = "0.01";
-  } else if (which == "cameras") {
-    dataset = MakeCamerasDataset();
-    default_metric = "hamming";
-    default_radius = "3";
-  } else if (which.rfind("csv:", 0) == 0) {
-    auto loaded = LoadPointsCsv(which.substr(4));
-    if (!loaded.ok()) Fail(loaded.status().ToString());
-    dataset = std::move(loaded).value();
-  } else {
-    Fail("unknown dataset '" + which + "'");
-  }
-  if (dataset.empty()) Fail("dataset is empty");
+  EngineConfig config;
+  auto spec = ParseDatasetSpec(which, n, dim, seed);
+  if (!spec.ok()) Fail(spec.status().ToString());
+  config.dataset = std::move(spec).value();
+  const DatasetSpec::Source source = config.dataset.source;
 
-  // ---- metric & radius ----
-  auto metric_kind = ParseMetricKind(FlagOr(flags, "metric", default_metric));
+  auto metric_kind = ParseMetricKind(
+      FlagOr(flags, "metric", MetricKindToString(DefaultMetricFor(source))));
   if (!metric_kind.ok()) Fail(metric_kind.status().ToString());
-  auto metric = MakeMetric(*metric_kind);
-  const double radius =
-      std::strtod(FlagOr(flags, "radius", default_radius).c_str(), nullptr);
-  if (radius < 0) Fail("radius must be non-negative");
+  config.metric = *metric_kind;
 
-  // ---- index ----
-  MTreeOptions tree_options;
   const std::string build = FlagOr(flags, "build", "insert");
   if (build == "bulk") {
-    tree_options.build.strategy = BuildStrategy::kBulkLoad;
+    config.tree.build.strategy = BuildStrategy::kBulkLoad;
   } else if (build != "insert") {
     Fail("unknown build strategy '" + build + "' (want insert or bulk)");
   }
-  MTree tree(dataset, *metric, tree_options);
-  if (Status s = tree.Build(); !s.ok()) Fail(s.ToString());
 
-  // ---- algorithm ----
-  const std::string algo = FlagOr(flags, "algorithm", "greedy");
-  DiscResult result;
-  if (algo == "basic") {
-    result = BasicDisc(&tree, radius, true);
-  } else if (algo == "greedy" || algo == "lazy-grey" || algo == "lazy-white") {
-    GreedyDiscOptions options;
-    options.variant = algo == "greedy"      ? GreedyVariant::kGrey
-                      : algo == "lazy-grey" ? GreedyVariant::kLazyGrey
-                                            : GreedyVariant::kLazyWhite;
-    result = GreedyDisc(&tree, radius, options);
-  } else if (algo == "greedy-c") {
-    result = GreedyC(&tree, radius);
-  } else if (algo == "fast-c") {
-    result = FastC(&tree, radius);
-  } else {
-    Fail("unknown algorithm '" + algo + "'");
-  }
+  // ---- engine ----
+  auto engine_or = DiscEngine::Create(std::move(config));
+  if (!engine_or.ok()) Fail(engine_or.status().ToString());
+  DiscEngine& engine = **engine_or;
+
+  // ---- flags -> DiversifyRequest ----
+  DiversifyRequest request;
+  auto algorithm =
+      ParseAlgorithm(FlagOr(flags, "algorithm", "greedy"));
+  if (!algorithm.ok()) Fail(algorithm.status().ToString());
+  request.algorithm = *algorithm;
+  request.radius = flags.count("radius")
+                       ? std::strtod(flags["radius"].c_str(), nullptr)
+                       : DefaultRadiusFor(source);
+  if (request.radius < 0) Fail("radius must be non-negative");
+  request.compute_quality = true;
+
+  auto response_or = engine.Diversify(request);
+  if (!response_or.ok()) Fail(response_or.status().ToString());
+  DiversifyResponse response = std::move(response_or).value();
 
   // ---- report ----
+  const Dataset& dataset = engine.dataset();
   TablePrinter table("DisC diversification result");
   table.SetHeader({"property", "value"});
   table.AddRow({"dataset", which + " (" + std::to_string(dataset.size()) +
                                " objects, dim " +
                                std::to_string(dataset.dim()) + ")"});
-  table.AddRow({"metric", metric->name()});
+  table.AddRow({"metric", engine.metric().name()});
   table.AddRow({"index build", build});
-  table.AddRow({"algorithm", algo});
-  table.AddRow({"radius", FormatDouble(radius, 6)});
-  table.AddRow({"solution size", std::to_string(result.size())});
-  table.AddRow({"node accesses", std::to_string(result.stats.node_accesses)});
-  table.AddRow({"range queries", std::to_string(result.stats.range_queries)});
-  table.AddRow({"wall ms", FormatDouble(result.wall_ms, 4)});
+  table.AddRow({"algorithm", AlgorithmToString(request.algorithm)});
+  table.AddRow({"radius", FormatDouble(request.radius, 6)});
+  table.AddRow({"solution size", std::to_string(response.size())});
   table.AddRow(
-      {"coverage@r", FormatDouble(CoverageFraction(dataset, *metric, radius,
-                                                   result.solution),
-                                  4)});
+      {"node accesses", std::to_string(response.stats.node_accesses)});
   table.AddRow(
-      {"fMin", FormatDouble(FMin(dataset, *metric, result.solution), 5)});
-  Status valid = algo == "greedy-c" || algo == "fast-c"
-                     ? VerifyCovering(dataset, *metric, radius, result.solution)
-                     : VerifyDisCDiverse(dataset, *metric, radius,
-                                         result.solution);
+      {"range queries", std::to_string(response.stats.range_queries)});
+  table.AddRow({"wall ms", FormatDouble(response.wall_ms, 4)});
+  const QualityMetrics& quality = *response.quality;
+  table.AddRow({"coverage@r", FormatDouble(quality.coverage, 4)});
+  table.AddRow({"fMin", FormatDouble(quality.f_min, 5)});
+  Status valid = quality.verification;
   table.AddRow({"verified", valid.ok() ? "OK" : valid.ToString()});
   table.Print();
 
   // ---- optional zoom ----
-  if (flags.count("zoom-to")) {
-    double r_new = std::strtod(flags["zoom-to"].c_str(), nullptr);
-    if (algo == "greedy-c" || algo == "fast-c") {
-      Fail("--zoom-to requires a DisC algorithm (basic/greedy/...)");
-    }
-    tree.RecomputeClosestBlackDistances(radius);
-    DiscResult zoomed =
-        r_new < radius ? ZoomIn(&tree, r_new, true)
-                       : ZoomOut(&tree, r_new, ZoomOutVariant::kGreedyMostRed);
-    double jd = JaccardDistance(result.solution, zoomed.solution);
-    TablePrinter zoom_table("After zooming to r' = " + FormatDouble(r_new, 6));
+  const double zoom_to = flags.count("zoom-to")
+                             ? std::strtod(flags["zoom-to"].c_str(), nullptr)
+                             : request.radius;
+  if (flags.count("zoom-to") && zoom_to == request.radius) {
+    std::printf("zoom-to equals the current radius; nothing to adapt\n");
+  } else if (flags.count("zoom-to")) {
+    ZoomRequest zoom;
+    zoom.radius = zoom_to;
+    zoom.compute_quality = true;
+    auto zoomed_or = engine.Zoom(zoom);
+    if (!zoomed_or.ok()) Fail(zoomed_or.status().ToString());
+    DiversifyResponse zoomed = std::move(zoomed_or).value();
+    double jd = JaccardDistance(response.solution, zoomed.solution);
+    TablePrinter zoom_table("After zooming to r' = " +
+                            FormatDouble(zoom.radius, 6));
     zoom_table.SetHeader({"property", "value"});
     zoom_table.AddRow({"solution size", std::to_string(zoomed.size())});
     zoom_table.AddRow(
         {"node accesses", std::to_string(zoomed.stats.node_accesses)});
     zoom_table.AddRow({"jaccard distance to previous", FormatDouble(jd, 4)});
-    Status zoom_valid =
-        VerifyDisCDiverse(dataset, *metric, r_new, zoomed.solution);
+    Status zoom_valid = zoomed.quality->verification;
     zoom_table.AddRow(
         {"verified", zoom_valid.ok() ? "OK" : zoom_valid.ToString()});
     zoom_table.Print();
-    result = std::move(zoomed);
+    response = std::move(zoomed);
   }
 
   // ---- optional CSV of points + selection markers ----
   if (flags.count("out")) {
-    Status s = SavePointsCsv(flags["out"], dataset, &result.solution);
+    Status s = SavePointsCsv(flags["out"], dataset, &response.solution);
     if (!s.ok()) Fail(s.ToString());
     std::printf("wrote %s (x0..x%zu, selected)\n", flags["out"].c_str(),
                 dataset.dim() - 1);

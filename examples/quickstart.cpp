@@ -1,65 +1,81 @@
-// Quickstart: the minimal end-to-end DisC diversity workflow.
+// Quickstart: the minimal end-to-end DisC diversity workflow, driven
+// entirely through the DiscEngine façade.
 //
-//   1. Obtain a query result set P (here: a synthetic clustered dataset).
-//   2. Index it with an M-tree.
-//   3. Compute an r-DisC diverse subset with Greedy-DisC.
-//   4. Verify the Definition-1 guarantees and inspect the cost counters.
-//   5. Zoom in for a finer view and zoom out for a coarser one.
+//   1. Describe the session: dataset source, metric, index strategy.
+//   2. Create the engine (loads the data and builds the M-tree once).
+//   3. Diversify at radius r; the response carries the solution, the index
+//      cost, and the Definition-1 verification.
+//   4. Zoom in for a finer view and back out for a coarser one — the engine
+//      adapts the existing solution instead of recomputing from scratch.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/quickstart
 
 #include <cstdio>
 
-#include "core/disc_algorithms.h"
-#include "core/zoom.h"
-#include "data/generators.h"
-#include "graph/properties.h"
-#include "metric/metric.h"
-#include "mtree/mtree.h"
+#include "engine/engine.h"
 
 int main() {
   using namespace disc;
 
-  // 1. A query result: 5000 clustered points in [0,1]^2.
-  Dataset dataset = MakeClusteredDataset(5000, 2, /*seed=*/2024);
-  EuclideanMetric metric;
-
-  // 2. Index it. The M-tree drives all neighbor computations and counts
-  //    node accesses, the paper's cost metric.
-  MTree tree(dataset, metric);
-  if (Status s = tree.Build(); !s.ok()) {
-    std::fprintf(stderr, "building M-tree failed: %s\n", s.ToString().c_str());
+  // 1-2. A query result: 5000 clustered points in [0,1]^2, indexed once.
+  EngineConfig config;
+  config.dataset = DatasetSpec::Clustered(5000, 2, /*seed=*/2024);
+  auto engine_or = DiscEngine::Create(std::move(config));
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "engine creation failed: %s\n",
+                 engine_or.status().ToString().c_str());
     return 1;
   }
+  DiscEngine& engine = **engine_or;
 
   // 3. Diversify at radius r: every object will have a representative within
   //    r, and representatives are pairwise farther than r apart.
   const double r = 0.05;
-  DiscResult result = GreedyDisc(&tree, r, {});
+  DiversifyRequest request;
+  request.radius = r;
+  request.compute_quality = true;
+  auto result = engine.Diversify(request);
+  if (!result.ok()) {
+    std::fprintf(stderr, "diversify failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
   std::printf("Greedy-DisC at r=%.2f selected %zu of %zu objects\n", r,
-              result.size(), dataset.size());
+              result->size(), engine.dataset().size());
   std::printf("  cost: %llu node accesses, %llu range queries, %.1f ms\n",
-              static_cast<unsigned long long>(result.stats.node_accesses),
-              static_cast<unsigned long long>(result.stats.range_queries),
-              result.wall_ms);
-
-  // 4. Verify the DisC guarantees (coverage + dissimilarity).
-  Status valid = VerifyDisCDiverse(dataset, metric, r, result.solution);
+              static_cast<unsigned long long>(result->stats.node_accesses),
+              static_cast<unsigned long long>(result->stats.range_queries),
+              result->wall_ms);
+  Status valid = result->quality->verification;
   std::printf("  verification: %s\n", valid.ToString().c_str());
 
-  // 5a. Zoom in: more, finer-grained representatives; the ones already shown
-  //     to the user are all kept (S^r ⊆ S^r').
-  tree.RecomputeClosestBlackDistances(r);
-  DiscResult finer = ZoomIn(&tree, r / 2, /*greedy=*/true);
+  // 4a. Zoom in: more, finer-grained representatives; the ones already shown
+  //     to the user are all kept (S^r ⊆ S^r'). The engine recomputes the
+  //     closest-black distances the pruned run left stale (§5.2) on its own.
+  ZoomRequest finer;
+  finer.radius = r / 2;
+  auto zoom_in = engine.Zoom(finer);
+  if (!zoom_in.ok()) {
+    std::fprintf(stderr, "zoom-in failed: %s\n",
+                 zoom_in.status().ToString().c_str());
+    return 1;
+  }
   std::printf("Zoom-in  to r=%.3f: %zu objects (%llu node accesses)\n", r / 2,
-              finer.size(),
-              static_cast<unsigned long long>(finer.stats.node_accesses));
+              zoom_in->size(),
+              static_cast<unsigned long long>(zoom_in->stats.node_accesses));
 
-  // 5b. Zoom out: fewer, more dissimilar representatives.
-  DiscResult coarser = ZoomOut(&tree, r, ZoomOutVariant::kGreedyMostRed);
+  // 4b. Zoom out: fewer, more dissimilar representatives.
+  ZoomRequest coarser;
+  coarser.radius = r;
+  auto zoom_out = engine.Zoom(coarser);
+  if (!zoom_out.ok()) {
+    std::fprintf(stderr, "zoom-out failed: %s\n",
+                 zoom_out.status().ToString().c_str());
+    return 1;
+  }
   std::printf("Zoom-out to r=%.3f: %zu objects (%llu node accesses)\n", r,
-              coarser.size(),
-              static_cast<unsigned long long>(coarser.stats.node_accesses));
+              zoom_out->size(),
+              static_cast<unsigned long long>(zoom_out->stats.node_accesses));
 
   return valid.ok() ? 0 : 1;
 }

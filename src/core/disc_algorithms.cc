@@ -3,11 +3,13 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/internal.h"
 #include "util/indexed_heap.h"
+#include "util/status.h"
 
 namespace disc {
 
@@ -23,6 +25,81 @@ const char* GreedyVariantToString(GreedyVariant variant) {
       return "lazy-white";
   }
   return "unknown";
+}
+
+const char* AlgorithmToString(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBasic:
+      return "basic";
+    case Algorithm::kGreedy:
+      return "greedy";
+    case Algorithm::kGreedyWhite:
+      return "greedy-white";
+    case Algorithm::kLazyGrey:
+      return "lazy-grey";
+    case Algorithm::kLazyWhite:
+      return "lazy-white";
+    case Algorithm::kGreedyC:
+      return "greedy-c";
+    case Algorithm::kFastC:
+      return "fast-c";
+  }
+  return "unknown";
+}
+
+Result<Algorithm> ParseAlgorithm(const std::string& name) {
+  for (Algorithm algorithm :
+       {Algorithm::kBasic, Algorithm::kGreedy, Algorithm::kGreedyWhite,
+        Algorithm::kLazyGrey, Algorithm::kLazyWhite, Algorithm::kGreedyC,
+        Algorithm::kFastC}) {
+    if (name == AlgorithmToString(algorithm)) return algorithm;
+  }
+  return Status::InvalidArgument(
+      "unknown algorithm '" + name +
+      "' (want basic|greedy|greedy-white|lazy-grey|lazy-white|greedy-c|"
+      "fast-c)");
+}
+
+bool IsDiscFamily(Algorithm algorithm) {
+  return algorithm != Algorithm::kGreedyC && algorithm != Algorithm::kFastC;
+}
+
+bool AlgorithmUsesNeighborCounts(Algorithm algorithm) {
+  return algorithm != Algorithm::kBasic;
+}
+
+namespace {
+
+DiscResult RunGreedy(MTree* tree, double radius, GreedyVariant variant,
+                     const AlgorithmRunOptions& options) {
+  GreedyDiscOptions greedy;
+  greedy.variant = variant;
+  greedy.pruned = options.pruned;
+  greedy.initial_counts = options.initial_counts;
+  return GreedyDisc(tree, radius, greedy);
+}
+
+}  // namespace
+
+DiscResult RunAlgorithm(MTree* tree, Algorithm algorithm, double radius,
+                        const AlgorithmRunOptions& options) {
+  switch (algorithm) {
+    case Algorithm::kBasic:
+      return BasicDisc(tree, radius, options.pruned);
+    case Algorithm::kGreedy:
+      return RunGreedy(tree, radius, GreedyVariant::kGrey, options);
+    case Algorithm::kGreedyWhite:
+      return RunGreedy(tree, radius, GreedyVariant::kWhite, options);
+    case Algorithm::kLazyGrey:
+      return RunGreedy(tree, radius, GreedyVariant::kLazyGrey, options);
+    case Algorithm::kLazyWhite:
+      return RunGreedy(tree, radius, GreedyVariant::kLazyWhite, options);
+    case Algorithm::kGreedyC:
+      return GreedyC(tree, radius, options.initial_counts);
+    case Algorithm::kFastC:
+      return FastC(tree, radius, options.initial_counts);
+  }
+  return DiscResult{};
 }
 
 DiscResult BasicDisc(MTree* tree, double radius, bool pruned) {

@@ -27,9 +27,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mtree/mtree.h"
+#include "util/status.h"
 
 namespace disc {
 
@@ -43,6 +45,36 @@ enum class GreedyVariant {
 
 /// "grey" / "white" / "lazy-grey" / "lazy-white".
 const char* GreedyVariantToString(GreedyVariant variant);
+
+/// Every diversification algorithm the library implements, as a single
+/// dispatchable identity (the greedy variants of §5.1 are distinct values so
+/// a (algorithm, radius) pair fully determines a run's output).
+enum class Algorithm {
+  kBasic,        // Basic-DisC
+  kGreedy,       // Greedy-DisC, Grey variant
+  kGreedyWhite,  // Greedy-DisC, White variant
+  kLazyGrey,     // Greedy-DisC, Lazy-Grey variant
+  kLazyWhite,    // Greedy-DisC, Lazy-White variant
+  kGreedyC,      // Greedy-C (covering only)
+  kFastC,        // Fast-C (covering only, approximate maintenance)
+};
+
+/// "basic" / "greedy" / "greedy-white" / "lazy-grey" / "lazy-white" /
+/// "greedy-c" / "fast-c".
+const char* AlgorithmToString(Algorithm algorithm);
+
+/// Parses the names AlgorithmToString produces. Returns InvalidArgument with
+/// an "unknown algorithm" message otherwise.
+Result<Algorithm> ParseAlgorithm(const std::string& name);
+
+/// True for the algorithms whose output is an r-DisC diverse (independent
+/// and covering) subset — the precondition for the zooming operations of
+/// core/zoom.h. False for the covering-only Greedy-C / Fast-C.
+bool IsDiscFamily(Algorithm algorithm);
+
+/// True when a run of `algorithm` consumes precomputed white-neighborhood
+/// counts (every algorithm except Basic-DisC).
+bool AlgorithmUsesNeighborCounts(Algorithm algorithm);
 
 /// The output of a diversification run: the selected objects in selection
 /// order plus the index work the run consumed.
@@ -86,6 +118,19 @@ DiscResult GreedyC(MTree* tree, double radius,
 /// lazy candidate re-validation instead of exact count maintenance.
 DiscResult FastC(MTree* tree, double radius,
                  const std::vector<uint32_t>* initial_counts = nullptr);
+
+/// Options for RunAlgorithm, the knobs shared by every algorithm. `pruned`
+/// is ignored by Greedy-C / Fast-C (they are never pruned; see GreedyC).
+struct AlgorithmRunOptions {
+  bool pruned = true;
+  const std::vector<uint32_t>* initial_counts = nullptr;
+};
+
+/// Runs any Algorithm against the tree — the single dispatch point used by
+/// the engine layer (and available to benches/tools that select algorithms
+/// by name).
+DiscResult RunAlgorithm(MTree* tree, Algorithm algorithm, double radius,
+                        const AlgorithmRunOptions& options = {});
 
 }  // namespace disc
 

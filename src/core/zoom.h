@@ -7,11 +7,22 @@
 // This preserves most of the previously-seen result (low Jaccard distance,
 // Figures 13/16) at a fraction of the node accesses (Figures 12/15).
 //
-// Precondition for every operation here: the tree's colors encode a valid
-// r-DisC solution for the *old* radius, and closest-black distances are
-// exact for it. Runs that used the pruning rule must first call
+// Precondition for the operations that *read* closest-black distances
+// (ZoomIn, and LocalZoom when it zooms in): the tree's colors encode a
+// valid r-DisC solution for the *old* radius, and closest-black distances
+// are exact for it. Runs that used the pruning rule must first call
 // MTree::RecomputeClosestBlackDistances(old_radius) (§5.2); unpruned runs
-// and the zoom operations themselves maintain exact distances as they go.
+// keep those distances exact as they go. ZoomOut rebuilds the distances
+// from scratch and does not read them.
+//
+// What each operation leaves behind: the non-greedy passes (plain Zoom-In,
+// ZoomOutVariant::kArbitrary) query every neighbor of every selected object
+// and so leave exact distances. The greedy passes use white-only queries,
+// so already-grey objects keep their distance to some *earlier* black — an
+// upper bound that is sufficient for the current radius but stale for a
+// further zoom-in. Chaining a zoom-in after a greedy pass therefore
+// requires RecomputeClosestBlackDistances again; the engine layer
+// (engine/engine.h) tracks this automatically.
 
 #ifndef DISC_CORE_ZOOM_H_
 #define DISC_CORE_ZOOM_H_

@@ -1,0 +1,79 @@
+#include "engine/config.h"
+
+#include <string>
+#include <utility>
+
+#include "data/cameras.h"
+#include "data/cities.h"
+#include "data/generators.h"
+
+namespace disc {
+
+const char* DatasetSourceToString(DatasetSpec::Source source) {
+  switch (source) {
+    case DatasetSpec::Source::kUniform:
+      return "uniform";
+    case DatasetSpec::Source::kClustered:
+      return "clustered";
+    case DatasetSpec::Source::kCities:
+      return "cities";
+    case DatasetSpec::Source::kCameras:
+      return "cameras";
+    case DatasetSpec::Source::kCsv:
+      return "csv";
+    case DatasetSpec::Source::kProvided:
+      return "provided";
+  }
+  return "unknown";
+}
+
+Result<DatasetSpec> ParseDatasetSpec(const std::string& text, size_t n,
+                                     size_t dim, uint64_t seed) {
+  if (text == "uniform") return DatasetSpec::Uniform(n, dim, seed);
+  if (text == "clustered") return DatasetSpec::Clustered(n, dim, seed);
+  if (text == "cities") return DatasetSpec::Cities();
+  if (text == "cameras") return DatasetSpec::Cameras();
+  if (text.rfind("csv:", 0) == 0) return DatasetSpec::Csv(text.substr(4));
+  return Status::InvalidArgument(
+      "unknown dataset '" + text +
+      "' (want uniform|clustered|cities|cameras|csv:<path>)");
+}
+
+MetricKind DefaultMetricFor(DatasetSpec::Source source) {
+  return source == DatasetSpec::Source::kCameras ? MetricKind::kHamming
+                                                 : MetricKind::kEuclidean;
+}
+
+double DefaultRadiusFor(DatasetSpec::Source source) {
+  switch (source) {
+    case DatasetSpec::Source::kCities:
+      return 0.01;
+    case DatasetSpec::Source::kCameras:
+      return 3.0;
+    default:
+      return 0.05;
+  }
+}
+
+Result<Dataset> ResolveDataset(DatasetSpec spec) {
+  switch (spec.source) {
+    case DatasetSpec::Source::kUniform:
+      return MakeUniformDataset(spec.n, spec.dim, spec.seed);
+    case DatasetSpec::Source::kClustered:
+      return MakeClusteredDataset(spec.n, spec.dim, spec.seed);
+    case DatasetSpec::Source::kCities:
+      return MakeCitiesDataset();
+    case DatasetSpec::Source::kCameras:
+      return MakeCamerasDataset();
+    case DatasetSpec::Source::kCsv:
+      return LoadPointsCsv(spec.csv_path);
+    case DatasetSpec::Source::kProvided:
+      if (spec.provided.empty()) {
+        return Status::InvalidArgument("provided dataset is empty");
+      }
+      return std::move(spec.provided);
+  }
+  return Status::InvalidArgument("unknown dataset source");
+}
+
+}  // namespace disc

@@ -1,0 +1,337 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/quality.h"
+#include "graph/properties.h"
+#include "util/stopwatch.h"
+
+namespace disc {
+
+namespace {
+
+/// Cached solutions per engine. Each entry snapshots the per-object colors
+/// and closest-black distances (~9 bytes per object), so the bound keeps a
+/// session's working set small while covering the common explore loop
+/// (a handful of radii revisited repeatedly).
+constexpr size_t kMaxCachedSolutions = 8;
+
+}  // namespace
+
+DiscEngine::DiscEngine(Dataset dataset, std::unique_ptr<DistanceMetric> metric,
+                       MTreeOptions tree_options)
+    : dataset_(std::move(dataset)), metric_(std::move(metric)) {
+  tree_ = std::make_unique<MTree>(dataset_, *metric_, tree_options);
+}
+
+Result<std::unique_ptr<DiscEngine>> DiscEngine::Create(EngineConfig config) {
+  DISC_ASSIGN_OR_RETURN(Dataset dataset,
+                        ResolveDataset(std::move(config.dataset)));
+  std::unique_ptr<DiscEngine> engine(new DiscEngine(
+      std::move(dataset), MakeMetric(config.metric), config.tree));
+  DISC_RETURN_NOT_OK(engine->tree_->Build());
+  return engine;
+}
+
+Status DiscEngine::ValidateRadius(double radius) {
+  if (!std::isfinite(radius) || radius < 0) {
+    return Status::InvalidArgument("radius must be finite and non-negative");
+  }
+  return Status::OK();
+}
+
+bool DiscEngine::EffectivePruned(const DiversifyRequest& request) {
+  // Greedy-C / Fast-C never use the pruning rule (grey subtrees must stay
+  // reachable); normalizing here keeps the cache key canonical.
+  return IsDiscFamily(request.algorithm) ? request.pruned : false;
+}
+
+DiscEngine::CacheEntry* DiscEngine::FindCached(const CacheKey& key) {
+  for (CacheEntry& entry : cache_) {
+    if (entry.key == key) return &entry;
+  }
+  return nullptr;
+}
+
+void DiscEngine::SetSession(const CacheKey& key, size_t solution_size,
+                            bool distances_exact) {
+  session_.has_solution = true;
+  session_.zoomable = IsDiscFamily(key.algorithm);
+  session_.zoom_blocker =
+      session_.zoomable
+          ? ""
+          : std::string(AlgorithmToString(key.algorithm)) +
+                " produces a covering-only (r-C diverse) solution; zooming "
+                "requires an r-DisC solution (basic/greedy family)";
+  session_.algorithm = key.algorithm;
+  session_.radius = key.radius;
+  session_.solution_size = solution_size;
+  session_.distances_exact = distances_exact;
+  session_.cache_key_valid = true;
+  session_.cache_key = key;
+}
+
+void DiscEngine::InsertCache(CacheEntry entry) {
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (it->key == entry.key) {
+      cache_.erase(it);
+      break;
+    }
+  }
+  cache_.push_back(std::move(entry));
+  if (cache_.size() > kMaxCachedSolutions) cache_.pop_front();
+}
+
+const std::vector<uint32_t>& DiscEngine::CountsForRadius(double radius) {
+  auto it = counts_cache_.find(radius);
+  if (it == counts_cache_.end()) {
+    std::vector<uint32_t> counts;
+    tree_->ComputeNeighborCountsPostBuild(radius, &counts);
+    it = counts_cache_.emplace(radius, std::move(counts)).first;
+  }
+  return it->second;
+}
+
+QualityMetrics DiscEngine::ComputeQuality(
+    const std::vector<ObjectId>& solution, double radius,
+    bool covering_only) const {
+  QualityMetrics quality;
+  quality.f_min = FMin(dataset_, *metric_, solution);
+  quality.coverage = CoverageFraction(dataset_, *metric_, radius, solution);
+  quality.verification =
+      covering_only ? VerifyCovering(dataset_, *metric_, radius, solution)
+                    : VerifyDisCDiverse(dataset_, *metric_, radius, solution);
+  return quality;
+}
+
+Result<DiversifyResponse> DiscEngine::Diversify(
+    const DiversifyRequest& request) {
+  DISC_RETURN_NOT_OK(ValidateRadius(request.radius));
+  const bool disc_family = IsDiscFamily(request.algorithm);
+  const CacheKey key{request.algorithm, request.radius,
+                     EffectivePruned(request)};
+
+  if (CacheEntry* entry = FindCached(key)) {
+    Stopwatch watch;
+    DISC_RETURN_NOT_OK(tree_->RestoreColorState(entry->state));
+    if (request.compute_quality && !entry->response.quality.has_value()) {
+      entry->response.quality =
+          ComputeQuality(entry->response.solution, request.radius,
+                         /*covering_only=*/!disc_family);
+    }
+    SetSession(key, entry->response.solution.size(), entry->distances_exact);
+    DiversifyResponse response = entry->response;
+    response.from_cache = true;
+    response.stats = AccessStats{};
+    response.wall_ms = watch.ElapsedMillis();
+    if (!request.compute_quality) response.quality.reset();
+    return response;
+  }
+
+  Stopwatch watch;
+  const AccessStats before = tree_->stats();
+  AlgorithmRunOptions run_options;
+  run_options.pruned = key.pruned;
+  if (AlgorithmUsesNeighborCounts(request.algorithm)) {
+    run_options.initial_counts = &CountsForRadius(request.radius);
+  }
+  DiscResult run =
+      RunAlgorithm(tree_.get(), request.algorithm, request.radius,
+                   run_options);
+
+  DiversifyResponse response;
+  response.solution = std::move(run.solution);
+  response.stats = tree_->stats() - before;
+  response.wall_ms = watch.ElapsedMillis();
+  response.radius = request.radius;
+  if (request.compute_quality) {
+    response.quality = ComputeQuality(response.solution, request.radius,
+                                      /*covering_only=*/!disc_family);
+  }
+
+  // Unpruned DisC runs visit every neighbor of every selected object, so
+  // the closest-black distances they record are already exact (§5.2).
+  const bool distances_exact = disc_family && !key.pruned;
+  SetSession(key, response.solution.size(), distances_exact);
+  CacheEntry entry;
+  entry.key = key;
+  entry.response = response;
+  entry.state = tree_->SaveColorState();
+  entry.distances_exact = distances_exact;
+  InsertCache(std::move(entry));
+  return response;
+}
+
+Result<DiversifyResponse> DiscEngine::Zoom(const ZoomRequest& request) {
+  if (!session_.has_solution) {
+    return Status::FailedPrecondition(
+        "Zoom requires a prior successful Diversify: the tree colors do not "
+        "encode a solution yet");
+  }
+  if (!session_.zoomable) {
+    return Status::FailedPrecondition("cannot zoom: " + session_.zoom_blocker);
+  }
+  if (!std::isfinite(request.radius) || request.radius <= 0) {
+    return Status::InvalidArgument("zoom radius must be finite and positive");
+  }
+  const bool local = request.center.has_value();
+  if (local && *request.center >= dataset_.size()) {
+    return Status::InvalidArgument(
+        "local-zoom center " + std::to_string(*request.center) +
+        " is out of range (dataset has " + std::to_string(dataset_.size()) +
+        " objects)");
+  }
+  if (request.radius == session_.radius) {
+    return Status::InvalidArgument(
+        "new radius equals the current session radius " +
+        std::to_string(session_.radius) + "; nothing to adapt");
+  }
+
+  Stopwatch watch;
+  const AccessStats before = tree_->stats();
+  // Only zooming in reads closest-black distances (§5.2); zooming out
+  // rebuilds them from scratch. Stale distances come from pruned Diversify
+  // runs and from the greedy zoom passes (see core/zoom.h).
+  const bool reads_distances = request.radius < session_.radius;
+  if (reads_distances && !session_.distances_exact) {
+    if (request.distances == DistancePolicy::kRequireExact) {
+      return Status::FailedPrecondition(
+          "closest-black distances are stale (the current solution came "
+          "from a pruned run or a greedy zoom pass) and zooming in reads "
+          "them; use DistancePolicy::kAuto or rerun Diversify with "
+          "pruned=false");
+    }
+    tree_->RecomputeClosestBlackDistances(session_.radius);
+    session_.distances_exact = true;
+    // The tree still holds exactly the cached Diversify state (no zoom has
+    // mutated it yet), so bank the recomputed distances: later restores of
+    // this entry zoom in for free instead of repaying the recomputation.
+    if (session_.cache_key_valid) {
+      if (CacheEntry* entry = FindCached(session_.cache_key)) {
+        entry->state = tree_->SaveColorState();
+        entry->distances_exact = true;
+      }
+    }
+  }
+
+  DiscResult run;
+  if (local) {
+    run = LocalZoom(tree_.get(), *request.center, session_.radius,
+                    request.radius, request.greedy);
+  } else if (request.radius < session_.radius) {
+    run = ZoomIn(tree_.get(), request.radius, request.greedy);
+  } else {
+    run = ZoomOut(tree_.get(), request.radius, request.zoom_out_variant);
+  }
+
+  DiversifyResponse response;
+  response.solution = std::move(run.solution);
+  response.stats = tree_->stats() - before;
+  response.wall_ms = watch.ElapsedMillis();
+  response.radius = request.radius;
+  if (local) response.radius = std::max(session_.radius, request.radius);
+  if (request.compute_quality) {
+    // Local zooms leave a mixed-radius solution: the region holds its
+    // guarantees at the new radius, the complement at the old one, so only
+    // coverage at the larger radius is verifiable globally.
+    response.quality = ComputeQuality(response.solution, response.radius,
+                                      /*covering_only=*/local);
+  }
+
+  session_.solution_size = response.solution.size();
+  session_.cache_key_valid = false;  // the zoom mutated the tree state
+  if (local) {
+    session_.zoomable = false;
+    session_.zoom_blocker =
+        "a local zoom left a mixed-radius solution; run Diversify to start "
+        "a new adaptation chain";
+  } else {
+    // The non-greedy passes leave exact closest-black distances; the
+    // greedy ones leave upper bounds that a later zoom-in must not trust
+    // (core/zoom.h). `reads_distances` still holds the zoom direction.
+    const bool greedy_pass =
+        reads_distances
+            ? request.greedy
+            : request.zoom_out_variant != ZoomOutVariant::kArbitrary;
+    session_.radius = request.radius;
+    session_.distances_exact = !greedy_pass;
+  }
+  return response;
+}
+
+Result<DiversifyResponse> DiscEngine::WeightedDiversify(
+    const WeightedRequest& request) {
+  Stopwatch watch;
+  DISC_ASSIGN_OR_RETURN(
+      std::vector<ObjectId> solution,
+      GreedyWeightedDisc(dataset_, *metric_, request.radius, request.weights,
+                         request.objective));
+  DiversifyResponse response;
+  response.solution = std::move(solution);
+  response.wall_ms = watch.ElapsedMillis();
+  response.radius = request.radius;
+  if (request.compute_quality) {
+    response.quality = ComputeQuality(response.solution, request.radius,
+                                      /*covering_only=*/false);
+  }
+  return response;
+}
+
+Result<DiversifyResponse> DiscEngine::MultiRadiusDiversify(
+    const MultiRadiusRequest& request) {
+  Stopwatch watch;
+  DISC_ASSIGN_OR_RETURN(
+      std::vector<double> radii,
+      RelevanceRadii(request.relevance, request.r_min, request.r_max));
+  DISC_ASSIGN_OR_RETURN(
+      std::vector<ObjectId> solution,
+      MultiRadiusDisc(dataset_, *metric_, radii, request.relevance));
+  DiversifyResponse response;
+  response.solution = std::move(solution);
+  response.wall_ms = watch.ElapsedMillis();
+  response.radius = request.r_max;
+  if (request.compute_quality) {
+    // Every object is covered within its own radius <= r_max; independence
+    // follows the min-radius rule, which a single-radius verifier cannot
+    // express, so only coverage is checked.
+    response.quality = ComputeQuality(response.solution, request.r_max,
+                                      /*covering_only=*/true);
+  }
+  return response;
+}
+
+EngineSnapshot DiscEngine::Snapshot() const {
+  EngineSnapshot snapshot;
+  snapshot.dataset_size = dataset_.size();
+  snapshot.dim = dataset_.dim();
+  snapshot.metric = metric_->kind();
+  snapshot.build_strategy = tree_->options().build.strategy;
+  snapshot.tree_nodes = tree_->num_nodes();
+  snapshot.tree_height = tree_->height();
+  snapshot.has_solution = session_.has_solution;
+  snapshot.zoomable = session_.zoomable;
+  snapshot.zoom_blocker = session_.zoom_blocker;
+  snapshot.algorithm = session_.algorithm;
+  snapshot.radius = session_.radius;
+  snapshot.solution_size = session_.solution_size;
+  snapshot.distances_exact = session_.distances_exact;
+  snapshot.cached_solutions = cache_.size();
+  snapshot.cached_count_radii = counts_cache_.size();
+  snapshot.lifetime_stats = tree_->stats();
+  return snapshot;
+}
+
+void DiscEngine::Reset() {
+  tree_->ResetColors();
+  session_ = SessionState{};
+  cache_.clear();
+}
+
+}  // namespace disc

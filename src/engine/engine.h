@@ -1,0 +1,288 @@
+// DiscEngine: the session-oriented façade over the whole library.
+//
+// Every consumer used to hand-assemble the same pipeline — load a dataset,
+// pick a metric, build an MTree, run an algorithm, then issue zoom calls
+// whose correctness silently depended on the colors / closest-black state
+// the previous run left in the tree (§5.2). The engine owns that state
+// machine end to end: construct one from an EngineConfig, then issue
+// Diversify and Zoom requests against it.
+//
+//   auto engine = DiscEngine::Create(config);         // dataset + index
+//   auto result = (*engine)->Diversify(request);      // colors now valid
+//   auto finer  = (*engine)->Zoom(zoom_request);      // adapts, no rebuild
+//
+// What the engine tracks between calls:
+//  * which solution (algorithm, radius) the tree colors currently encode,
+//  * whether closest-black distances are exact for it (§5.2: pruned runs
+//    and greedy zoom passes leave them stale; a zoom-in recomputes on
+//    demand or fails, per request),
+//  * a bounded cache of recent solutions keyed by (algorithm, radius,
+//    pruned) — a repeated Diversify restores the cached colors and returns
+//    with zero additional node accesses,
+//  * white-neighborhood counts per radius, shared across algorithms.
+//
+// Misuse that used to be undefined behavior at the core layer (zooming with
+// no solution, zooming a covering-only Greedy-C/Fast-C result, zooming on
+// stale distances) is surfaced here as Status::FailedPrecondition.
+//
+// The engine is single-threaded by design: one engine == one session. A
+// server shards sessions across engines (one per loaded dataset).
+
+#ifndef DISC_ENGINE_ENGINE_H_
+#define DISC_ENGINE_ENGINE_H_
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/disc_algorithms.h"
+#include "core/weighted.h"
+#include "core/zoom.h"
+#include "data/dataset.h"
+#include "engine/config.h"
+#include "metric/metric.h"
+#include "mtree/mtree.h"
+#include "util/status.h"
+
+namespace disc {
+
+/// Solution-quality numbers computed on demand (request.compute_quality),
+/// directly from the dataset — they cost distance computations but no index
+/// accesses.
+struct QualityMetrics {
+  /// Minimum pairwise distance within the solution (+inf below 2 members).
+  double f_min = 0.0;
+  /// Fraction of objects within the verification radius of the solution.
+  double coverage = 0.0;
+  /// Definition-1 verification: OK, or a description of the violation.
+  /// DisC-family solutions verify independence + coverage; covering-only
+  /// solutions (Greedy-C / Fast-C, multi-radius) verify coverage; local
+  /// zooms verify coverage at the larger of the two radii (the region and
+  /// its complement hold guarantees at different radii).
+  Status verification;
+};
+
+/// A diversification request: which algorithm at which radius.
+struct DiversifyRequest {
+  Algorithm algorithm = Algorithm::kGreedy;
+  double radius = 0.0;
+  /// The §5.1 pruning rule (skip subtrees with no white objects). Cheaper,
+  /// but leaves closest-black distances stale — a later Zoom recomputes
+  /// them (see ZoomRequest::distances). Ignored by Greedy-C / Fast-C.
+  bool pruned = true;
+  /// Attach QualityMetrics to the response.
+  bool compute_quality = false;
+};
+
+/// What Zoom may do about stale closest-black distances (§5.2) left behind
+/// by a pruned run or a greedy zoom pass. Only zooming in reads them;
+/// zooming out rebuilds them and ignores this policy.
+enum class DistancePolicy {
+  /// Recompute them first when needed (charged to the response's stats).
+  kAuto,
+  /// Fail with FailedPrecondition instead of paying the recomputation.
+  kRequireExact,
+};
+
+/// An adaptive-radius request against the current solution. The direction
+/// is inferred: radius below the session radius zooms in, above zooms out.
+/// Setting `center` switches to local zooming (§3): only the center's
+/// old-radius neighborhood is re-diversified, the rest of the solution is
+/// kept — after which the session holds a mixed-radius solution and further
+/// zooming requires a fresh Diversify.
+struct ZoomRequest {
+  double radius = 0.0;
+  /// Greedy candidate selection (Greedy-Zoom-In / greedy second pass).
+  bool greedy = true;
+  /// First-pass selection order for zooming out.
+  ZoomOutVariant zoom_out_variant = ZoomOutVariant::kGreedyMostRed;
+  /// Local zooming around this object when set.
+  std::optional<ObjectId> center;
+  DistancePolicy distances = DistancePolicy::kAuto;
+  bool compute_quality = false;
+};
+
+/// Weighted DisC (§8): a valid r-DisC subset biased toward heavy objects.
+/// Runs on the dataset directly and leaves the session state untouched.
+struct WeightedRequest {
+  double radius = 0.0;
+  /// One strictly positive weight per object.
+  std::vector<double> weights;
+  WeightedObjective objective = WeightedObjective::kWeightTimesCoverage;
+  bool compute_quality = false;
+};
+
+/// Multi-radius DisC (§8): relevance shrinks an object's radius so relevant
+/// regions are represented more densely. Leaves the session state untouched.
+struct MultiRadiusRequest {
+  double r_min = 0.0;
+  double r_max = 0.0;
+  /// One relevance in [0, 1] per object; 1 maps to r_min, 0 to r_max.
+  std::vector<double> relevance;
+  bool compute_quality = false;
+};
+
+/// What every request returns: the solution plus the work it cost. The
+/// fields callers previously reassembled by hand from DiscResult, the tree's
+/// stats counters, and eval/quality.h.
+struct DiversifyResponse {
+  /// Selected objects in selection order.
+  std::vector<ObjectId> solution;
+  /// Index work this request consumed (zero on cache hits).
+  AccessStats stats;
+  double wall_ms = 0.0;
+  /// The radius the solution is valid at (r_max for multi-radius).
+  double radius = 0.0;
+  /// True when the solution came from the session cache; the tree state was
+  /// restored from the cached snapshot, so zooming continues to work.
+  bool from_cache = false;
+  std::optional<QualityMetrics> quality;
+
+  size_t size() const { return solution.size(); }
+};
+
+/// A point-in-time description of the engine's session state.
+struct EngineSnapshot {
+  size_t dataset_size = 0;
+  size_t dim = 0;
+  MetricKind metric = MetricKind::kEuclidean;
+  BuildStrategy build_strategy = BuildStrategy::kInsertAtATime;
+  size_t tree_nodes = 0;
+  size_t tree_height = 0;
+  /// Tree colors encode a solution (i.e. some Diversify succeeded).
+  bool has_solution = false;
+  /// That solution can be zoomed (DisC family, not mixed-radius).
+  bool zoomable = false;
+  /// Why not, when has_solution && !zoomable.
+  std::string zoom_blocker;
+  Algorithm algorithm = Algorithm::kGreedy;
+  double radius = 0.0;
+  size_t solution_size = 0;
+  /// Closest-black distances are exact for the current solution (§5.2).
+  bool distances_exact = false;
+  size_t cached_solutions = 0;
+  size_t cached_count_radii = 0;
+  /// Index work consumed since construction (across all requests).
+  AccessStats lifetime_stats;
+};
+
+/// The library façade. Owns dataset, metric, index, and session state; see
+/// the file comment. Create once, issue requests, Reset() to start over
+/// without rebuilding the index.
+class DiscEngine {
+ public:
+  /// Resolves the dataset, constructs the metric, and builds the index.
+  /// Fails with the dataset loader's error or the tree's build error.
+  static Result<std::unique_ptr<DiscEngine>> Create(EngineConfig config);
+
+  DiscEngine(const DiscEngine&) = delete;
+  DiscEngine& operator=(const DiscEngine&) = delete;
+
+  /// Runs the requested algorithm, or restores the cached solution when an
+  /// identical request (algorithm, radius, pruned) was served before and
+  /// returns it with zero additional node accesses. On success the session
+  /// state encodes this solution and Zoom may follow.
+  Result<DiversifyResponse> Diversify(const DiversifyRequest& request);
+
+  /// Adapts the current solution to a new radius (§3, §5.2) without
+  /// recomputing from scratch. FailedPrecondition when no Diversify
+  /// succeeded yet, when the current solution is covering-only
+  /// (Greedy-C / Fast-C) or mixed-radius (after a local zoom), or when
+  /// distances are stale and the request forbids recomputation.
+  /// InvalidArgument when the radius is not positive or equals the session
+  /// radius (nothing to adapt, local or global), or the local-zoom center
+  /// is out of range.
+  Result<DiversifyResponse> Zoom(const ZoomRequest& request);
+
+  /// Weighted DisC (§8). Stateless: the session and cache are untouched.
+  Result<DiversifyResponse> WeightedDiversify(const WeightedRequest& request);
+
+  /// Multi-radius DisC (§8). Stateless like WeightedDiversify.
+  Result<DiversifyResponse> MultiRadiusDiversify(
+      const MultiRadiusRequest& request);
+
+  /// Describes the current session state (cheap; no index work).
+  EngineSnapshot Snapshot() const;
+
+  /// Forgets the session: resets colors, drops the solution cache. The
+  /// index and the per-radius neighborhood counts (color-independent) are
+  /// kept, so the engine is immediately ready for the next session.
+  void Reset();
+
+  const Dataset& dataset() const { return dataset_; }
+  const DistanceMetric& metric() const { return *metric_; }
+
+ private:
+  DiscEngine(Dataset dataset, std::unique_ptr<DistanceMetric> metric,
+             MTreeOptions tree_options);
+
+  struct CacheKey {
+    Algorithm algorithm;
+    double radius;
+    bool pruned;
+
+    bool operator==(const CacheKey& other) const {
+      return algorithm == other.algorithm && radius == other.radius &&
+             pruned == other.pruned;
+    }
+  };
+
+  struct CacheEntry {
+    CacheKey key;
+    DiversifyResponse response;
+    MTree::ColorState state;
+    bool distances_exact = false;
+  };
+
+  /// The solution currently encoded in the tree colors.
+  struct SessionState {
+    bool has_solution = false;
+    bool zoomable = false;
+    std::string zoom_blocker;
+    Algorithm algorithm = Algorithm::kGreedy;
+    double radius = 0.0;
+    size_t solution_size = 0;
+    bool distances_exact = false;
+    /// While true, the tree state is byte-identical to the cache entry at
+    /// `cache_key` (a Diversify just ran or was restored and no zoom has
+    /// mutated the colors since), so improvements like a §5.2 distance
+    /// recomputation can be written back to the entry.
+    bool cache_key_valid = false;
+    CacheKey cache_key{Algorithm::kGreedy, 0.0, true};
+  };
+
+  /// Rejects non-finite or negative radii.
+  static Status ValidateRadius(double radius);
+  /// Greedy-C / Fast-C are never pruned; normalize the cache key.
+  static bool EffectivePruned(const DiversifyRequest& request);
+
+  /// Records that the tree colors now encode the solution a Diversify with
+  /// `key` produced (directly or from cache).
+  void SetSession(const CacheKey& key, size_t solution_size,
+                  bool distances_exact);
+
+  CacheEntry* FindCached(const CacheKey& key);
+  void InsertCache(CacheEntry entry);
+  /// White-neighborhood counts for `radius`, computed on first use (charged
+  /// to the tree's stats) and cached — they depend only on geometry.
+  const std::vector<uint32_t>& CountsForRadius(double radius);
+
+  QualityMetrics ComputeQuality(const std::vector<ObjectId>& solution,
+                                double radius, bool covering_only) const;
+
+  Dataset dataset_;
+  std::unique_ptr<DistanceMetric> metric_;
+  std::unique_ptr<MTree> tree_;
+
+  SessionState session_;
+  std::deque<CacheEntry> cache_;  // bounded FIFO, newest at the back
+  std::map<double, std::vector<uint32_t>> counts_cache_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_ENGINE_ENGINE_H_

@@ -313,6 +313,31 @@ void MTree::RangeQueryBottomUp(ObjectId center, double radius,
 // Colors & zooming support
 // ---------------------------------------------------------------------------
 
+MTree::ColorState MTree::SaveColorState() const {
+  assert(built_);
+  return ColorState{colors_, closest_black_dist_};
+}
+
+Status MTree::RestoreColorState(const ColorState& state) {
+  assert(built_);
+  if (state.colors.size() != dataset_.size() ||
+      state.closest_black_dist.size() != dataset_.size()) {
+    return Status::InvalidArgument(
+        "color state size does not match the dataset (" +
+        std::to_string(state.colors.size()) + " colors, " +
+        std::to_string(state.closest_black_dist.size()) + " distances, " +
+        std::to_string(dataset_.size()) + " objects)");
+  }
+  colors_ = state.colors;
+  closest_black_dist_ = state.closest_black_dist;
+  total_white_ = 0;
+  for (Color c : colors_) {
+    if (c == Color::kWhite) ++total_white_;
+  }
+  RecomputeWhiteCounts(root_.get());
+  return Status::OK();
+}
+
 void MTree::ResetColors() {
   assert(built_);
   colors_.assign(dataset_.size(), Color::kWhite);

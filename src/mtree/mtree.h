@@ -207,6 +207,24 @@ class MTree {
 
   // -- Colors (shared state with the DisC algorithms) -------------------
 
+  /// The per-object session state a diversification run leaves behind:
+  /// colors plus closest-black-neighbor distances. Saving and restoring it
+  /// brings the tree back to exactly a previous run's end state, so adaptive
+  /// operations (core/zoom.h) can continue from a cached solution without
+  /// re-running the algorithm (the engine layer's session cache).
+  struct ColorState {
+    std::vector<Color> colors;
+    std::vector<double> closest_black_dist;
+  };
+
+  /// Captures the current colors and closest-black distances.
+  ColorState SaveColorState() const;
+
+  /// Restores a previously saved state, rebuilding the per-node white
+  /// counters. Returns InvalidArgument when the state's size does not match
+  /// the dataset.
+  Status RestoreColorState(const ColorState& state);
+
   /// Resets every object to white and clears closest-black distances.
   void ResetColors();
 

@@ -147,4 +147,35 @@ TEST(DiscCliSmokeTest, RejectsUnknownAlgorithm) {
   EXPECT_NE(r.output.find("unknown algorithm"), std::string::npos) << r.output;
 }
 
+TEST(DiscCliSmokeTest, RejectsUnknownFlagWithUsage) {
+  CommandResult r = RunCli("--dataset=uniform --n=50 --no-such-flag=1");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown flag '--no-such-flag'"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST(DiscCliSmokeTest, HelpPrintsUsage) {
+  CommandResult r = RunCli("--help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST(DiscCliSmokeTest, EqualZoomRadiusIsANoOp) {
+  CommandResult r = RunCli(
+      "--dataset=clustered --n=200 --dim=2 --seed=7 --radius=0.1 "
+      "--zoom-to=0.1");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("nothing to adapt"), std::string::npos) << r.output;
+}
+
+TEST(DiscCliSmokeTest, ZoomAfterCoveringAlgorithmFailsCleanly) {
+  CommandResult r = RunCli(
+      "--dataset=uniform --n=100 --seed=5 --radius=0.15 "
+      "--algorithm=greedy-c --zoom-to=0.08");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("FailedPrecondition"), std::string::npos)
+      << r.output;
+}
+
 }  // namespace

@@ -1,0 +1,601 @@
+// Tests for the DiscEngine façade: request routing, session-state
+// tracking, zoom preconditions (previously undefined behavior at the core
+// layer), the solution cache, and the §8 extension endpoints.
+
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "data/generators.h"
+#include "graph/properties.h"
+#include "util/status.h"
+
+namespace disc {
+namespace {
+
+std::unique_ptr<DiscEngine> MakeEngine(size_t n = 300, uint64_t seed = 7,
+                                       BuildStrategy strategy =
+                                           BuildStrategy::kInsertAtATime) {
+  EngineConfig config;
+  config.dataset = DatasetSpec::Clustered(n, 2, seed);
+  config.tree.build.strategy = strategy;
+  auto engine = DiscEngine::Create(std::move(config));
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+bool IsSubset(const std::vector<ObjectId>& small,
+              const std::vector<ObjectId>& big) {
+  std::set<ObjectId> big_set(big.begin(), big.end());
+  for (ObjectId id : small) {
+    if (!big_set.count(id)) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+TEST(EngineCreateTest, BuildsFromGeneratorSpecs) {
+  for (auto source : {DatasetSpec::Source::kUniform,
+                      DatasetSpec::Source::kClustered}) {
+    EngineConfig config;
+    config.dataset = source == DatasetSpec::Source::kUniform
+                         ? DatasetSpec::Uniform(100, 2, 1)
+                         : DatasetSpec::Clustered(100, 2, 1);
+    auto engine = DiscEngine::Create(std::move(config));
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    EXPECT_EQ((*engine)->dataset().size(), 100u);
+    EXPECT_EQ((*engine)->Snapshot().dataset_size, 100u);
+  }
+}
+
+TEST(EngineCreateTest, BuildsFromProvidedDataset) {
+  EngineConfig config;
+  config.dataset = DatasetSpec::Provided(MakeGridDataset(10));
+  auto engine = DiscEngine::Create(std::move(config));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ((*engine)->dataset().size(), 100u);
+}
+
+TEST(EngineCreateTest, EmptyProvidedDatasetFails) {
+  EngineConfig config;
+  config.dataset = DatasetSpec::Provided(Dataset(2));
+  auto engine = DiscEngine::Create(std::move(config));
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineCreateTest, MissingCsvPropagatesLoaderError) {
+  EngineConfig config;
+  config.dataset = DatasetSpec::Csv("/nonexistent/points.csv");
+  auto engine = DiscEngine::Create(std::move(config));
+  EXPECT_FALSE(engine.ok());
+}
+
+TEST(EngineCreateTest, ParseDatasetSpecCoversCliNames) {
+  auto clustered = ParseDatasetSpec("clustered", 50, 3, 9);
+  ASSERT_TRUE(clustered.ok());
+  EXPECT_EQ(clustered->source, DatasetSpec::Source::kClustered);
+  EXPECT_EQ(clustered->n, 50u);
+  EXPECT_EQ(clustered->dim, 3u);
+
+  auto csv = ParseDatasetSpec("csv:/tmp/p.csv", 0, 0, 0);
+  ASSERT_TRUE(csv.ok());
+  EXPECT_EQ(csv->source, DatasetSpec::Source::kCsv);
+  EXPECT_EQ(csv->csv_path, "/tmp/p.csv");
+
+  auto bad = ParseDatasetSpec("no-such-dataset", 0, 0, 0);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Diversify
+// ---------------------------------------------------------------------------
+
+TEST(EngineDiversifyTest, EveryAlgorithmProducesVerifiedSolution) {
+  auto engine = MakeEngine();
+  for (Algorithm algorithm :
+       {Algorithm::kBasic, Algorithm::kGreedy, Algorithm::kGreedyWhite,
+        Algorithm::kLazyGrey, Algorithm::kLazyWhite, Algorithm::kGreedyC,
+        Algorithm::kFastC}) {
+    DiversifyRequest request;
+    request.algorithm = algorithm;
+    request.radius = 0.1;
+    request.compute_quality = true;
+    auto response = engine->Diversify(request);
+    ASSERT_TRUE(response.ok())
+        << AlgorithmToString(algorithm) << ": " << response.status().ToString();
+    EXPECT_GT(response->size(), 0u) << AlgorithmToString(algorithm);
+    ASSERT_TRUE(response->quality.has_value());
+    EXPECT_TRUE(response->quality->verification.ok())
+        << AlgorithmToString(algorithm) << ": "
+        << response->quality->verification.ToString();
+    EXPECT_GT(response->stats.node_accesses, 0u);
+    EXPECT_DOUBLE_EQ(response->quality->coverage, 1.0);
+  }
+}
+
+TEST(EngineDiversifyTest, NegativeOrNonFiniteRadiusIsInvalid) {
+  auto engine = MakeEngine();
+  DiversifyRequest request;
+  request.radius = -0.5;
+  EXPECT_EQ(engine->Diversify(request).status().code(),
+            StatusCode::kInvalidArgument);
+  request.radius = std::nan("");
+  EXPECT_EQ(engine->Diversify(request).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineDiversifyTest, MatchesDirectAlgorithmRunOnBothBuildStrategies) {
+  // The engine must not change what gets computed, only who owns the state.
+  auto insert_engine = MakeEngine(300, 7, BuildStrategy::kInsertAtATime);
+  auto bulk_engine = MakeEngine(300, 7, BuildStrategy::kBulkLoad);
+  DiversifyRequest request;
+  request.radius = 0.1;
+  auto a = insert_engine->Diversify(request);
+  auto b = bulk_engine->Diversify(request);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Greedy-DisC is deterministic in the neighborhood structure, which both
+  // index shapes answer identically.
+  EXPECT_EQ(a->solution, b->solution);
+}
+
+// ---------------------------------------------------------------------------
+// Zoom preconditions (previously UB at the core layer)
+// ---------------------------------------------------------------------------
+
+TEST(EngineZoomPreconditionTest, ZoomBeforeDiversifyFails) {
+  auto engine = MakeEngine();
+  ZoomRequest zoom;
+  zoom.radius = 0.05;
+  auto response = engine->Zoom(zoom);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineZoomPreconditionTest, ZoomAfterCoveringOnlyRunFails) {
+  auto engine = MakeEngine();
+  for (Algorithm algorithm : {Algorithm::kGreedyC, Algorithm::kFastC}) {
+    DiversifyRequest request;
+    request.algorithm = algorithm;
+    request.radius = 0.1;
+    ASSERT_TRUE(engine->Diversify(request).ok());
+    ZoomRequest zoom;
+    zoom.radius = 0.05;
+    auto response = engine->Zoom(zoom);
+    ASSERT_FALSE(response.ok()) << AlgorithmToString(algorithm);
+    EXPECT_EQ(response.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(EngineZoomPreconditionTest, StaleDistancesFailUnderRequireExact) {
+  auto engine = MakeEngine();
+  DiversifyRequest request;
+  request.radius = 0.1;
+  request.pruned = true;
+  ASSERT_TRUE(engine->Diversify(request).ok());
+  EXPECT_FALSE(engine->Snapshot().distances_exact);
+
+  ZoomRequest zoom;
+  zoom.radius = 0.05;
+  zoom.distances = DistancePolicy::kRequireExact;
+  auto response = engine->Zoom(zoom);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kFailedPrecondition);
+
+  // kAuto recomputes and succeeds on the same session; with a non-greedy
+  // pass the recomputed distances then stay exact.
+  zoom.distances = DistancePolicy::kAuto;
+  zoom.greedy = false;
+  auto ok_response = engine->Zoom(zoom);
+  ASSERT_TRUE(ok_response.ok()) << ok_response.status().ToString();
+  EXPECT_TRUE(engine->Snapshot().distances_exact);
+}
+
+TEST(EngineZoomPreconditionTest, UnprunedRunSatisfiesRequireExact) {
+  auto engine = MakeEngine();
+  DiversifyRequest request;
+  request.radius = 0.1;
+  request.pruned = false;
+  ASSERT_TRUE(engine->Diversify(request).ok());
+  EXPECT_TRUE(engine->Snapshot().distances_exact);
+
+  ZoomRequest zoom;
+  zoom.radius = 0.05;
+  zoom.distances = DistancePolicy::kRequireExact;
+  EXPECT_TRUE(engine->Zoom(zoom).ok());
+}
+
+TEST(EngineZoomPreconditionTest, SameRadiusAndBadCenterAreInvalid) {
+  auto engine = MakeEngine();
+  DiversifyRequest request;
+  request.radius = 0.1;
+  ASSERT_TRUE(engine->Diversify(request).ok());
+
+  ZoomRequest same;
+  same.radius = 0.1;
+  EXPECT_EQ(engine->Zoom(same).status().code(), StatusCode::kInvalidArgument);
+
+  // Also invalid for local zooms: LocalZoom's contract only defines
+  // new_radius strictly below or above the old one.
+  ZoomRequest local_same = same;
+  local_same.center = 0;
+  EXPECT_EQ(engine->Zoom(local_same).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A default-constructed ZoomRequest (radius 0) must not silently zoom the
+  // whole dataset in.
+  ZoomRequest zero;
+  EXPECT_EQ(engine->Zoom(zero).status().code(), StatusCode::kInvalidArgument);
+
+  ZoomRequest bad_center;
+  bad_center.radius = 0.05;
+  bad_center.center = static_cast<ObjectId>(engine->dataset().size());
+  EXPECT_EQ(engine->Zoom(bad_center).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineZoomPreconditionTest, ZoomAfterResetFails) {
+  auto engine = MakeEngine();
+  DiversifyRequest request;
+  request.radius = 0.1;
+  ASSERT_TRUE(engine->Diversify(request).ok());
+  engine->Reset();
+  ZoomRequest zoom;
+  zoom.radius = 0.05;
+  EXPECT_EQ(engine->Zoom(zoom).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Zooming behavior
+// ---------------------------------------------------------------------------
+
+class EngineZoomTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(EngineZoomTest, ZoomInProducesValidSupersetAfterPrunedAndUnpruned) {
+  const bool pruned = GetParam();
+  auto engine = MakeEngine(500, 3);
+  DiversifyRequest request;
+  request.radius = 0.1;
+  request.pruned = pruned;
+  auto base = engine->Diversify(request);
+  ASSERT_TRUE(base.ok());
+
+  ZoomRequest zoom;
+  zoom.radius = 0.05;
+  zoom.compute_quality = true;
+  auto finer = engine->Zoom(zoom);
+  ASSERT_TRUE(finer.ok()) << finer.status().ToString();
+  EXPECT_TRUE(IsSubset(base->solution, finer->solution));
+  EXPECT_TRUE(finer->quality->verification.ok())
+      << finer->quality->verification.ToString();
+  EXPECT_DOUBLE_EQ(finer->radius, 0.05);
+  EXPECT_DOUBLE_EQ(engine->Snapshot().radius, 0.05);
+}
+
+TEST_P(EngineZoomTest, ZoomOutProducesValidSolutionAfterPrunedAndUnpruned) {
+  const bool pruned = GetParam();
+  auto engine = MakeEngine(500, 3);
+  DiversifyRequest request;
+  request.radius = 0.08;
+  request.pruned = pruned;
+  ASSERT_TRUE(engine->Diversify(request).ok());
+
+  ZoomRequest zoom;
+  zoom.radius = 0.16;
+  zoom.compute_quality = true;
+  auto coarser = engine->Zoom(zoom);
+  ASSERT_TRUE(coarser.ok()) << coarser.status().ToString();
+  EXPECT_TRUE(coarser->quality->verification.ok())
+      << coarser->quality->verification.ToString();
+  // The greedy zoom-out pass leaves only distance upper bounds behind
+  // (core/zoom.h), so a follow-up zoom-in must recompute — the engine
+  // tracks that and kAuto handles it.
+  EXPECT_FALSE(engine->Snapshot().distances_exact);
+  ZoomRequest again;
+  again.radius = 0.08;
+  again.compute_quality = true;
+  auto back = engine->Zoom(again);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->quality->verification.ok())
+      << back->quality->verification.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(PrunedAndUnpruned, EngineZoomTest,
+                         ::testing::Bool());
+
+TEST(EngineZoomChainTest, GreedyPassStalenessIsTrackedPerVariant) {
+  // Arbitrary (non-greedy) zoom-out leaves exact distances: a chained
+  // zoom-in may demand them. A greedy zoom-out does not.
+  auto engine = MakeEngine(400, 13);
+  DiversifyRequest request;
+  request.radius = 0.08;
+  request.pruned = false;
+  ASSERT_TRUE(engine->Diversify(request).ok());
+
+  ZoomRequest arbitrary_out;
+  arbitrary_out.radius = 0.16;
+  arbitrary_out.zoom_out_variant = ZoomOutVariant::kArbitrary;
+  ASSERT_TRUE(engine->Zoom(arbitrary_out).ok());
+  EXPECT_TRUE(engine->Snapshot().distances_exact);
+
+  ZoomRequest strict_in;
+  strict_in.radius = 0.08;
+  strict_in.distances = DistancePolicy::kRequireExact;
+  strict_in.greedy = false;
+  strict_in.compute_quality = true;
+  auto back = engine->Zoom(strict_in);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->quality->verification.ok())
+      << back->quality->verification.ToString();
+  // The non-greedy zoom-in also kept distances exact.
+  EXPECT_TRUE(engine->Snapshot().distances_exact);
+
+  ZoomRequest greedy_out;
+  greedy_out.radius = 0.16;
+  ASSERT_TRUE(engine->Zoom(greedy_out).ok());
+  EXPECT_FALSE(engine->Snapshot().distances_exact);
+  auto strict_back = engine->Zoom(strict_in);
+  ASSERT_FALSE(strict_back.ok());
+  EXPECT_EQ(strict_back.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineLocalZoomTest, LocalZoomKeepsCoverageAndBlocksFurtherZooms) {
+  auto engine = MakeEngine(500, 5);
+  DiversifyRequest request;
+  request.radius = 0.1;
+  auto base = engine->Diversify(request);
+  ASSERT_TRUE(base.ok());
+
+  ZoomRequest local;
+  local.radius = 0.04;
+  local.center = base->solution.front();
+  local.compute_quality = true;
+  auto zoomed = engine->Zoom(local);
+  ASSERT_TRUE(zoomed.ok()) << zoomed.status().ToString();
+  // Coverage holds globally at the larger of the two radii.
+  EXPECT_TRUE(zoomed->quality->verification.ok())
+      << zoomed->quality->verification.ToString();
+  EXPECT_DOUBLE_EQ(zoomed->radius, 0.1);
+
+  EngineSnapshot snapshot = engine->Snapshot();
+  EXPECT_TRUE(snapshot.has_solution);
+  EXPECT_FALSE(snapshot.zoomable);
+  EXPECT_FALSE(snapshot.zoom_blocker.empty());
+
+  ZoomRequest follow_up;
+  follow_up.radius = 0.02;
+  EXPECT_EQ(engine->Zoom(follow_up).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // A fresh Diversify re-arms zooming.
+  ASSERT_TRUE(engine->Diversify(request).ok());
+  EXPECT_TRUE(engine->Snapshot().zoomable);
+  EXPECT_TRUE(engine->Zoom(follow_up).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Solution cache
+// ---------------------------------------------------------------------------
+
+TEST(EngineCacheTest, RepeatedRequestIsServedFromCacheWithZeroAccesses) {
+  auto engine = MakeEngine();
+  DiversifyRequest request;
+  request.radius = 0.1;
+  auto first = engine->Diversify(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->from_cache);
+  EXPECT_GT(first->stats.node_accesses, 0u);
+
+  auto second = engine->Diversify(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->from_cache);
+  EXPECT_EQ(second->stats.node_accesses, 0u);
+  EXPECT_EQ(second->stats.range_queries, 0u);
+  EXPECT_EQ(second->stats.distance_computations, 0u);
+  EXPECT_EQ(second->solution, first->solution);
+  EXPECT_EQ(engine->Snapshot().cached_solutions, 1u);
+}
+
+TEST(EngineCacheTest, DifferentRequestsMissTheCache) {
+  auto engine = MakeEngine();
+  DiversifyRequest request;
+  request.radius = 0.1;
+  ASSERT_TRUE(engine->Diversify(request).ok());
+
+  DiversifyRequest other_radius = request;
+  other_radius.radius = 0.2;
+  auto response = engine->Diversify(other_radius);
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->from_cache);
+
+  DiversifyRequest other_algorithm = request;
+  other_algorithm.algorithm = Algorithm::kBasic;
+  response = engine->Diversify(other_algorithm);
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->from_cache);
+
+  DiversifyRequest unpruned = request;
+  unpruned.pruned = false;
+  response = engine->Diversify(unpruned);
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->from_cache);
+}
+
+TEST(EngineCacheTest, CacheHitRestoresZoomableSessionState) {
+  // A -> B -> A(cached) -> zoom must behave exactly like A -> zoom.
+  auto reference = MakeEngine(400, 11);
+  DiversifyRequest request_a;
+  request_a.radius = 0.1;
+  ASSERT_TRUE(reference->Diversify(request_a).ok());
+  ZoomRequest zoom;
+  zoom.radius = 0.05;
+  auto expected = reference->Zoom(zoom);
+  ASSERT_TRUE(expected.ok());
+
+  auto engine = MakeEngine(400, 11);
+  ASSERT_TRUE(engine->Diversify(request_a).ok());
+  DiversifyRequest request_b;
+  request_b.radius = 0.2;
+  ASSERT_TRUE(engine->Diversify(request_b).ok());
+  auto cached = engine->Diversify(request_a);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached->from_cache);
+
+  auto zoomed = engine->Zoom(zoom);
+  ASSERT_TRUE(zoomed.ok()) << zoomed.status().ToString();
+  EXPECT_EQ(zoomed->solution, expected->solution);
+}
+
+TEST(EngineCacheTest, AutoRecomputedDistancesAreBankedIntoTheCacheEntry) {
+  // Pruned Diversify -> zoom-in (kAuto recomputes §5.2 distances) ->
+  // restore the same view -> the entry now carries exact distances, so a
+  // strict zoom-in succeeds without another recomputation.
+  auto engine = MakeEngine(400, 17);
+  DiversifyRequest request;
+  request.radius = 0.1;
+  ASSERT_TRUE(engine->Diversify(request).ok());
+  ZoomRequest zoom;
+  zoom.radius = 0.05;
+  ASSERT_TRUE(engine->Zoom(zoom).ok());
+
+  auto restored = engine->Diversify(request);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->from_cache);
+  EXPECT_TRUE(engine->Snapshot().distances_exact);
+
+  ZoomRequest strict = zoom;
+  strict.distances = DistancePolicy::kRequireExact;
+  strict.compute_quality = true;
+  auto again = engine->Zoom(strict);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(again->quality->verification.ok())
+      << again->quality->verification.ToString();
+}
+
+TEST(EngineCacheTest, CacheHitComputesQualityOnDemand) {
+  auto engine = MakeEngine();
+  DiversifyRequest request;
+  request.radius = 0.1;
+  ASSERT_TRUE(engine->Diversify(request).ok());
+
+  request.compute_quality = true;
+  auto cached = engine->Diversify(request);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached->from_cache);
+  ASSERT_TRUE(cached->quality.has_value());
+  EXPECT_TRUE(cached->quality->verification.ok());
+}
+
+TEST(EngineCacheTest, ResetDropsTheCache) {
+  auto engine = MakeEngine();
+  DiversifyRequest request;
+  request.radius = 0.1;
+  ASSERT_TRUE(engine->Diversify(request).ok());
+  EXPECT_EQ(engine->Snapshot().cached_solutions, 1u);
+  engine->Reset();
+  EXPECT_EQ(engine->Snapshot().cached_solutions, 0u);
+  auto response = engine->Diversify(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->from_cache);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+TEST(EngineSnapshotTest, TracksSessionLifecycle) {
+  auto engine = MakeEngine();
+  EngineSnapshot fresh = engine->Snapshot();
+  EXPECT_FALSE(fresh.has_solution);
+  EXPECT_FALSE(fresh.zoomable);
+  EXPECT_GT(fresh.tree_nodes, 0u);
+  EXPECT_GT(fresh.tree_height, 0u);
+
+  DiversifyRequest request;
+  request.radius = 0.1;
+  auto response = engine->Diversify(request);
+  ASSERT_TRUE(response.ok());
+  EngineSnapshot after = engine->Snapshot();
+  EXPECT_TRUE(after.has_solution);
+  EXPECT_TRUE(after.zoomable);
+  EXPECT_EQ(after.algorithm, Algorithm::kGreedy);
+  EXPECT_DOUBLE_EQ(after.radius, 0.1);
+  EXPECT_EQ(after.solution_size, response->size());
+  EXPECT_GT(after.lifetime_stats.node_accesses, 0u);
+  EXPECT_EQ(after.cached_count_radii, 1u);
+
+  engine->Reset();
+  EngineSnapshot reset = engine->Snapshot();
+  EXPECT_FALSE(reset.has_solution);
+  // Neighborhood counts are color-independent and survive Reset.
+  EXPECT_EQ(reset.cached_count_radii, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// §8 extensions
+// ---------------------------------------------------------------------------
+
+TEST(EngineWeightedTest, ProducesVerifiedSolutionAndKeepsSessionUntouched) {
+  auto engine = MakeEngine();
+  WeightedRequest request;
+  request.radius = 0.1;
+  request.weights.assign(engine->dataset().size(), 1.0);
+  request.compute_quality = true;
+  auto response = engine->WeightedDiversify(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_GT(response->size(), 0u);
+  EXPECT_TRUE(response->quality->verification.ok())
+      << response->quality->verification.ToString();
+  // Stateless: no session, so zooming still requires a Diversify.
+  EXPECT_FALSE(engine->Snapshot().has_solution);
+}
+
+TEST(EngineWeightedTest, RejectsMismatchedWeights) {
+  auto engine = MakeEngine();
+  WeightedRequest request;
+  request.radius = 0.1;
+  request.weights = {1.0, 2.0};
+  EXPECT_EQ(engine->WeightedDiversify(request).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineMultiRadiusTest, CoversEveryObjectWithinItsRadius) {
+  auto engine = MakeEngine();
+  const size_t n = engine->dataset().size();
+  std::vector<double> relevance(n, 0.5);
+  MultiRadiusRequest request;
+  request.r_min = 0.05;
+  request.r_max = 0.2;
+  request.relevance = relevance;
+  request.compute_quality = true;
+  auto response = engine->MultiRadiusDiversify(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_GT(response->size(), 0u);
+  EXPECT_TRUE(response->quality->verification.ok())
+      << response->quality->verification.ToString();
+  EXPECT_DOUBLE_EQ(response->radius, 0.2);
+}
+
+TEST(EngineMultiRadiusTest, RejectsBadRadiusRange) {
+  auto engine = MakeEngine();
+  MultiRadiusRequest request;
+  request.r_min = 0.2;
+  request.r_max = 0.1;
+  request.relevance.assign(engine->dataset().size(), 0.5);
+  EXPECT_EQ(engine->MultiRadiusDiversify(request).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace disc
