@@ -28,6 +28,7 @@
 #include "engine/engine.h"
 #include "eval/quality.h"
 #include "eval/table.h"
+#include "util/flags.h"
 
 namespace {
 
@@ -42,52 +43,31 @@ constexpr const char* kUsage =
     "                [--build=insert|bulk] [--radius=<r>] [--zoom-to=<r'>]\n"
     "                [--out=<points.csv>] [--help]\n";
 
-// The full flag vocabulary; anything else is rejected with the usage text.
-bool IsKnownFlag(const std::string& key) {
-  for (const char* flag : {"dataset", "n", "dim", "seed", "metric",
-                           "algorithm", "build", "radius", "zoom-to", "out",
-                           "help"}) {
-    if (key == flag) return true;
-  }
-  return false;
-}
-
-std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
-  std::map<std::string, std::string> flags;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "unexpected argument: %s\n%s", arg.c_str(),
-                   kUsage);
-      std::exit(2);
-    }
-    size_t eq = arg.find('=');
-    std::string key =
-        eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
-    if (!IsKnownFlag(key)) {
-      std::fprintf(stderr, "unknown flag '--%s'\n%s", key.c_str(), kUsage);
-      std::exit(2);
-    }
-    flags[key] = eq == std::string::npos ? "true" : arg.substr(eq + 1);
-  }
-  return flags;
-}
-
-std::string FlagOr(const std::map<std::string, std::string>& flags,
-                   const std::string& key, const std::string& fallback) {
-  auto it = flags.find(key);
-  return it == flags.end() ? fallback : it->second;
-}
-
 [[noreturn]] void Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   std::exit(1);
 }
 
+// Unwraps a parsed flag value or exits with the parse error.
+template <typename T>
+T FlagValueOrDie(const Result<T>& result) {
+  if (!result.ok()) Fail(result.status().ToString());
+  return *result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto flags = ParseFlags(argc, argv);
+  // The full flag vocabulary; anything else is rejected with the usage text.
+  auto flags_or = ParseFlagArgs(
+      argc, argv, {"dataset", "n", "dim", "seed", "metric", "algorithm",
+                   "build", "radius", "zoom-to", "out", "help"});
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n%s", flags_or.status().message().c_str(),
+                 kUsage);
+    return 2;
+  }
+  auto flags = std::move(flags_or).value();
   if (flags.count("help")) {
     std::printf("%s", kUsage);
     return 0;
@@ -95,12 +75,9 @@ int main(int argc, char** argv) {
 
   // ---- flags -> EngineConfig ----
   const std::string which = FlagOr(flags, "dataset", "clustered");
-  const size_t n =
-      std::strtoull(FlagOr(flags, "n", "10000").c_str(), nullptr, 10);
-  const size_t dim =
-      std::strtoull(FlagOr(flags, "dim", "2").c_str(), nullptr, 10);
-  const uint64_t seed =
-      std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  const size_t n = FlagValueOrDie(FlagUint(flags, "n", 10000));
+  const size_t dim = FlagValueOrDie(FlagUint(flags, "dim", 2));
+  const uint64_t seed = FlagValueOrDie(FlagUint(flags, "seed", 42));
 
   EngineConfig config;
   auto spec = ParseDatasetSpec(which, n, dim, seed);
@@ -131,9 +108,8 @@ int main(int argc, char** argv) {
       ParseAlgorithm(FlagOr(flags, "algorithm", "greedy"));
   if (!algorithm.ok()) Fail(algorithm.status().ToString());
   request.algorithm = *algorithm;
-  request.radius = flags.count("radius")
-                       ? std::strtod(flags["radius"].c_str(), nullptr)
-                       : DefaultRadiusFor(source);
+  request.radius =
+      FlagValueOrDie(FlagDouble(flags, "radius", DefaultRadiusFor(source)));
   if (request.radius < 0) Fail("radius must be non-negative");
   request.compute_quality = true;
 
@@ -166,9 +142,8 @@ int main(int argc, char** argv) {
   table.Print();
 
   // ---- optional zoom ----
-  const double zoom_to = flags.count("zoom-to")
-                             ? std::strtod(flags["zoom-to"].c_str(), nullptr)
-                             : request.radius;
+  const double zoom_to =
+      FlagValueOrDie(FlagDouble(flags, "zoom-to", request.radius));
   if (flags.count("zoom-to") && zoom_to == request.radius) {
     std::printf("zoom-to equals the current radius; nothing to adapt\n");
   } else if (flags.count("zoom-to")) {

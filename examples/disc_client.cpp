@@ -1,0 +1,75 @@
+// disc_client — line-protocol driver for a running disc_serve daemon.
+//
+// Reads commands from stdin (one per line), sends each over the TCP
+// connection, and prints the daemon's one-line JSON response — a lockstep
+// REPL suitable both interactively and piped:
+//
+//   printf 'OPEN dataset=clustered n=1000\nDIVERSIFY r=0.05\nCLOSE\n' |
+//     disc_client --port=4817
+//
+// Exits 0 when every response had "ok":true, 1 otherwise (so scripted
+// transcripts double as checks), 2 on usage or connection errors.
+//
+// Usage:
+//   disc_client [--host=127.0.0.1] [--port=4817] [--help]
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "server/net.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace disc;
+
+constexpr const char* kUsage =
+    "usage: disc_client [--host=<ipv4>] [--port=<port>] [--help]\n"
+    "reads protocol lines from stdin; see disc_serve --help for the "
+    "command vocabulary\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_or = ParseFlagArgs(argc, argv, {"host", "port", "help"});
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n%s", flags_or.status().message().c_str(),
+                 kUsage);
+    return 2;
+  }
+  const auto& flags = *flags_or;
+  if (flags.count("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  const std::string host = FlagOr(flags, "host", "127.0.0.1");
+  auto port = FlagInt(flags, "port", 4817);
+  if (!port.ok()) {
+    std::fprintf(stderr, "%s\n%s", port.status().message().c_str(), kUsage);
+    return 2;
+  }
+
+  auto client_or = LineClient::Connect(host, *port);
+  if (!client_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", client_or.status().ToString().c_str());
+    return 2;
+  }
+  LineClient client = std::move(client_or).value();
+
+  bool all_ok = true;
+  for (std::string line; std::getline(std::cin, line);) {
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    auto response = client.Roundtrip(line);
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   response.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("%s\n", response->c_str());
+    if (response->rfind("{\"ok\":true", 0) != 0) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}

@@ -324,6 +324,7 @@ EngineSnapshot DiscEngine::Snapshot() const {
   snapshot.distances_exact = session_.distances_exact;
   snapshot.cached_solutions = cache_.size();
   snapshot.cached_count_radii = counts_cache_.size();
+  snapshot.sessions_served = sessions_served_;
   snapshot.lifetime_stats = tree_->stats();
   return snapshot;
 }
@@ -332,6 +333,12 @@ void DiscEngine::Reset() {
   tree_->ResetColors();
   session_ = SessionState{};
   cache_.clear();
+}
+
+void DiscEngine::NewSession() {
+  tree_->ResetColors();
+  session_ = SessionState{};
+  ++sessions_served_;
 }
 
 }  // namespace disc

@@ -166,6 +166,10 @@ struct EngineSnapshot {
   bool distances_exact = false;
   size_t cached_solutions = 0;
   size_t cached_count_radii = 0;
+  /// Sessions this engine has hosted: 1 after Create, +1 per NewSession.
+  /// A server leasing pooled engines reports it in STATS so clients can see
+  /// cache warm-up across leases.
+  size_t sessions_served = 1;
   /// Index work consumed since construction (across all requests).
   AccessStats lifetime_stats;
 };
@@ -212,6 +216,14 @@ class DiscEngine {
   /// index and the per-radius neighborhood counts (color-independent) are
   /// kept, so the engine is immediately ready for the next session.
   void Reset();
+
+  /// The leasing hook for servers that pool engines across sessions
+  /// (server/session_manager.h): starts a fresh session — colors reset,
+  /// zoom preconditions rearmed — while *keeping* the solution cache and the
+  /// per-radius neighborhood counts. A new session repeating a previous
+  /// session's Diversify is a cache hit with zero node accesses; cached
+  /// color snapshots restore on hit, so zooming keeps working too.
+  void NewSession();
 
   const Dataset& dataset() const { return dataset_; }
   const DistanceMetric& metric() const { return *metric_; }
@@ -281,6 +293,7 @@ class DiscEngine {
   SessionState session_;
   std::deque<CacheEntry> cache_;  // bounded FIFO, newest at the back
   std::map<double, std::vector<uint32_t>> counts_cache_;
+  size_t sessions_served_ = 1;
 };
 
 }  // namespace disc

@@ -1,0 +1,119 @@
+// disc_serve — the long-lived diversification daemon.
+//
+// Listens on a TCP port and speaks the newline-delimited protocol of
+// server/protocol.h: each connection is one interactive session (OPEN,
+// then DIVERSIFY / ZOOM / STATS, then CLOSE), sharded across pooled
+// DiscEngine instances by server/session_manager.h.
+//
+// Usage:
+//   disc_serve [--host=127.0.0.1] [--port=4817] [--workers=4]
+//              [--max-engines=8] [--help]
+//
+// --port=0 picks an ephemeral port. The daemon prints exactly one line
+//   disc_serve listening on <host>:<port>
+// to stdout once it accepts connections (tests parse it), then runs until
+// SIGINT or SIGTERM, exiting gracefully (in-flight requests finish).
+
+#include <signal.h>  // sigset_t, pthread_sigmask, sigwait (POSIX)
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "server/server.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace disc;
+
+constexpr const char* kUsage =
+    "usage: disc_serve [--host=<ipv4>] [--port=<port>] [--workers=<count>]\n"
+    "                  [--max-engines=<count>] [--help]\n"
+    "\n"
+    "Line protocol (one command per line, one JSON response per line):\n"
+    "  OPEN dataset=uniform|clustered|cities|cameras|csv:<path>\n"
+    "       [n=<count>] [dim=<dims>] [seed=<seed>]\n"
+    "       [metric=euclidean|manhattan|chebyshev|hamming]\n"
+    "       [build=insert|bulk]\n"
+    "  DIVERSIFY r=<radius> [algo=basic|greedy|greedy-white|lazy-grey|\n"
+    "            lazy-white|greedy-c|fast-c] [pruned=<bool>]\n"
+    "            [quality=<bool>]\n"
+    "  ZOOM to=<radius> [greedy=<bool>] [variant=arbitrary|greedy-a|\n"
+    "       greedy-b|greedy-c] [center=<id>] [distances=auto|exact]\n"
+    "       [quality=<bool>]\n"
+    "  STATS\n"
+    "  CLOSE\n";
+
+[[noreturn]] void Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_or = ParseFlagArgs(
+      argc, argv, {"host", "port", "workers", "max-engines", "help"});
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n%s", flags_or.status().message().c_str(),
+                 kUsage);
+    return 2;
+  }
+  const auto& flags = *flags_or;
+  if (flags.count("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+
+  ServerOptions options;
+  auto port = FlagInt(flags, "port", 4817);
+  auto workers = FlagUint(flags, "workers", options.workers);
+  auto max_engines = FlagUint(flags, "max-engines",
+                              options.max_idle_engines);
+  for (const Status& status :
+       {port.status(), workers.status(), max_engines.status()}) {
+    if (!status.ok()) Fail(status.ToString());
+  }
+  options.host = FlagOr(flags, "host", options.host);
+  options.port = *port;
+  options.workers = *workers;
+  options.max_idle_engines = *max_engines;
+
+  // Block the shutdown signals before Start so every server thread
+  // inherits the mask and delivery funnels into the sigwait below — no
+  // check-then-pause window where a signal could be lost.
+  sigset_t stop_signals;
+  sigemptyset(&stop_signals);
+  sigaddset(&stop_signals, SIGINT);
+  sigaddset(&stop_signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &stop_signals, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const std::string host = options.host;
+  auto server_or = DiscServer::Start(std::move(options));
+  if (!server_or.ok()) Fail(server_or.status().ToString());
+  std::unique_ptr<DiscServer> server = std::move(server_or).value();
+
+  std::printf("disc_serve listening on %s:%d\n", host.c_str(),
+              server->port());
+  std::fflush(stdout);
+
+  // The server runs in its own threads; park the main thread until
+  // SIGINT/SIGTERM arrives (queued signals are consumed atomically).
+  int signal_number = 0;
+  sigwait(&stop_signals, &signal_number);
+
+  SessionManagerStats stats = server->manager_stats();
+  server->Shutdown();
+  std::fprintf(stderr,
+               "disc_serve exiting: %zu leases (%zu pool hits), "
+               "%zu engines built, %zu evicted\n",
+               stats.leases_acquired, stats.pool_hits, stats.engines_created,
+               stats.engines_evicted);
+  return 0;
+}

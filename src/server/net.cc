@@ -1,0 +1,152 @@
+#include "server/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace disc {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> MakeAddress(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<int> ListenTcp(const std::string& host, int port) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port out of range: " +
+                                   std::to_string(port));
+  }
+  DISC_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddress(host, port));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("bind " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+Result<int> ListenPort(int listen_fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+Result<int> ConnectTcp(const std::string& host, int port) {
+  DISC_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddress(host, port));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+void CloseSocket(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+Result<std::string> LineChannel::ReadLine() {
+  // Protocol lines are tiny; a peer streaming data with no newline must
+  // not grow the buffer without bound (it would be a trivial memory DoS
+  // against the daemon).
+  constexpr size_t kMaxLineBytes = 1 << 20;
+  while (true) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (buffer_.size() > kMaxLineBytes) {
+      return Status::IOError("line exceeds " +
+                             std::to_string(kMaxLineBytes) +
+                             " bytes without a newline");
+    }
+    char chunk[4096];
+    ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got == 0) {
+      return Status::NotFound("connection closed by peer");
+    }
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    buffer_.append(chunk, static_cast<size_t>(got));
+  }
+}
+
+Status LineChannel::WriteLine(const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    ssize_t wrote = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                           MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(wrote);
+  }
+  return Status::OK();
+}
+
+Result<LineClient> LineClient::Connect(const std::string& host, int port) {
+  DISC_ASSIGN_OR_RETURN(int fd, ConnectTcp(host, port));
+  return LineClient(fd);
+}
+
+LineClient& LineClient::operator=(LineClient&& other) noexcept {
+  if (this != &other) {
+    CloseSocket(&fd_);
+    fd_ = other.fd_;
+    channel_ = std::move(other.channel_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<std::string> LineClient::Roundtrip(const std::string& line) {
+  DISC_RETURN_NOT_OK(SendLine(line));
+  return RecvLine();
+}
+
+}  // namespace disc

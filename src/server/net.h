@@ -1,0 +1,80 @@
+// Blocking TCP primitives for the disc_serve transport: listen/connect
+// helpers plus a buffered newline-delimited channel. POSIX sockets only —
+// the daemon targets Linux; nothing here is performance-critical (the
+// engine work dominates every request by orders of magnitude).
+
+#ifndef DISC_SERVER_NET_H_
+#define DISC_SERVER_NET_H_
+
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace disc {
+
+/// Creates a listening TCP socket bound to host:port (port 0 picks an
+/// ephemeral port) with SO_REUSEADDR set. Returns the file descriptor.
+Result<int> ListenTcp(const std::string& host, int port);
+
+/// The port a listening socket is actually bound to (resolves port 0).
+Result<int> ListenPort(int listen_fd);
+
+/// Connects to host:port. Returns the file descriptor.
+Result<int> ConnectTcp(const std::string& host, int port);
+
+/// Closes a socket if it is open; idempotent.
+void CloseSocket(int* fd);
+
+/// A buffered line channel over a connected socket. Does NOT own the fd.
+/// ReadLine strips the trailing '\n' (and a '\r' before it); WriteLine
+/// appends the '\n'. Not thread-safe — one channel per connection handler.
+class LineChannel {
+ public:
+  explicit LineChannel(int fd) : fd_(fd) {}
+
+  /// Reads the next line, blocking. NotFound on clean EOF (peer closed),
+  /// IOError on a socket error.
+  Result<std::string> ReadLine();
+
+  /// Writes `line` plus '\n', blocking until fully sent. IOError on a
+  /// socket error (including a closed peer; SIGPIPE is suppressed).
+  Status WriteLine(const std::string& line);
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// A client-side connection: owns the socket, speaks the line protocol.
+/// Move-only; closes on destruction.
+class LineClient {
+ public:
+  static Result<LineClient> Connect(const std::string& host, int port);
+
+  LineClient(LineClient&& other) noexcept
+      : fd_(other.fd_), channel_(std::move(other.channel_)) {
+    other.fd_ = -1;
+  }
+  LineClient& operator=(LineClient&& other) noexcept;
+  ~LineClient() { CloseSocket(&fd_); }
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  Status SendLine(const std::string& line) { return channel_.WriteLine(line); }
+  Result<std::string> RecvLine() { return channel_.ReadLine(); }
+
+  /// Sends one command and returns its one response line.
+  Result<std::string> Roundtrip(const std::string& line);
+
+ private:
+  explicit LineClient(int fd) : fd_(fd), channel_(fd) {}
+
+  int fd_ = -1;
+  LineChannel channel_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_SERVER_NET_H_

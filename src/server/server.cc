@@ -1,0 +1,175 @@
+#include "server/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <exception>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "server/net.h"
+#include "server/protocol.h"
+
+namespace disc {
+
+Result<std::unique_ptr<DiscServer>> DiscServer::Start(ServerOptions options) {
+  if (options.workers == 0) {
+    return Status::InvalidArgument("workers must be positive");
+  }
+  std::unique_ptr<DiscServer> server(new DiscServer(std::move(options)));
+  DISC_ASSIGN_OR_RETURN(server->listen_fd_,
+                        ListenTcp(server->options_.host,
+                                  server->options_.port));
+  DISC_ASSIGN_OR_RETURN(server->port_, ListenPort(server->listen_fd_));
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  server->workers_.reserve(server->options_.workers);
+  for (size_t i = 0; i < server->options_.workers; ++i) {
+    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+  }
+  return server;
+}
+
+void DiscServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Unblock the accept loop and every in-flight recv; the fds are closed
+    // by whichever loop owns them once it observes stopping_.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    for (int fd : active_) ::shutdown(fd, SHUT_RDWR);
+  }
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  CloseSocket(&listen_fd_);
+  for (int fd : pending_) ::close(fd);  // accepted but never served
+  pending_.clear();
+}
+
+void DiscServer::AcceptLoop() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        if (fd >= 0) ::close(fd);
+        return;
+      }
+      if (fd < 0) continue;  // transient accept error
+      pending_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void DiscServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (stopping_) return;
+      fd = pending_.front();
+      pending_.pop_front();
+      active_.insert(fd);
+    }
+    HandleConnection(fd);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      active_.erase(fd);
+    }
+    ::close(fd);
+  }
+}
+
+void DiscServer::HandleConnection(int fd) {
+  LineChannel channel(fd);
+  EngineLease lease;  // released (engine pooled) when the connection ends
+  while (true) {
+    Result<std::string> line = channel.ReadLine();
+    if (!line.ok()) return;  // EOF or socket error: implicit CLOSE
+    // Skip blank lines so `printf '...\n\n'`-style drivers are harmless.
+    if (line->find_first_not_of(" \t") == std::string::npos) continue;
+    std::string response;
+    try {
+      response = HandleLine(*line, &lease);
+    } catch (const std::exception& e) {
+      // The library is Status-based and should never throw; this barrier
+      // keeps a stray exception (e.g. bad_alloc under memory pressure)
+      // from escaping the worker thread and terminating the daemon.
+      response = SerializeError(
+          "?", Status::IOError(std::string("internal error: ") + e.what()));
+    }
+    if (!channel.WriteLine(response).ok()) return;
+  }
+}
+
+std::string DiscServer::HandleLine(const std::string& line,
+                                   EngineLease* lease) {
+  Result<Request> request = ParseRequest(line);
+  if (!request.ok()) return SerializeError("?", request.status());
+  const char* cmd = VerbToString(request->verb);
+
+  switch (request->verb) {
+    case Verb::kOpen: {
+      if (lease->valid()) {
+        return SerializeError(
+            cmd, Status::FailedPrecondition(
+                     "a session is already open on this connection; CLOSE "
+                     "it first"));
+      }
+      Result<OpenParams> params = DecodeOpen(*request);
+      if (!params.ok()) return SerializeError(cmd, params.status());
+      Result<EngineLease> acquired = manager_.Acquire(params->config);
+      if (!acquired.ok()) return SerializeError(cmd, acquired.status());
+      *lease = std::move(acquired).value();
+      return SerializeOpen(lease->engine().Snapshot(), params->dataset_text,
+                           lease->reused());
+    }
+    case Verb::kDiversify: {
+      if (!lease->valid()) {
+        return SerializeError(
+            cmd, Status::FailedPrecondition("no session open; OPEN first"));
+      }
+      Result<DiversifyRequest> decoded = DecodeDiversify(*request);
+      if (!decoded.ok()) return SerializeError(cmd, decoded.status());
+      Result<DiversifyResponse> response =
+          lease->engine().Diversify(*decoded);
+      if (!response.ok()) return SerializeError(cmd, response.status());
+      return SerializeDiversifyResponse(Verb::kDiversify, *response);
+    }
+    case Verb::kZoom: {
+      if (!lease->valid()) {
+        return SerializeError(
+            cmd, Status::FailedPrecondition("no session open; OPEN first"));
+      }
+      Result<ZoomRequest> decoded = DecodeZoom(*request);
+      if (!decoded.ok()) return SerializeError(cmd, decoded.status());
+      Result<DiversifyResponse> response = lease->engine().Zoom(*decoded);
+      if (!response.ok()) return SerializeError(cmd, response.status());
+      return SerializeDiversifyResponse(Verb::kZoom, *response);
+    }
+    case Verb::kStats: {
+      if (!lease->valid()) {
+        return SerializeError(
+            cmd, Status::FailedPrecondition("no session open; OPEN first"));
+      }
+      return SerializeSnapshot(lease->engine().Snapshot());
+    }
+    case Verb::kClose: {
+      if (!lease->valid()) {
+        return SerializeError(
+            cmd, Status::FailedPrecondition("no session open"));
+      }
+      lease->Release();
+      return SerializeClose();
+    }
+  }
+  return SerializeError(cmd, Status::InvalidArgument("unhandled verb"));
+}
+
+}  // namespace disc

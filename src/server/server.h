@@ -1,0 +1,95 @@
+// DiscServer: the long-lived disc_serve daemon core.
+//
+// A blocking accept loop feeds accepted connections to a fixed pool of
+// worker threads; each worker speaks the line protocol (server/protocol.h)
+// with one client at a time and holds at most one exclusive EngineLease
+// (server/session_manager.h) for it. Concurrency model in one sentence:
+// sessions are sharded across engines, an engine is never shared while
+// leased, and the only cross-thread state is the session manager's pool
+// and the accept queue, both mutex-guarded.
+//
+// The server runs entirely in background threads: Start() returns once the
+// socket is listening, and Shutdown() (or destruction) stops accepting,
+// unblocks in-flight reads, and joins every thread. Tests run it
+// in-process; disc_serve.cc wraps it in a binary.
+
+#ifndef DISC_SERVER_SERVER_H_
+#define DISC_SERVER_SERVER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "server/session_manager.h"
+#include "util/status.h"
+
+namespace disc {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back via port().
+  int port = 0;
+  /// Worker threads == maximum concurrent client connections; further
+  /// connections queue in the accept backlog until a worker frees up.
+  size_t workers = 4;
+  /// Idle engines kept warm by the session manager (LRU beyond this).
+  size_t max_idle_engines = 8;
+};
+
+class DiscServer {
+ public:
+  /// Binds, listens, and spawns the accept loop plus the worker pool.
+  /// Fails with the socket error (e.g. a taken port).
+  static Result<std::unique_ptr<DiscServer>> Start(ServerOptions options);
+
+  DiscServer(const DiscServer&) = delete;
+  DiscServer& operator=(const DiscServer&) = delete;
+
+  ~DiscServer() { Shutdown(); }
+
+  /// The bound port (resolves port 0).
+  int port() const { return port_; }
+
+  /// Stops accepting, disconnects in-flight clients, joins all threads.
+  /// Idempotent.
+  void Shutdown();
+
+  /// Pool observability (used by tests and the daemon's exit log).
+  SessionManagerStats manager_stats() const { return manager_.stats(); }
+
+ private:
+  explicit DiscServer(ServerOptions options)
+      : options_(std::move(options)),
+        manager_(options_.max_idle_engines) {}
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+  /// Processes one command line; returns the response line. May acquire or
+  /// release `*lease` (OPEN / CLOSE).
+  std::string HandleLine(const std::string& line, EngineLease* lease);
+
+  ServerOptions options_;
+  SessionManager manager_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  // accepted fds awaiting a worker
+  std::unordered_set<int> active_;  // fds currently inside a worker
+  bool stopping_ = false;
+};
+
+}  // namespace disc
+
+#endif  // DISC_SERVER_SERVER_H_

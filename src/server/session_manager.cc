@@ -1,0 +1,122 @@
+#include "server/session_manager.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "metric/metric.h"
+#include "mtree/mtree.h"
+
+namespace disc {
+
+std::string EnginePoolKey(const EngineConfig& config) {
+  const DatasetSpec& spec = config.dataset;
+  std::string key = DatasetSourceToString(spec.source);
+  switch (spec.source) {
+    case DatasetSpec::Source::kUniform:
+    case DatasetSpec::Source::kClustered:
+      key += ":n=" + std::to_string(spec.n) + ",dim=" +
+             std::to_string(spec.dim) + ",seed=" + std::to_string(spec.seed);
+      break;
+    case DatasetSpec::Source::kCsv:
+      key += ":" + spec.csv_path;
+      break;
+    case DatasetSpec::Source::kProvided:
+      // A caller-materialized dataset has no canonical identity the pool
+      // could match on; never reuse an engine built over one.
+      return "";
+    default:
+      break;
+  }
+  key += "|";
+  key += MetricKindToString(config.metric);
+  key += "|";
+  key += BuildStrategyToString(config.tree.build.strategy);
+  return key;
+}
+
+EngineLease& EngineLease::operator=(EngineLease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    manager_ = other.manager_;
+    key_ = std::move(other.key_);
+    engine_ = std::move(other.engine_);
+    reused_ = other.reused_;
+    other.manager_ = nullptr;
+    other.engine_ = nullptr;
+    other.reused_ = false;
+  }
+  return *this;
+}
+
+void EngineLease::Release() {
+  if (engine_ != nullptr && manager_ != nullptr) {
+    manager_->ReturnToPool(std::move(key_), std::move(engine_));
+  }
+  engine_ = nullptr;
+  manager_ = nullptr;
+}
+
+Result<EngineLease> SessionManager::Acquire(const EngineConfig& config) {
+  std::string key = EnginePoolKey(config);
+  std::unique_ptr<DiscEngine> pooled;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.leases_acquired;
+    for (auto it = idle_.begin(); !key.empty() && it != idle_.end(); ++it) {
+      if (it->key == key) {
+        pooled = std::move(it->engine);
+        idle_.erase(it);
+        ++stats_.pool_hits;
+        stats_.idle_engines = idle_.size();
+        break;
+      }
+    }
+  }
+  if (pooled != nullptr) {
+    // NewSession (an O(n) color reset) runs outside the manager-wide
+    // critical section; the engine is already exclusively ours.
+    pooled->NewSession();
+    return EngineLease(this, std::move(key), std::move(pooled),
+                       /*reused=*/true);
+  }
+
+  // Miss: build a fresh engine outside the lock (dataset load + index
+  // build can take seconds and must not serialize other sessions).
+  DISC_ASSIGN_OR_RETURN(std::unique_ptr<DiscEngine> engine,
+                        DiscEngine::Create(config));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.engines_created;
+  }
+  return EngineLease(this, std::move(key), std::move(engine),
+                     /*reused=*/false);
+}
+
+void SessionManager::ReturnToPool(std::string key,
+                                  std::unique_ptr<DiscEngine> engine) {
+  std::unique_ptr<DiscEngine> evicted;  // destroyed outside the lock
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (max_idle_engines_ == 0 || key.empty()) {  // empty key: unpoolable
+      stats_.idle_engines = idle_.size();
+      ++stats_.engines_evicted;
+      evicted = std::move(engine);
+    } else {
+      idle_.push_front(IdleEngine{std::move(key), std::move(engine)});
+      if (idle_.size() > max_idle_engines_) {
+        evicted = std::move(idle_.back().engine);
+        idle_.pop_back();
+        ++stats_.engines_evicted;
+      }
+      stats_.idle_engines = idle_.size();
+    }
+  }
+}
+
+SessionManagerStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace disc

@@ -1,0 +1,136 @@
+// SessionManager: shards concurrent client sessions across DiscEngine
+// instances.
+//
+// DiscEngine is single-session by design (engine/engine.h): its solution
+// cache, color state, and zoom preconditions assume one caller. The manager
+// provides the server's concurrency model on top of that invariant:
+//
+//  * every connection leases an engine for *exclusive* use — two sessions
+//    never share a live engine, so the tree's color state cannot race;
+//  * engines are pooled by (dataset, metric, build strategy): when a lease
+//    ends the engine goes idle instead of being destroyed, and the next
+//    OPEN with the same key reuses it after DiscEngine::NewSession() — the
+//    index, the per-radius neighborhood counts, and the solution cache stay
+//    warm, so a repeated DIVERSIFY at the same radius costs zero node
+//    accesses even across sessions;
+//  * concurrent OPENs of the same key each get their own engine (the pool
+//    may hold several per key), so sharding never serializes clients;
+//  * idle engines beyond `max_idle_engines` are evicted least-recently-
+//    released first (an index plus caches is the unit of memory here).
+//
+// Thread safety: Acquire/Release are safe from any thread. Engine
+// construction (dataset load + index build) runs outside the manager lock,
+// so a slow OPEN never blocks other sessions.
+
+#ifndef DISC_SERVER_SESSION_MANAGER_H_
+#define DISC_SERVER_SESSION_MANAGER_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "engine/config.h"
+#include "engine/engine.h"
+#include "util/status.h"
+
+namespace disc {
+
+/// Canonical pool key for an EngineConfig: dataset identity (source plus
+/// the generator knobs or CSV path), metric, and build strategy. Two
+/// configs with equal, non-empty keys produce interchangeable engines.
+/// Returns "" for configs with no canonical identity — kProvided datasets
+/// (two provided datasets are not interchangeable just because their
+/// metric matches) — and such engines are never pooled: the manager
+/// destroys them when their lease ends. Note the key deliberately covers
+/// only `MTreeOptions::build.strategy`; configs that hand-tune other tree
+/// knobs should use their own manager (the wire protocol cannot produce
+/// them).
+std::string EnginePoolKey(const EngineConfig& config);
+
+class SessionManager;
+
+/// An exclusive engine lease. Movable, not copyable; returns the engine to
+/// the manager's idle pool on destruction (RAII) or explicit Release().
+class EngineLease {
+ public:
+  EngineLease() = default;
+  EngineLease(EngineLease&& other) noexcept { *this = std::move(other); }
+  EngineLease& operator=(EngineLease&& other) noexcept;
+  ~EngineLease() { Release(); }
+
+  EngineLease(const EngineLease&) = delete;
+  EngineLease& operator=(const EngineLease&) = delete;
+
+  bool valid() const { return engine_ != nullptr; }
+  DiscEngine& engine() { return *engine_; }
+  const std::string& key() const { return key_; }
+  /// True when Acquire reused a pooled engine (warm caches).
+  bool reused() const { return reused_; }
+
+  /// Returns the engine to the pool now. No-op on an empty lease.
+  void Release();
+
+ private:
+  friend class SessionManager;
+  EngineLease(SessionManager* manager, std::string key,
+              std::unique_ptr<DiscEngine> engine, bool reused)
+      : manager_(manager),
+        key_(std::move(key)),
+        engine_(std::move(engine)),
+        reused_(reused) {}
+
+  SessionManager* manager_ = nullptr;
+  std::string key_;
+  std::unique_ptr<DiscEngine> engine_;
+  bool reused_ = false;
+};
+
+/// Counters for observability and tests (a consistent snapshot).
+struct SessionManagerStats {
+  size_t leases_acquired = 0;
+  size_t pool_hits = 0;
+  size_t engines_created = 0;
+  size_t engines_evicted = 0;
+  size_t idle_engines = 0;
+};
+
+class SessionManager {
+ public:
+  /// `max_idle_engines` bounds the idle pool (leased engines are not
+  /// counted); 0 disables pooling entirely.
+  explicit SessionManager(size_t max_idle_engines)
+      : max_idle_engines_(max_idle_engines) {}
+
+  /// Leases an engine for `config`: a pooled idle engine with the same key
+  /// (restarted via DiscEngine::NewSession) when available, otherwise a
+  /// freshly built one. Fails with DiscEngine::Create's error.
+  Result<EngineLease> Acquire(const EngineConfig& config);
+
+  SessionManagerStats stats() const;
+
+ private:
+  friend class EngineLease;
+
+  struct IdleEngine {
+    std::string key;
+    std::unique_ptr<DiscEngine> engine;
+  };
+
+  /// Called by EngineLease: returns the engine to the idle pool, evicting
+  /// the least-recently-released engine beyond the cap.
+  void ReturnToPool(std::string key, std::unique_ptr<DiscEngine> engine);
+
+  const size_t max_idle_engines_;
+
+  mutable std::mutex mutex_;
+  /// Most recently released at the front; evict from the back.
+  std::list<IdleEngine> idle_;
+  SessionManagerStats stats_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_SERVER_SESSION_MANAGER_H_

@@ -1,0 +1,77 @@
+#include "util/flags.h"
+
+#include <charconv>
+#include <system_error>
+
+namespace disc {
+
+Result<std::map<std::string, std::string>> ParseFlagArgs(
+    int argc, char** argv, const std::vector<std::string>& known) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected argument: " + arg);
+    }
+    size_t eq = arg.find('=');
+    std::string key =
+        eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+    bool is_known = false;
+    for (const std::string& candidate : known) {
+      if (key == candidate) {
+        is_known = true;
+        break;
+      }
+    }
+    if (!is_known) {
+      return Status::InvalidArgument("unknown flag '--" + key + "'");
+    }
+    flags[key] = eq == std::string::npos ? "true" : arg.substr(eq + 1);
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+namespace {
+
+template <typename T>
+Result<T> ParseNumeric(const std::map<std::string, std::string>& flags,
+                       const std::string& key, T fallback,
+                       const char* expected) {
+  auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  const std::string& text = it->second;
+  T value{};
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("--" + key + "=" + text + " is not " +
+                                   expected);
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<uint64_t> FlagUint(const std::map<std::string, std::string>& flags,
+                          const std::string& key, uint64_t fallback) {
+  return ParseNumeric<uint64_t>(flags, key, fallback,
+                                "a non-negative integer");
+}
+
+Result<int> FlagInt(const std::map<std::string, std::string>& flags,
+                    const std::string& key, int fallback) {
+  return ParseNumeric<int>(flags, key, fallback, "an integer");
+}
+
+Result<double> FlagDouble(const std::map<std::string, std::string>& flags,
+                          const std::string& key, double fallback) {
+  return ParseNumeric<double>(flags, key, fallback, "a number");
+}
+
+}  // namespace disc

@@ -1,0 +1,41 @@
+// Minimal --key=value flag parsing shared by the binaries (disc_cli,
+// disc_serve, disc_client). One vocabulary-checked pass from argv to a
+// string map, plus strict numeric accessors — "--port=48l7" is an error,
+// never a silent zero.
+
+#ifndef DISC_UTIL_FLAGS_H_
+#define DISC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace disc {
+
+/// Parses argv into {key: value}. Every argument must look like --key or
+/// --key=value and the key must be in `known`; otherwise InvalidArgument
+/// with the same "unknown flag '--x'" / "unexpected argument: x" wording
+/// the CLIs have always printed (callers append their usage text). A bare
+/// --key stores "true".
+Result<std::map<std::string, std::string>> ParseFlagArgs(
+    int argc, char** argv, const std::vector<std::string>& known);
+
+/// The flag's value, or `fallback` when absent.
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback);
+
+/// Strict full-consumption numeric accessors: absent key -> fallback,
+/// malformed value -> InvalidArgument naming the flag.
+Result<uint64_t> FlagUint(const std::map<std::string, std::string>& flags,
+                          const std::string& key, uint64_t fallback);
+Result<int> FlagInt(const std::map<std::string, std::string>& flags,
+                    const std::string& key, int fallback);
+Result<double> FlagDouble(const std::map<std::string, std::string>& flags,
+                          const std::string& key, double fallback);
+
+}  // namespace disc
+
+#endif  // DISC_UTIL_FLAGS_H_

@@ -1,0 +1,503 @@
+// End-to-end tests for the disc_serve transport: the in-process DiscServer
+// (protocol handling, session manager pooling, concurrency) plus a smoke
+// test that spawns the real daemon binary and drives it with disc_client.
+//
+// The concurrency contract under test (ISSUE 4): N concurrent client
+// sessions on one server produce byte-identical DIVERSIFY/ZOOM results to
+// direct DiscEngine calls — sessions are sharded across exclusive engine
+// leases, so no request ever races another on a tree's color state. The
+// suite runs in CI under both ASan/UBSan and TSan.
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "data/generators.h"
+#include "engine/engine.h"
+#include "server/net.h"
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace disc {
+namespace {
+
+std::unique_ptr<DiscServer> StartServer(size_t workers = 4,
+                                        size_t max_idle_engines = 8) {
+  ServerOptions options;
+  options.port = 0;  // ephemeral; parallel ctest runs must not collide
+  options.workers = workers;
+  options.max_idle_engines = max_idle_engines;
+  auto server = DiscServer::Start(options);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  return std::move(server).value();
+}
+
+LineClient ConnectTo(const DiscServer& server) {
+  auto client = LineClient::Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(client).value();
+}
+
+std::string MustRoundtrip(LineClient& client, const std::string& line) {
+  auto response = client.Roundtrip(line);
+  EXPECT_TRUE(response.ok()) << line << ": "
+                             << response.status().ToString();
+  return response.ok() ? *response : "";
+}
+
+/// The deterministic prefix of a serialized response: everything except the
+/// machine-dependent trailing wall_ms field.
+std::string DeterministicPrefix(Verb verb, const DiversifyResponse& response) {
+  std::string line =
+      SerializeDiversifyResponse(verb, response, /*include_wall_ms=*/false);
+  return line.substr(0, line.size() - 1);  // drop the closing brace
+}
+
+EngineConfig TestConfig(size_t n = 400, uint64_t seed = 9) {
+  EngineConfig config;
+  config.dataset = DatasetSpec::Clustered(n, 2, seed);
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Single-session protocol behavior
+// ---------------------------------------------------------------------------
+
+TEST(ServerTest, OpenDiversifyZoomMatchesDirectEngineByteForByte) {
+  auto server = StartServer();
+  LineClient client = ConnectTo(*server);
+
+  std::string open = MustRoundtrip(
+      client, "OPEN dataset=clustered n=400 dim=2 seed=9");
+  EXPECT_NE(open.find("\"ok\":true"), std::string::npos) << open;
+  EXPECT_NE(open.find("\"n\":400"), std::string::npos) << open;
+  EXPECT_NE(open.find("\"reused\":false"), std::string::npos) << open;
+
+  // The same requests against a directly-constructed engine.
+  auto engine = DiscEngine::Create(TestConfig());
+  ASSERT_TRUE(engine.ok());
+  DiversifyRequest diversify;
+  diversify.radius = 0.1;
+  auto expected = (*engine)->Diversify(diversify);
+  ASSERT_TRUE(expected.ok());
+  ZoomRequest zoom;
+  zoom.radius = 0.05;
+  auto expected_zoom = (*engine)->Zoom(zoom);
+  ASSERT_TRUE(expected_zoom.ok());
+
+  std::string wire = MustRoundtrip(client, "DIVERSIFY r=0.1");
+  EXPECT_EQ(wire.rfind(DeterministicPrefix(Verb::kDiversify, *expected), 0),
+            0u)
+      << wire;
+
+  std::string wire_zoom = MustRoundtrip(client, "ZOOM to=0.05");
+  EXPECT_EQ(
+      wire_zoom.rfind(DeterministicPrefix(Verb::kZoom, *expected_zoom), 0),
+      0u)
+      << wire_zoom;
+
+  EXPECT_EQ(MustRoundtrip(client, "CLOSE"),
+            "{\"ok\":true,\"cmd\":\"CLOSE\"}");
+}
+
+TEST(ServerTest, QualityFieldsTravelOverTheWire) {
+  auto server = StartServer();
+  LineClient client = ConnectTo(*server);
+  MustRoundtrip(client, "OPEN dataset=uniform n=150 dim=2 seed=11");
+  std::string wire = MustRoundtrip(client, "DIVERSIFY r=0.15 quality=true");
+  EXPECT_NE(wire.find("\"verified\":\"OK\""), std::string::npos) << wire;
+  EXPECT_NE(wire.find("\"coverage\":1"), std::string::npos) << wire;
+}
+
+TEST(ServerTest, StatsReportsSessionState) {
+  auto server = StartServer();
+  LineClient client = ConnectTo(*server);
+  MustRoundtrip(client, "OPEN dataset=clustered n=300 dim=2 seed=5");
+
+  std::string before = MustRoundtrip(client, "STATS");
+  EXPECT_NE(before.find("\"has_solution\":false"), std::string::npos)
+      << before;
+
+  MustRoundtrip(client, "DIVERSIFY r=0.1");
+  std::string after = MustRoundtrip(client, "STATS");
+  EXPECT_NE(after.find("\"has_solution\":true"), std::string::npos) << after;
+  EXPECT_NE(after.find("\"algorithm\":\"greedy\""), std::string::npos)
+      << after;
+  EXPECT_NE(after.find("\"cached_solutions\":1"), std::string::npos) << after;
+}
+
+TEST(ServerTest, ProtocolErrorsComeBackAsErrorLines) {
+  auto server = StartServer();
+  LineClient client = ConnectTo(*server);
+
+  // Before OPEN, everything but OPEN is a precondition failure.
+  for (const char* cmd : {"DIVERSIFY r=0.1", "ZOOM to=0.1", "STATS",
+                          "CLOSE"}) {
+    std::string response = MustRoundtrip(client, cmd);
+    EXPECT_NE(response.find("\"ok\":false"), std::string::npos) << response;
+    EXPECT_NE(response.find("\"code\":\"FailedPrecondition\""),
+              std::string::npos)
+        << response;
+  }
+
+  // Unknown verbs and malformed lines parse-fail with cmd "?".
+  std::string unknown = MustRoundtrip(client, "LAUNCH r=0.1");
+  EXPECT_NE(unknown.find("\"cmd\":\"?\""), std::string::npos) << unknown;
+
+  // A failed OPEN leaves the connection usable.
+  std::string bad_open = MustRoundtrip(client, "OPEN dataset=nope");
+  EXPECT_NE(bad_open.find("\"ok\":false"), std::string::npos) << bad_open;
+  std::string good_open =
+      MustRoundtrip(client, "OPEN dataset=uniform n=100 dim=2 seed=1");
+  EXPECT_NE(good_open.find("\"ok\":true"), std::string::npos) << good_open;
+
+  // Engine-level misuse surfaces with the engine's status code.
+  std::string zoom = MustRoundtrip(client, "ZOOM to=0.05");
+  EXPECT_NE(zoom.find("\"code\":\"FailedPrecondition\""), std::string::npos)
+      << zoom;
+  std::string double_open =
+      MustRoundtrip(client, "OPEN dataset=uniform n=100 dim=2 seed=1");
+  EXPECT_NE(double_open.find("already open"), std::string::npos)
+      << double_open;
+}
+
+TEST(ServerTest, BlankLinesAreSkippedSilently) {
+  auto server = StartServer();
+  LineClient client = ConnectTo(*server);
+  ASSERT_TRUE(client.SendLine("").ok());
+  ASSERT_TRUE(client.SendLine("  \t ").ok());
+  // If the blanks produced responses, this would read one of them instead.
+  std::string response = MustRoundtrip(client, "STATS");
+  EXPECT_NE(response.find("\"cmd\":\"STATS\""), std::string::npos)
+      << response;
+}
+
+// ---------------------------------------------------------------------------
+// Engine pooling across sessions
+// ---------------------------------------------------------------------------
+
+TEST(ServerTest, PooledEngineIsReusedWithWarmCachesAcrossSessions) {
+  auto server = StartServer();
+  LineClient client = ConnectTo(*server);
+
+  MustRoundtrip(client, "OPEN dataset=clustered n=400 dim=2 seed=9");
+  std::string first = MustRoundtrip(client, "DIVERSIFY r=0.1");
+  EXPECT_NE(first.find("\"from_cache\":false"), std::string::npos) << first;
+  MustRoundtrip(client, "CLOSE");
+
+  // Same key -> the pooled engine comes back, caches warm: an identical
+  // DIVERSIFY is a cache hit with zero index work, and zooming still works
+  // because the cached color snapshot was restored.
+  std::string reopened =
+      MustRoundtrip(client, "OPEN dataset=clustered n=400 dim=2 seed=9");
+  EXPECT_NE(reopened.find("\"reused\":true"), std::string::npos) << reopened;
+  EXPECT_NE(reopened.find("\"sessions_served\":2"), std::string::npos)
+      << reopened;
+
+  std::string second = MustRoundtrip(client, "DIVERSIFY r=0.1");
+  EXPECT_NE(second.find("\"from_cache\":true"), std::string::npos) << second;
+  EXPECT_NE(second.find("\"node_accesses\":0"), std::string::npos) << second;
+
+  std::string zoom = MustRoundtrip(client, "ZOOM to=0.05");
+  EXPECT_NE(zoom.find("\"ok\":true"), std::string::npos) << zoom;
+
+  SessionManagerStats stats = server->manager_stats();
+  EXPECT_EQ(stats.leases_acquired, 2u);
+  EXPECT_EQ(stats.pool_hits, 1u);
+  EXPECT_EQ(stats.engines_created, 1u);
+}
+
+TEST(ServerTest, DifferentKeysGetDifferentEngines) {
+  auto server = StartServer();
+  LineClient client = ConnectTo(*server);
+  MustRoundtrip(client, "OPEN dataset=uniform n=100 dim=2 seed=1");
+  MustRoundtrip(client, "CLOSE");
+  // Same generator, different seed: a different dataset, so no reuse.
+  std::string open =
+      MustRoundtrip(client, "OPEN dataset=uniform n=100 dim=2 seed=2");
+  EXPECT_NE(open.find("\"reused\":false"), std::string::npos) << open;
+  EXPECT_EQ(server->manager_stats().engines_created, 2u);
+}
+
+TEST(SessionManagerTest, ProvidedDatasetsAreNeverPooled) {
+  // Two caller-materialized datasets are not interchangeable just because
+  // their metric and build strategy match: leases over kProvided specs
+  // must never reuse a pooled engine (EnginePoolKey returns "").
+  SessionManager manager(/*max_idle_engines=*/8);
+  EngineConfig first;
+  first.dataset = DatasetSpec::Provided(MakeUniformDataset(50, 2, 1));
+  EXPECT_EQ(EnginePoolKey(first), "");
+  {
+    auto lease = manager.Acquire(first);
+    ASSERT_TRUE(lease.ok()) << lease.status().ToString();
+    EXPECT_FALSE(lease->reused());
+  }
+  EngineConfig second;
+  second.dataset = DatasetSpec::Provided(MakeUniformDataset(80, 2, 2));
+  auto lease = manager.Acquire(second);
+  ASSERT_TRUE(lease.ok());
+  EXPECT_FALSE(lease->reused());
+  EXPECT_EQ(lease->engine().dataset().size(), 80u);
+  EXPECT_EQ(manager.stats().engines_created, 2u);
+  EXPECT_EQ(manager.stats().idle_engines, 0u);
+}
+
+TEST(ServerTest, OversizedLinesCloseTheConnectionInsteadOfBuffering) {
+  auto server = StartServer();
+  LineClient client = ConnectTo(*server);
+  // Far beyond the 1 MB line cap, no newline: the server must drop the
+  // connection rather than buffer the stream indefinitely.
+  std::string flood(3u << 20, 'a');
+  (void)client.SendLine(flood);
+  auto response = client.RecvLine();
+  EXPECT_FALSE(response.ok());
+}
+
+TEST(ServerTest, IdlePoolEvictsLeastRecentlyReleased) {
+  auto server = StartServer(/*workers=*/2, /*max_idle_engines=*/1);
+  LineClient client = ConnectTo(*server);
+  MustRoundtrip(client, "OPEN dataset=uniform n=80 dim=2 seed=1");
+  MustRoundtrip(client, "CLOSE");
+  MustRoundtrip(client, "OPEN dataset=uniform n=80 dim=2 seed=2");
+  MustRoundtrip(client, "CLOSE");  // evicts seed=1 (cap is 1)
+
+  std::string open =
+      MustRoundtrip(client, "OPEN dataset=uniform n=80 dim=2 seed=1");
+  EXPECT_NE(open.find("\"reused\":false"), std::string::npos) << open;
+  EXPECT_EQ(server->manager_stats().engines_evicted, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: the acceptance-criteria test
+// ---------------------------------------------------------------------------
+
+// N concurrent sessions, all open at once on one server, each issuing
+// DIVERSIFY + ZOOM at its own radius. Every wire response must be
+// byte-identical (modulo the trailing wall_ms field) to a direct
+// DiscEngine call with the same config — exclusive engine leases mean no
+// session can observe another's tree mutations. Run under TSan in CI.
+TEST(ServerConcurrencyTest, ConcurrentSessionsMatchDirectEngineCalls) {
+  constexpr size_t kSessions = 4;
+  auto server = StartServer(/*workers=*/kSessions);
+
+  // Open all sessions before any work: the leases coexist, so the manager
+  // must shard them onto distinct engines (nothing is idle to reuse).
+  std::vector<LineClient> clients;
+  for (size_t i = 0; i < kSessions; ++i) {
+    clients.push_back(ConnectTo(*server));
+    std::string open = MustRoundtrip(
+        clients.back(), "OPEN dataset=clustered n=400 dim=2 seed=9");
+    ASSERT_NE(open.find("\"ok\":true"), std::string::npos) << open;
+    ASSERT_NE(open.find("\"reused\":false"), std::string::npos) << open;
+  }
+  EXPECT_EQ(server->manager_stats().engines_created, kSessions);
+
+  // Each session diversifies and zooms at its own radius, concurrently.
+  std::vector<double> radii;
+  for (size_t i = 0; i < kSessions; ++i) {
+    radii.push_back(0.05 + 0.02 * static_cast<double>(i));
+  }
+  std::vector<std::string> diversify_wire(kSessions);
+  std::vector<std::string> zoom_wire(kSessions);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      diversify_wire[i] = MustRoundtrip(
+          clients[i], "DIVERSIFY r=" + FormatJsonDouble(radii[i]));
+      zoom_wire[i] = MustRoundtrip(
+          clients[i], "ZOOM to=" + FormatJsonDouble(radii[i] / 2));
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Replay each session against its own direct engine and compare bytes.
+  for (size_t i = 0; i < kSessions; ++i) {
+    auto engine = DiscEngine::Create(TestConfig());
+    ASSERT_TRUE(engine.ok());
+    DiversifyRequest diversify;
+    diversify.radius = radii[i];
+    auto expected = (*engine)->Diversify(diversify);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(diversify_wire[i].rfind(
+                  DeterministicPrefix(Verb::kDiversify, *expected), 0),
+              0u)
+        << "session " << i << ": " << diversify_wire[i];
+
+    ZoomRequest zoom;
+    zoom.radius = radii[i] / 2;
+    auto expected_zoom = (*engine)->Zoom(zoom);
+    ASSERT_TRUE(expected_zoom.ok());
+    EXPECT_EQ(zoom_wire[i].rfind(
+                  DeterministicPrefix(Verb::kZoom, *expected_zoom), 0),
+              0u)
+        << "session " << i << ": " << zoom_wire[i];
+  }
+
+  for (LineClient& client : clients) {
+    EXPECT_EQ(MustRoundtrip(client, "CLOSE"),
+              "{\"ok\":true,\"cmd\":\"CLOSE\"}");
+  }
+}
+
+TEST(ServerConcurrencyTest, ManyShortSessionsChurnThePoolSafely) {
+  auto server = StartServer(/*workers=*/4, /*max_idle_engines=*/2);
+  constexpr size_t kThreads = 4;
+  constexpr size_t kSessionsPerThread = 5;
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t s = 0; s < kSessionsPerThread; ++s) {
+        LineClient client = ConnectTo(*server);
+        // Two distinct keys ping-pong through the size-2 idle pool.
+        std::string open = MustRoundtrip(
+            client, "OPEN dataset=uniform n=120 dim=2 seed=" +
+                        std::to_string(t % 2));
+        ASSERT_NE(open.find("\"ok\":true"), std::string::npos) << open;
+        std::string wire = MustRoundtrip(client, "DIVERSIFY r=0.15");
+        ASSERT_NE(wire.find("\"ok\":true"), std::string::npos) << wire;
+        MustRoundtrip(client, "CLOSE");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  SessionManagerStats stats = server->manager_stats();
+  EXPECT_EQ(stats.leases_acquired, kThreads * kSessionsPerThread);
+  EXPECT_GT(stats.pool_hits, 0u);
+  EXPECT_LE(stats.idle_engines, 2u);
+}
+
+TEST(ServerTest, ShutdownDisconnectsClientsAndJoins) {
+  auto server = StartServer();
+  LineClient client = ConnectTo(*server);
+  MustRoundtrip(client, "OPEN dataset=uniform n=80 dim=2 seed=1");
+  server->Shutdown();
+  // The in-flight connection is dropped; the next read sees EOF/reset.
+  auto response = client.Roundtrip("STATS");
+  EXPECT_FALSE(response.ok());
+  server->Shutdown();  // idempotent
+}
+
+// ---------------------------------------------------------------------------
+// The real daemon binary, driven by disc_client
+// ---------------------------------------------------------------------------
+
+#if defined(DISC_SERVE_PATH) && defined(DISC_CLIENT_PATH)
+
+struct Daemon {
+  pid_t pid = -1;
+  int port = 0;
+};
+
+// Spawns disc_serve --port=0 and parses the "listening on host:port" line.
+Daemon SpawnDaemon() {
+  Daemon daemon;
+  int out_pipe[2];
+  if (pipe(out_pipe) != 0) return daemon;
+  pid_t pid = fork();
+  if (pid < 0) return daemon;
+  if (pid == 0) {
+    dup2(out_pipe[1], STDOUT_FILENO);
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    execl(DISC_SERVE_PATH, DISC_SERVE_PATH, "--port=0", "--workers=2",
+          static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  close(out_pipe[1]);
+  std::string banner;
+  char c;
+  while (read(out_pipe[0], &c, 1) == 1 && c != '\n') banner += c;
+  close(out_pipe[0]);
+  size_t colon = banner.rfind(':');
+  if (colon != std::string::npos) {
+    daemon.pid = pid;
+    daemon.port = std::atoi(banner.c_str() + colon + 1);
+  }
+  return daemon;
+}
+
+void StopDaemon(const Daemon& daemon) {
+  if (daemon.pid <= 0) return;
+  kill(daemon.pid, SIGTERM);
+  int status = 0;
+  waitpid(daemon.pid, &status, 0);
+}
+
+TEST(DaemonSmokeTest, TranscriptThroughDiscClient) {
+  Daemon daemon = SpawnDaemon();
+  ASSERT_GT(daemon.pid, 0);
+  ASSERT_GT(daemon.port, 0);
+
+  std::string cmd =
+      std::string("printf 'OPEN dataset=clustered n=300 dim=2 seed=5\\n"
+                  "DIVERSIFY r=0.1\\nZOOM to=0.05\\nSTATS\\nCLOSE\\n' | ") +
+      DISC_CLIENT_PATH + " --port=" + std::to_string(daemon.port) + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[512];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    output += buffer;
+  }
+  int exit_code = pclose(pipe);
+  StopDaemon(daemon);
+
+  EXPECT_EQ(WEXITSTATUS(exit_code), 0) << output;
+  EXPECT_NE(output.find("\"cmd\":\"OPEN\""), std::string::npos) << output;
+  EXPECT_NE(output.find("\"cmd\":\"DIVERSIFY\""), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("\"cmd\":\"ZOOM\""), std::string::npos) << output;
+  EXPECT_NE(output.find("\"has_solution\":true"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("\"cmd\":\"CLOSE\""), std::string::npos) << output;
+  // Five commands, five responses, all ok.
+  size_t ok_count = 0;
+  for (size_t pos = output.find("\"ok\":true"); pos != std::string::npos;
+       pos = output.find("\"ok\":true", pos + 1)) {
+    ++ok_count;
+  }
+  EXPECT_EQ(ok_count, 5u) << output;
+}
+
+TEST(DaemonSmokeTest, DaemonServesConcurrentClients) {
+  Daemon daemon = SpawnDaemon();
+  ASSERT_GT(daemon.pid, 0);
+  ASSERT_GT(daemon.port, 0);
+
+  std::vector<std::thread> threads;
+  std::vector<int> ok(4, 0);  // not vector<bool>: threads write elements
+  for (size_t i = 0; i < 4; ++i) {
+    threads.emplace_back([&, i] {
+      auto client = LineClient::Connect("127.0.0.1", daemon.port);
+      if (!client.ok()) return;
+      auto open = client->Roundtrip("OPEN dataset=uniform n=150 dim=2 seed=" +
+                                    std::to_string(i));
+      auto wire = client->Roundtrip("DIVERSIFY r=0.2");
+      ok[i] = open.ok() && wire.ok() &&
+              wire->find("\"ok\":true") != std::string::npos;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  StopDaemon(daemon);
+  for (size_t i = 0; i < 4; ++i) EXPECT_TRUE(ok[i]) << "client " << i;
+}
+
+#endif  // DISC_SERVE_PATH && DISC_CLIENT_PATH
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Checks that code paths referenced from the docs still exist in the tree.
+
+Scans the markdown documentation (README.md, BUILDING.md, ROADMAP.md and
+docs/*.md) for backticked references to repository paths — `src/...`,
+`tests/...`, `bench/...`, `examples/...`, `tools/...`, `docs/...` — and
+fails when a referenced path no longer exists, so renames and deletions
+cannot silently rot the documentation. CI runs this in the docs job; run
+it locally from the repo root:
+
+    python3 tools/check_doc_refs.py
+"""
+
+import glob
+import os
+import re
+import sys
+
+DOC_FILES = ["README.md", "BUILDING.md", "ROADMAP.md"] + sorted(
+    glob.glob("docs/*.md")
+)
+
+# Inline code spans only: path-shaped references are expected to be
+# backticked; prose mentions are not checked.
+CODE_SPAN = re.compile(r"`([^`]+)`")
+
+# A path-shaped token inside a code span. Anchored at the start (possibly
+# after ./) so flags like --baseline bench/... still match their path part.
+PATH_TOKEN = re.compile(
+    r"(?:^|[\s=])((?:src|tests|bench|examples|tools|docs)/[A-Za-z0-9_.*/-]+)"
+)
+
+
+def candidate_paths(span: str):
+    for match in PATH_TOKEN.finditer(span):
+        yield match.group(1).rstrip(".,:;")
+
+
+def path_exists(path: str) -> bool:
+    if "*" in path:
+        return bool(glob.glob(path))
+    # `src/server/` and `src/server` both mean the directory; a bare stem
+    # like `src/core/zoom` covers its .h/.cc pair.
+    return (
+        os.path.exists(path)
+        or os.path.isdir(path.rstrip("/"))
+        or bool(glob.glob(path + ".*"))
+    )
+
+
+def main() -> int:
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    os.chdir(repo_root)
+
+    missing = []
+    checked = 0
+    for doc in DOC_FILES:
+        if not os.path.exists(doc):
+            continue
+        with open(doc, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                for span in CODE_SPAN.findall(line):
+                    for path in candidate_paths(span):
+                        checked += 1
+                        if not path_exists(path):
+                            missing.append(f"{doc}:{lineno}: `{path}`")
+
+    if missing:
+        print("Documentation references paths that do not exist:")
+        for entry in missing:
+            print(f"  {entry}")
+        print(
+            f"\n{len(missing)} stale reference(s) out of {checked} checked. "
+            "Update the docs (or the checker's rules in "
+            "tools/check_doc_refs.py if the reference is intentional)."
+        )
+        return 1
+
+    print(f"OK: {checked} doc path references all resolve.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
