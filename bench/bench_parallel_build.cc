@@ -1,0 +1,186 @@
+// Parallel neighborhood construction: the threads-matrix benchmark.
+//
+// CI runs this binary twice — DISC_THREADS=1 and DISC_THREADS=4 — and
+// gates two properties across the legs (bench/diff_bench_json.py):
+//   * determinism: every counter reported here (edges, node accesses,
+//     range queries, count checksums) must be bit-identical across legs;
+//   * speedup: the 4-thread leg must win graph-build wall time by >= 1.5x
+//     at n >= 10k on the brute-force path (pure distance compute, the one
+//     whose scaling is machine-independent enough to hard-gate; the grid,
+//     index, and counts passes are reported for trend watching but not
+//     gated — they are memory/allocator-bound and noisier on CI runners).
+//
+// The benchmarks cover the three NeighborhoodGraph build paths plus the
+// engine's neighborhood-count pass — the passes rewired onto
+// util/parallel.h. Wall times land in google-benchmark's real_time; the
+// deterministic counters double as the cross-leg identity proof.
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/common.h"
+#include "graph/neighborhood.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
+
+namespace disc {
+namespace bench {
+namespace {
+
+// The matrix leg this process runs: worker threads for every parallel pass.
+size_t BenchThreads() {
+  static const size_t threads = [] {
+    const char* env = std::getenv("DISC_THREADS");
+    if (env == nullptr) return size_t{1};
+    const long parsed = std::strtol(env, nullptr, 10);
+    return parsed > 0 ? static_cast<size_t>(parsed) : size_t{1};
+  }();
+  return threads;
+}
+
+// One pool for the whole binary (workers persist across benchmarks, like a
+// served engine's pool). Null at 1 thread so the serial paths run.
+ThreadPool* BenchPool() {
+  static ThreadPool* pool =
+      BenchThreads() > 1 ? new ThreadPool(BenchThreads()) : nullptr;
+  return pool;
+}
+
+// The leg's thread count is deliberately NOT a table column: the cross-leg
+// identity gate keys rows by their labels, and both legs must produce the
+// same keys (the leg is ambient — DISC_THREADS — and wall time lives in
+// the *_ms column, which the deterministic gate ignores).
+TableCollector* ParallelTable() {
+  static TableCollector table(
+      "Parallel neighborhood construction (threads from DISC_THREADS)",
+      "parallel_build.csv", {"pass", "n", "build_ms", "edges",
+                             "node_accesses"});
+  return &table;
+}
+
+void AddParallelRow(const char* pass, size_t n, double ms, uint64_t edges,
+                    uint64_t node_accesses) {
+  ParallelTable()->AddRow({pass, std::to_string(n), FormatDouble(ms, 4),
+                           std::to_string(edges),
+                           std::to_string(node_accesses)});
+}
+
+// O(n^2) path: dim 4 keeps the grid accelerator out. The chunky workload
+// the speedup gate measures.
+void BM_GraphBrute(benchmark::State& state, size_t n) {
+  Dataset dataset = MakeUniformDataset(n, 4, 42);
+  EuclideanMetric metric;
+  const double radius = 0.35;
+  double ms = 0.0;
+  uint64_t edges = 0;
+  for (auto _ : state) {
+    Stopwatch watch;
+    NeighborhoodGraph graph(dataset, metric, radius, BenchPool());
+    ms = watch.ElapsedMillis();
+    edges = graph.num_edges();
+    benchmark::DoNotOptimize(graph.num_edges());
+  }
+  state.counters["edges"] = static_cast<double>(edges);
+  AddParallelRow("brute", n, ms, edges, 0);
+}
+
+// Grid path: the default for the paper's 2-D workloads.
+void BM_GraphGrid(benchmark::State& state, size_t n) {
+  const Dataset& dataset = Clustered(n, 2);
+  const double radius = 0.03;
+  double ms = 0.0;
+  uint64_t edges = 0;
+  for (auto _ : state) {
+    Stopwatch watch;
+    NeighborhoodGraph graph(dataset, Euclidean(), radius, BenchPool());
+    ms = watch.ElapsedMillis();
+    edges = graph.num_edges();
+    benchmark::DoNotOptimize(graph.num_edges());
+  }
+  state.counters["edges"] = static_cast<double>(edges);
+  AddParallelRow("grid", n, ms, edges, 0);
+}
+
+// Index-backed path (one range query per object) over a bulk-loaded tree;
+// node accesses must be bit-identical across legs (per-thread sinks summed).
+void BM_GraphIndex(benchmark::State& state, size_t n) {
+  const Dataset& dataset = Clustered(n, 2);
+  MTreeOptions options;
+  options.build.strategy = BuildStrategy::kBulkLoad;
+  MTree* tree = CachedTree(dataset, Euclidean(), options);
+  const double radius = 0.03;
+  double ms = 0.0;
+  uint64_t edges = 0;
+  uint64_t accesses = 0;
+  for (auto _ : state) {
+    tree->ResetStats();
+    Stopwatch watch;
+    NeighborhoodGraph graph(*tree, radius, BenchPool());
+    ms = watch.ElapsedMillis();
+    edges = graph.num_edges();
+    accesses = tree->stats().node_accesses;
+    benchmark::DoNotOptimize(graph.num_edges());
+  }
+  state.counters["edges"] = static_cast<double>(edges);
+  state.counters["node_accesses"] = static_cast<double>(accesses);
+  state.counters["range_queries"] =
+      static_cast<double>(tree->stats().range_queries);
+  AddParallelRow("index", n, ms, edges, accesses);
+}
+
+// The engine's CountsForRadius pass (Greedy-DisC initialization): one range
+// query per object, counts checksummed for the cross-leg identity gate.
+void BM_Counts(benchmark::State& state, size_t n) {
+  const Dataset& dataset = Clustered(n, 2);
+  MTree* tree = CachedTree(dataset, Euclidean());
+  const double radius = 0.03;
+  double ms = 0.0;
+  uint64_t checksum = 0;
+  uint64_t accesses = 0;
+  std::vector<uint32_t> counts;
+  for (auto _ : state) {
+    tree->ResetStats();
+    Stopwatch watch;
+    tree->ComputeNeighborCountsPostBuild(radius, &counts, BenchPool());
+    ms = watch.ElapsedMillis();
+    checksum = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      checksum += counts[i] * (i + 1);  // order-sensitive checksum
+    }
+    accesses = tree->stats().node_accesses;
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.counters["counts_checksum"] = static_cast<double>(checksum);
+  state.counters["node_accesses"] = static_cast<double>(accesses);
+  AddParallelRow("counts", n, ms, 0, accesses);
+}
+
+[[maybe_unused]] const bool registered = [] {
+  const size_t kSizes[] = {10000, 20000};
+  for (size_t n : kSizes) {
+    for (auto& [name, fn] :
+         {std::pair<const char*, void (*)(benchmark::State&, size_t)>{
+              "GraphBrute", BM_GraphBrute},
+          {"GraphGrid", BM_GraphGrid},
+          {"GraphIndex", BM_GraphIndex},
+          {"Counts", BM_Counts}}) {
+      std::string bench_name =
+          "Parallel/" + std::string(name) + "/n=" + std::to_string(n);
+      auto* fn_copy = fn;
+      benchmark::RegisterBenchmark(
+          bench_name.c_str(),
+          [fn_copy, n](benchmark::State& state) { fn_copy(state, n); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+}  // namespace bench
+}  // namespace disc
+
+DISC_BENCH_MAIN()

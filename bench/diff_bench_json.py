@@ -12,11 +12,35 @@ Wall-clock metrics (real_time / cpu_time / *_ms columns) are machine
 dependent and excluded by default; pass --check-time to gate them too (only
 meaningful when baseline and candidate ran on comparable hardware).
 
+Two additional modes back the CI threads matrix (both legs run on the same
+runner, so their wall clocks ARE comparable):
+
+  --require-identical
+      Any deterministic-metric delta beyond the threshold in EITHER
+      direction fails (improvements too). With --threshold 0 this demands
+      bit-identical metrics — how CI proves the --threads=4 leg computes
+      exactly what the --threads=1 leg computes.
+
+  --require-speedup FACTOR --speedup-metric REGEX
+      Extracts the wall-clock metrics whose key matches REGEX from both
+      files and fails unless baseline/candidate >= FACTOR for every match
+      (and unless at least one key matched). How CI proves the parallel
+      leg actually wins graph-build wall time.
+
 Exit codes: 0 ok, 1 regression or missing benchmark, 2 usage/input error.
 
 Usage:
   diff_bench_json.py --baseline bench/baseline/BENCH_baseline.json \
                      --candidate bench-out/BENCH_pr.json [--threshold 0.15]
+
+  # threads-matrix determinism + speedup (CI bench-compare job):
+  diff_bench_json.py --baseline t1/BENCH_parallel.json \
+                     --candidate t4/BENCH_parallel.json \
+                     --threshold 0 --require-identical
+  diff_bench_json.py --baseline t1/BENCH_parallel.json \
+                     --candidate t4/BENCH_parallel.json \
+                     --require-speedup 1.5 \
+                     --speedup-metric 'Parallel/GraphBrute/'
 
 Regenerating the baseline after an intentional perf change:
   run the CI bench job's commands locally (BUILDING.md) and commit the
@@ -25,6 +49,7 @@ Regenerating the baseline after an intentional perf change:
 
 import argparse
 import json
+import re
 import sys
 
 # google-benchmark bookkeeping fields; everything else numeric on a
@@ -50,25 +75,28 @@ def parse_float(cell):
         return None
 
 
-def extract_gb(doc, check_time):
-    """{metric_key: value} for one google-benchmark output document."""
-    metrics = {}
+def extract_gb(doc):
+    """(deterministic, time) metric dicts for one google-benchmark doc."""
+    deterministic, time_metrics = {}, {}
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
         name = bench.get("name", "?")
         for field, value in bench.items():
+            # real_time / cpu_time are not in GB_STANDARD_FIELDS; they fall
+            # through and land in time_metrics via is_time_metric below.
             if field in GB_STANDARD_FIELDS:
                 continue
-            if is_time_metric(field) and not check_time:
+            if not isinstance(value, (int, float)):
                 continue
-            if isinstance(value, (int, float)):
-                metrics[f"{name} :: {field}"] = float(value)
-    return metrics
+            target = time_metrics if is_time_metric(field) else deterministic
+            target[f"{name} :: {field}"] = float(value)
+    return deterministic, time_metrics
 
 
-def extract_table(doc, check_time):
-    """{metric_key: value} for one {"title","header","rows"} table document.
+def extract_table(doc):
+    """(deterministic, time) metric dicts for one {"title","header","rows"}
+    table document.
 
     Columns whose cells are non-numeric in any row are treated as row labels
     (so are columns named like workload parameters); the rest are metrics.
@@ -77,8 +105,9 @@ def extract_table(doc, check_time):
     header = doc.get("header", [])
     rows = doc.get("rows", [])
     if not header or not rows:
-        return {}
-    param_columns = {"n", "dim", "seed", "capacity", "queries", "r", "radius"}
+        return {}, {}
+    param_columns = {"n", "dim", "seed", "capacity", "queries", "r",
+                     "radius", "threads"}
     label_idx = set()
     for i, column in enumerate(header):
         if column.lower() in param_columns:
@@ -88,31 +117,53 @@ def extract_table(doc, check_time):
             if i < len(row) and parse_float(row[i]) is None:
                 label_idx.add(i)
                 break
-    metrics = {}
+    deterministic, time_metrics = {}, {}
     for row in rows:
         label = "/".join(row[i] for i in sorted(label_idx) if i < len(row))
         for i, column in enumerate(header):
             if i in label_idx or i >= len(row):
                 continue
-            if is_time_metric(column) and not check_time:
-                continue
             value = parse_float(row[i])
-            if value is not None:
-                metrics[f"{title} :: {label} :: {column}"] = value
-    return metrics
+            if value is None:
+                continue
+            target = time_metrics if is_time_metric(column) else deterministic
+            target[f"{title} :: {label} :: {column}"] = value
+    return deterministic, time_metrics
 
 
-def extract_all(merged, check_time):
+def extract_all(merged):
     docs = merged if isinstance(merged, list) else [merged]
-    metrics = {}
+    deterministic, time_metrics = {}, {}
     for doc in docs:
         if not isinstance(doc, dict):
             continue
         if "benchmarks" in doc:
-            metrics.update(extract_gb(doc, check_time))
+            det, tm = extract_gb(doc)
         elif "rows" in doc:
-            metrics.update(extract_table(doc, check_time))
-    return metrics
+            det, tm = extract_table(doc)
+        else:
+            continue
+        deterministic.update(det)
+        time_metrics.update(tm)
+    return deterministic, time_metrics
+
+
+def check_speedup(base_time, cand_time, factor, pattern):
+    """Returns (failures, matched) for the --require-speedup gate."""
+    matcher = re.compile(pattern)
+    failures, matched = [], 0
+    for key in sorted(base_time):
+        if not matcher.search(key) or key not in cand_time:
+            continue
+        matched += 1
+        base, new = base_time[key], cand_time[key]
+        speedup = base / new if new > 0 else float("inf")
+        status = "ok" if speedup >= factor else "TOO SLOW"
+        print(f"  speedup {status:8s}: {key}: {base:g} -> {new:g} "
+              f"({speedup:.2f}x, need {factor:g}x)")
+        if speedup < factor:
+            failures.append(key)
+    return failures, matched
 
 
 def main():
@@ -125,17 +176,40 @@ def main():
     parser.add_argument("--check-time", action="store_true",
                         help="also gate wall-clock metrics (requires "
                              "comparable hardware)")
+    parser.add_argument("--require-identical", action="store_true",
+                        help="fail on any delta beyond the threshold in "
+                             "either direction (improvements too); with "
+                             "--threshold 0 this demands bit-identical "
+                             "deterministic metrics")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        metavar="FACTOR",
+                        help="fail unless baseline/candidate wall time >= "
+                             "FACTOR for every --speedup-metric match")
+    parser.add_argument("--speedup-metric", default=None, metavar="REGEX",
+                        help="wall-clock metric keys the speedup gate "
+                             "applies to (required with --require-speedup)")
     args = parser.parse_args()
+
+    if (args.require_speedup is None) != (args.speedup_metric is None):
+        print("error: --require-speedup and --speedup-metric go together",
+              file=sys.stderr)
+        return 2
 
     try:
         with open(args.baseline) as f:
-            baseline = extract_all(json.load(f), args.check_time)
+            base_det, base_time = extract_all(json.load(f))
         with open(args.candidate) as f:
-            candidate = extract_all(json.load(f), args.check_time)
+            cand_det, cand_time = extract_all(json.load(f))
     except (OSError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    if not baseline:
+
+    baseline = dict(base_det)
+    candidate = dict(cand_det)
+    if args.check_time:
+        baseline.update(base_time)
+        candidate.update(cand_time)
+    if not baseline and args.require_speedup is None:
         print(f"error: no comparable metrics in {args.baseline}",
               file=sys.stderr)
         return 2
@@ -160,14 +234,27 @@ def main():
     print(f"compared {compared} metrics "
           f"(threshold +{args.threshold * 100:.0f}%)")
     for key, base, new, delta in improvements:
-        print(f"  improved : {key}: {base:g} -> {new:g} ({delta * 100:+.1f}%)")
+        tag = "DIVERGED " if args.require_identical else "improved "
+        print(f"  {tag}: {key}: {base:g} -> {new:g} ({delta * 100:+.1f}%)")
     for key in missing:
         print(f"  MISSING  : {key} (renamed or removed? regenerate the "
               f"baseline, see --help)")
     for key, base, new, delta in regressions:
         print(f"  REGRESSED: {key}: {base:g} -> {new:g} ({delta * 100:+.1f}%)")
 
-    if regressions or missing:
+    speedup_failures, speedup_matched = [], 0
+    if args.require_speedup is not None:
+        speedup_failures, speedup_matched = check_speedup(
+            base_time, cand_time, args.require_speedup, args.speedup_metric)
+        if speedup_matched == 0:
+            print(f"error: no wall-clock metric matched "
+                  f"'{args.speedup_metric}'", file=sys.stderr)
+            return 2
+
+    failed = bool(regressions or missing or speedup_failures)
+    if args.require_identical and improvements:
+        failed = True
+    if failed:
         print("FAIL: perf gate")
         return 1
     print("OK: no regression beyond threshold")

@@ -10,8 +10,8 @@
 //            [--metric=euclidean|manhattan|chebyshev|hamming]
 //            [--algorithm=basic|greedy|greedy-white|lazy-grey|lazy-white|
 //                         greedy-c|fast-c]
-//            [--build=insert|bulk] [--radius=0.05] [--zoom-to=<r'>]
-//            [--out=<points.csv>] [--help]
+//            [--build=insert|bulk] [--threads=0] [--radius=0.05]
+//            [--zoom-to=<r'>] [--out=<points.csv>] [--help]
 //
 // Examples:
 //   disc_cli --dataset=cities --radius=0.01 --zoom-to=0.005
@@ -40,8 +40,13 @@ constexpr const char* kUsage =
     "                [--metric=euclidean|manhattan|chebyshev|hamming]\n"
     "                [--algorithm=basic|greedy|greedy-white|lazy-grey|"
     "lazy-white|greedy-c|fast-c]\n"
-    "                [--build=insert|bulk] [--radius=<r>] [--zoom-to=<r'>]\n"
-    "                [--out=<points.csv>] [--help]\n";
+    "                [--build=insert|bulk] [--threads=<count>]\n"
+    "                [--radius=<r>] [--zoom-to=<r'>] [--out=<points.csv>]\n"
+    "                [--help]\n"
+    "\n"
+    "--threads: worker threads for the engine's parallel passes (0 = one\n"
+    "           per hardware thread, 1 = serial; results are byte-identical\n"
+    "           either way).\n";
 
 [[noreturn]] void Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
@@ -61,7 +66,7 @@ int main(int argc, char** argv) {
   // The full flag vocabulary; anything else is rejected with the usage text.
   auto flags_or = ParseFlagArgs(
       argc, argv, {"dataset", "n", "dim", "seed", "metric", "algorithm",
-                   "build", "radius", "zoom-to", "out", "help"});
+                   "build", "threads", "radius", "zoom-to", "out", "help"});
   if (!flags_or.ok()) {
     std::fprintf(stderr, "%s\n%s", flags_or.status().message().c_str(),
                  kUsage);
@@ -96,6 +101,7 @@ int main(int argc, char** argv) {
   } else if (build != "insert") {
     Fail("unknown build strategy '" + build + "' (want insert or bulk)");
   }
+  config.threads = FlagValueOrDie(FlagUint(flags, "threads", 0));
 
   // ---- engine ----
   auto engine_or = DiscEngine::Create(std::move(config));

@@ -76,6 +76,7 @@ DiscResult RunGreedy(MTree* tree, double radius, GreedyVariant variant,
   greedy.variant = variant;
   greedy.pruned = options.pruned;
   greedy.initial_counts = options.initial_counts;
+  greedy.pool = options.pool;
   return GreedyDisc(tree, radius, greedy);
 }
 
@@ -95,9 +96,9 @@ DiscResult RunAlgorithm(MTree* tree, Algorithm algorithm, double radius,
     case Algorithm::kLazyWhite:
       return RunGreedy(tree, radius, GreedyVariant::kLazyWhite, options);
     case Algorithm::kGreedyC:
-      return GreedyC(tree, radius, options.initial_counts);
+      return GreedyC(tree, radius, options.initial_counts, options.pool);
     case Algorithm::kFastC:
-      return FastC(tree, radius, options.initial_counts);
+      return FastC(tree, radius, options.initial_counts, options.pool);
   }
   return DiscResult{};
 }
@@ -143,7 +144,7 @@ DiscResult GreedyDisc(MTree* tree, double radius,
     assert(options.initial_counts->size() == n);
     counts = *options.initial_counts;
   } else {
-    tree->ComputeNeighborCountsPostBuild(radius, &counts);
+    tree->ComputeNeighborCountsPostBuild(radius, &counts, options.pool);
   }
   IndexedMaxHeap heap(n);
   for (ObjectId id = 0; id < n; ++id) {

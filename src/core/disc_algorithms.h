@@ -35,6 +35,8 @@
 
 namespace disc {
 
+class ThreadPool;  // util/parallel.h
+
 /// White-neighborhood maintenance strategy for Greedy-DisC (§5.1).
 enum class GreedyVariant {
   kGrey,
@@ -97,6 +99,11 @@ struct GreedyDiscOptions {
   /// (either build strategy; the counts are identical for both). When null,
   /// a post-build counting pass runs (and is charged to stats).
   const std::vector<uint32_t>* initial_counts = nullptr;
+  /// Fans the initial counting pass (only taken when initial_counts is
+  /// null) out across this pool; the counts and charged stats are exactly
+  /// the serial pass's (see MTree::ComputeNeighborCountsPostBuild). The
+  /// selection loop itself stays serial — it mutates tree color state.
+  ThreadPool* pool = nullptr;
 };
 
 /// Basic-DisC. `pruned` additionally skips all-grey leaves during the scan.
@@ -109,21 +116,27 @@ DiscResult GreedyDisc(MTree* tree, double radius,
 /// Greedy-C: covering but not necessarily independent (never pruned — grey
 /// subtrees must stay reachable for neighborhood-count maintenance).
 /// `initial_counts` (optional) supplies neighborhood sizes computed by
-/// MTree::BuildWithNeighborCounts; otherwise a post-build pass runs and is
-/// charged to the result's stats.
+/// MTree::BuildWithNeighborCounts; otherwise a post-build pass runs (fanned
+/// out across `pool` when given) and is charged to the result's stats.
 DiscResult GreedyC(MTree* tree, double radius,
-                   const std::vector<uint32_t>* initial_counts = nullptr);
+                   const std::vector<uint32_t>* initial_counts = nullptr,
+                   ThreadPool* pool = nullptr);
 
 /// Fast-C: the cheaper Greedy-C using grey-stopping bottom-up queries and
 /// lazy candidate re-validation instead of exact count maintenance.
 DiscResult FastC(MTree* tree, double radius,
-                 const std::vector<uint32_t>* initial_counts = nullptr);
+                 const std::vector<uint32_t>* initial_counts = nullptr,
+                 ThreadPool* pool = nullptr);
 
 /// Options for RunAlgorithm, the knobs shared by every algorithm. `pruned`
 /// is ignored by Greedy-C / Fast-C (they are never pruned; see GreedyC).
+/// `pool` parallelizes only the initial neighborhood-count pass (taken when
+/// `initial_counts` is null and the algorithm uses counts); results and
+/// stats totals are identical to a serial run for every thread count.
 struct AlgorithmRunOptions {
   bool pruned = true;
   const std::vector<uint32_t>* initial_counts = nullptr;
+  ThreadPool* pool = nullptr;
 };
 
 /// Runs any Algorithm against the tree — the single dispatch point used by

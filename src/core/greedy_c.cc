@@ -23,7 +23,8 @@ namespace {
 
 // Shared implementation; `fast` toggles the Fast-C query strategy.
 DiscResult CoverageGreedy(MTree* tree, double radius, bool fast,
-                          const std::vector<uint32_t>* initial_counts) {
+                          const std::vector<uint32_t>* initial_counts,
+                          ThreadPool* pool) {
   internal::RunScope scope(tree);
   tree->ResetColors();
   const size_t n = tree->size();
@@ -33,7 +34,7 @@ DiscResult CoverageGreedy(MTree* tree, double radius, bool fast,
     assert(initial_counts->size() == n);
     counts = *initial_counts;
   } else {
-    tree->ComputeNeighborCountsPostBuild(radius, &counts);
+    tree->ComputeNeighborCountsPostBuild(radius, &counts, pool);
   }
 
   // Candidate priority = newly-covered objects = white neighbors + self bonus.
@@ -134,13 +135,15 @@ DiscResult CoverageGreedy(MTree* tree, double radius, bool fast,
 }  // namespace
 
 DiscResult GreedyC(MTree* tree, double radius,
-                   const std::vector<uint32_t>* initial_counts) {
-  return CoverageGreedy(tree, radius, /*fast=*/false, initial_counts);
+                   const std::vector<uint32_t>* initial_counts,
+                   ThreadPool* pool) {
+  return CoverageGreedy(tree, radius, /*fast=*/false, initial_counts, pool);
 }
 
 DiscResult FastC(MTree* tree, double radius,
-                 const std::vector<uint32_t>* initial_counts) {
-  return CoverageGreedy(tree, radius, /*fast=*/true, initial_counts);
+                 const std::vector<uint32_t>* initial_counts,
+                 ThreadPool* pool) {
+  return CoverageGreedy(tree, radius, /*fast=*/true, initial_counts, pool);
 }
 
 }  // namespace disc

@@ -111,6 +111,13 @@ struct EngineConfig {
   DatasetSpec dataset;
   MetricKind metric = MetricKind::kEuclidean;
   MTreeOptions tree;
+  /// Worker threads for the engine's parallel read-only passes (the
+  /// per-radius neighborhood-count fan-out; see util/parallel.h). 0 means
+  /// one per hardware thread; 1 keeps every pass on the original serial
+  /// code path. Results and reported stats totals are byte-identical for
+  /// every value — threads only change wall time — so this knob is *not*
+  /// part of an engine's pooling identity (server/session_manager.h).
+  size_t threads = 0;
 };
 
 }  // namespace disc

@@ -11,6 +11,7 @@
 
 #include "eval/quality.h"
 #include "graph/properties.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 namespace disc {
@@ -26,16 +27,32 @@ constexpr size_t kMaxCachedSolutions = 8;
 }  // namespace
 
 DiscEngine::DiscEngine(Dataset dataset, std::unique_ptr<DistanceMetric> metric,
-                       MTreeOptions tree_options)
-    : dataset_(std::move(dataset)), metric_(std::move(metric)) {
+                       MTreeOptions tree_options, size_t threads)
+    : dataset_(std::move(dataset)),
+      metric_(std::move(metric)),
+      threads_(threads == 0 ? DefaultThreads() : threads) {
   tree_ = std::make_unique<MTree>(dataset_, *metric_, tree_options);
+}
+
+DiscEngine::~DiscEngine() = default;
+
+ThreadPool* DiscEngine::pool() {
+  // Lazy: a server may hold many idle pooled engines, and engines that
+  // only ever serve cache hits should not park (threads - 1) worker
+  // threads each. threads_ == 1 always returns null so every pass takes
+  // its original serial path.
+  if (threads_ > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(threads_);
+  }
+  return pool_.get();
 }
 
 Result<std::unique_ptr<DiscEngine>> DiscEngine::Create(EngineConfig config) {
   DISC_ASSIGN_OR_RETURN(Dataset dataset,
                         ResolveDataset(std::move(config.dataset)));
-  std::unique_ptr<DiscEngine> engine(new DiscEngine(
-      std::move(dataset), MakeMetric(config.metric), config.tree));
+  std::unique_ptr<DiscEngine> engine(
+      new DiscEngine(std::move(dataset), MakeMetric(config.metric),
+                     config.tree, config.threads));
   DISC_RETURN_NOT_OK(engine->tree_->Build());
   return engine;
 }
@@ -93,7 +110,10 @@ const std::vector<uint32_t>& DiscEngine::CountsForRadius(double radius) {
   auto it = counts_cache_.find(radius);
   if (it == counts_cache_.end()) {
     std::vector<uint32_t> counts;
-    tree_->ComputeNeighborCountsPostBuild(radius, &counts);
+    // The heaviest engine pass (one range query per object); fans out
+    // across the engine pool with counts and stats totals exactly equal to
+    // the serial pass (see ComputeNeighborCountsPostBuild).
+    tree_->ComputeNeighborCountsPostBuild(radius, &counts, pool());
     it = counts_cache_.emplace(radius, std::move(counts)).first;
   }
   return it->second;
@@ -120,6 +140,7 @@ Result<DiversifyResponse> DiscEngine::Diversify(
 
   if (CacheEntry* entry = FindCached(key)) {
     Stopwatch watch;
+    ++cache_hits_;
     DISC_RETURN_NOT_OK(tree_->RestoreColorState(entry->state));
     if (request.compute_quality && !entry->response.quality.has_value()) {
       entry->response.quality =
@@ -140,6 +161,10 @@ Result<DiversifyResponse> DiscEngine::Diversify(
   AlgorithmRunOptions run_options;
   run_options.pruned = key.pruned;
   if (AlgorithmUsesNeighborCounts(request.algorithm)) {
+    // The parallel work happens here, inside CountsForRadius; the
+    // algorithm itself then never takes its internal counting fallback,
+    // so run_options.pool stays null — touching pool() on that path would
+    // only instantiate workers nothing uses.
     run_options.initial_counts = &CountsForRadius(request.radius);
   }
   DiscResult run =
@@ -324,6 +349,8 @@ EngineSnapshot DiscEngine::Snapshot() const {
   snapshot.distances_exact = session_.distances_exact;
   snapshot.cached_solutions = cache_.size();
   snapshot.cached_count_radii = counts_cache_.size();
+  snapshot.cache_hits = cache_hits_;
+  snapshot.threads = threads_;
   snapshot.sessions_served = sessions_served_;
   snapshot.lifetime_stats = tree_->stats();
   return snapshot;

@@ -25,8 +25,12 @@
 // no solution, zooming a covering-only Greedy-C/Fast-C result, zooming on
 // stale distances) is surfaced here as Status::FailedPrecondition.
 //
-// The engine is single-threaded by design: one engine == one session. A
-// server shards sessions across engines (one per loaded dataset).
+// The engine is externally single-threaded by design: one engine == one
+// session. A server shards sessions across engines (one per loaded
+// dataset). Internally the engine may fan read-only passes (the per-radius
+// neighborhood counts) out across a thread pool sized by
+// EngineConfig::threads; results and reported stats are byte-identical for
+// every thread count (util/parallel.h documents the determinism contract).
 
 #ifndef DISC_ENGINE_ENGINE_H_
 #define DISC_ENGINE_ENGINE_H_
@@ -49,6 +53,8 @@
 #include "util/status.h"
 
 namespace disc {
+
+class ThreadPool;  // util/parallel.h
 
 /// Solution-quality numbers computed on demand (request.compute_quality),
 /// directly from the dataset — they cost distance computations but no index
@@ -166,6 +172,14 @@ struct EngineSnapshot {
   bool distances_exact = false;
   size_t cached_solutions = 0;
   size_t cached_count_radii = 0;
+  /// Diversify requests served from the solution cache since construction
+  /// (across sessions, like sessions_served). Exposed on the wire as the
+  /// STATS `cache_hits` field so clients can see pooled-engine warm-cache
+  /// reuse without diffing node-access totals.
+  size_t cache_hits = 0;
+  /// Worker threads the engine's parallel passes use (resolved from
+  /// EngineConfig::threads; 1 = serial).
+  size_t threads = 1;
   /// Sessions this engine has hosted: 1 after Create, +1 per NewSession.
   /// A server leasing pooled engines reports it in STATS so clients can see
   /// cache warm-up across leases.
@@ -185,6 +199,7 @@ class DiscEngine {
 
   DiscEngine(const DiscEngine&) = delete;
   DiscEngine& operator=(const DiscEngine&) = delete;
+  ~DiscEngine();
 
   /// Runs the requested algorithm, or restores the cached solution when an
   /// identical request (algorithm, radius, pruned) was served before and
@@ -230,7 +245,7 @@ class DiscEngine {
 
  private:
   DiscEngine(Dataset dataset, std::unique_ptr<DistanceMetric> metric,
-             MTreeOptions tree_options);
+             MTreeOptions tree_options, size_t threads);
 
   struct CacheKey {
     Algorithm algorithm;
@@ -277,6 +292,11 @@ class DiscEngine {
   void SetSession(const CacheKey& key, size_t solution_size,
                   bool distances_exact);
 
+  /// The engine's fan-out pool, created lazily on the first parallel pass
+  /// (so idle pooled engines hold no parked worker threads). Null when
+  /// threads_ == 1 — every pass then takes its original serial path.
+  ThreadPool* pool();
+
   CacheEntry* FindCached(const CacheKey& key);
   void InsertCache(CacheEntry entry);
   /// White-neighborhood counts for `radius`, computed on first use (charged
@@ -289,11 +309,18 @@ class DiscEngine {
   Dataset dataset_;
   std::unique_ptr<DistanceMetric> metric_;
   std::unique_ptr<MTree> tree_;
+  /// Resolved worker count (EngineConfig::threads, 0 -> hardware).
+  size_t threads_ = 1;
+  /// Backing storage for pool(); lazily created. The engine remains
+  /// externally single-threaded — the pool is an internal fan-out for
+  /// passes that only read the tree.
+  std::unique_ptr<ThreadPool> pool_;
 
   SessionState session_;
   std::deque<CacheEntry> cache_;  // bounded FIFO, newest at the back
   std::map<double, std::vector<uint32_t>> counts_cache_;
   size_t sessions_served_ = 1;
+  size_t cache_hits_ = 0;
 };
 
 }  // namespace disc

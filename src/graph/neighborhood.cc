@@ -5,7 +5,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "util/parallel.h"
 
 namespace disc {
 
@@ -21,53 +24,82 @@ bool GridCompatible(const DistanceMetric& metric, size_t dim, size_t n) {
   return dim >= 1 && dim <= 3 && n >= 256;
 }
 
+using EdgeList = std::vector<std::pair<ObjectId, ObjectId>>;
+
 }  // namespace
 
 NeighborhoodGraph::NeighborhoodGraph(const Dataset& dataset,
                                      const DistanceMetric& metric,
-                                     double radius)
+                                     double radius, ThreadPool* pool)
     : radius_(radius), adjacency_(dataset.size()) {
   if (dataset.size() <= 1) return;
   if (GridCompatible(metric, dataset.dim(), dataset.size()) && radius > 0) {
-    BuildWithGrid(dataset, metric);
+    BuildWithGrid(dataset, metric, pool);
   } else {
-    BuildBruteForce(dataset, metric);
+    BuildBruteForce(dataset, metric, pool);
   }
   for (auto& list : adjacency_) std::sort(list.begin(), list.end());
 }
 
-NeighborhoodGraph::NeighborhoodGraph(const MTree& tree, double radius)
+NeighborhoodGraph::NeighborhoodGraph(const MTree& tree, double radius,
+                                     ThreadPool* pool)
     : radius_(radius), adjacency_(tree.size()) {
-  std::vector<Neighbor> found;
-  for (ObjectId i = 0; i < tree.size(); ++i) {
-    found.clear();
-    tree.RangeQueryAround(i, radius, QueryFilter::kAll, /*pruned=*/false,
-                          &found);
-    auto& list = adjacency_[i];
-    list.reserve(found.size());
-    for (const Neighbor& nb : found) list.push_back(nb.id);
-    std::sort(list.begin(), list.end());
-    num_edges_ += list.size();  // every edge seen from both endpoints
+  BuildFromTree(tree, pool);
+}
+
+void NeighborhoodGraph::MergeEdges(const EdgeList& edges) {
+  for (const auto& [i, j] : edges) {
+    adjacency_[i].push_back(j);
+    adjacency_[j].push_back(i);
+    ++num_edges_;
   }
-  num_edges_ /= 2;
 }
 
 void NeighborhoodGraph::BuildBruteForce(const Dataset& dataset,
-                                        const DistanceMetric& metric) {
+                                        const DistanceMetric& metric,
+                                        ThreadPool* pool) {
   const size_t n = dataset.size();
-  for (ObjectId i = 0; i < n; ++i) {
-    for (ObjectId j = i + 1; j < n; ++j) {
-      if (metric.Distance(dataset.point(i), dataset.point(j)) <= radius_) {
-        adjacency_[i].push_back(j);
-        adjacency_[j].push_back(i);
-        ++num_edges_;
+  if (pool == nullptr || pool->threads() <= 1) {
+    // One distance computation per unordered pair: j starts above i and the
+    // edge is recorded at both endpoints (the regression test in
+    // tests/neighborhood_test.cc pins the call count to n(n-1)/2).
+    for (ObjectId i = 0; i < n; ++i) {
+      for (ObjectId j = i + 1; j < n; ++j) {
+        if (metric.Distance(dataset.point(i), dataset.point(j)) <= radius_) {
+          adjacency_[i].push_back(j);
+          adjacency_[j].push_back(i);
+          ++num_edges_;
+        }
       }
     }
+    return;
   }
+
+  // Chunks of rows collect (i, j) pairs into private buffers; merging in
+  // ascending chunk order reproduces the serial (i asc, j asc) edge
+  // sequence exactly, so the graph is byte-identical for any thread count.
+  const size_t grain = RecommendedGrain(n, pool->threads());
+  ParallelOrderedReduce<EdgeList>(
+      pool, 0, n, grain,
+      [&](size_t chunk_begin, size_t chunk_end) {
+        EdgeList edges;
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          const Point& p = dataset.point(i);
+          for (size_t j = i + 1; j < n; ++j) {
+            if (metric.Distance(p, dataset.point(j)) <= radius_) {
+              edges.emplace_back(static_cast<ObjectId>(i),
+                                 static_cast<ObjectId>(j));
+            }
+          }
+        }
+        return edges;
+      },
+      [&](EdgeList& edges) { MergeEdges(edges); });
 }
 
 void NeighborhoodGraph::BuildWithGrid(const Dataset& dataset,
-                                      const DistanceMetric& metric) {
+                                      const DistanceMetric& metric,
+                                      ThreadPool* pool) {
   const size_t n = dataset.size();
   const size_t dim = dataset.dim();
 
@@ -89,36 +121,112 @@ void NeighborhoodGraph::BuildWithGrid(const Dataset& dataset,
     cells[cell_key(dataset.point(i))].push_back(i);
   }
 
-  // Enumerate each point's 3^dim neighboring cells.
-  std::vector<int64_t> offsets;
+  // Enumerate each point's 3^dim neighboring cells; the cell map is shared
+  // read-only once populated. One distance computation per unordered
+  // candidate pair (the j <= i skip dedupes the two enumerations that see
+  // the pair).
   const size_t num_offsets = static_cast<size_t>(std::pow(3.0, dim));
-  for (ObjectId i = 0; i < n; ++i) {
-    const Point& p = dataset.point(i);
+  auto scan_rows = [&](size_t row_begin, size_t row_end, auto&& emit) {
     std::vector<int64_t> base(dim);
-    for (size_t d = 0; d < dim; ++d) {
-      base[d] = static_cast<int64_t>(std::floor(p[d] / radius_));
-    }
-    for (size_t mask = 0; mask < num_offsets; ++mask) {
-      uint64_t key = 0;
-      size_t rem = mask;
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const Point& p = dataset.point(i);
       for (size_t d = 0; d < dim; ++d) {
-        int64_t delta = static_cast<int64_t>(rem % 3) - 1;
-        rem /= 3;
-        int64_t c = base[d] + delta + (1 << 20);
-        key = (key << 21) | static_cast<uint64_t>(c & ((1 << 21) - 1));
+        base[d] = static_cast<int64_t>(std::floor(p[d] / radius_));
       }
-      auto it = cells.find(key);
-      if (it == cells.end()) continue;
-      for (ObjectId j : it->second) {
-        if (j <= i) continue;  // each unordered pair once
-        if (metric.Distance(p, dataset.point(j)) <= radius_) {
-          adjacency_[i].push_back(j);
-          adjacency_[j].push_back(i);
-          ++num_edges_;
+      for (size_t mask = 0; mask < num_offsets; ++mask) {
+        uint64_t key = 0;
+        size_t rem = mask;
+        for (size_t d = 0; d < dim; ++d) {
+          int64_t delta = static_cast<int64_t>(rem % 3) - 1;
+          rem /= 3;
+          int64_t c = base[d] + delta + (1 << 20);
+          key = (key << 21) | static_cast<uint64_t>(c & ((1 << 21) - 1));
+        }
+        auto it = cells.find(key);
+        if (it == cells.end()) continue;
+        for (ObjectId j : it->second) {
+          if (j <= i) continue;  // each unordered pair once
+          if (metric.Distance(p, dataset.point(j)) <= radius_) {
+            emit(static_cast<ObjectId>(i), j);
+          }
         }
       }
     }
+  };
+
+  if (pool == nullptr || pool->threads() <= 1) {
+    // Serial: stream edges straight into the adjacency lists (no O(E)
+    // staging buffer).
+    scan_rows(0, n, [&](ObjectId i, ObjectId j) {
+      adjacency_[i].push_back(j);
+      adjacency_[j].push_back(i);
+      ++num_edges_;
+    });
+    return;
   }
+
+  const size_t grain = RecommendedGrain(n, pool->threads());
+  ParallelOrderedReduce<EdgeList>(
+      pool, 0, n, grain,
+      [&](size_t chunk_begin, size_t chunk_end) {
+        EdgeList edges;
+        scan_rows(chunk_begin, chunk_end, [&](ObjectId i, ObjectId j) {
+          edges.emplace_back(i, j);
+        });
+        return edges;
+      },
+      [&](EdgeList& edges) { MergeEdges(edges); });
+}
+
+void NeighborhoodGraph::BuildFromTree(const MTree& tree, ThreadPool* pool) {
+  const size_t n = tree.size();
+  if (pool == nullptr || pool->threads() <= 1) {
+    std::vector<Neighbor> found;
+    for (ObjectId i = 0; i < n; ++i) {
+      found.clear();
+      tree.RangeQueryAround(i, radius_, QueryFilter::kAll, /*pruned=*/false,
+                            &found);
+      auto& list = adjacency_[i];
+      list.reserve(found.size());
+      for (const Neighbor& nb : found) list.push_back(nb.id);
+      std::sort(list.begin(), list.end());
+      num_edges_ += list.size();  // every edge seen from both endpoints
+    }
+    num_edges_ /= 2;
+    return;
+  }
+
+  // Adjacency rows are disjoint per object, so chunks write them in place;
+  // only the access accounting needs per-thread sinks, summed back into
+  // tree.stats() in chunk order (exact integer totals, same as serial).
+  struct ChunkResult {
+    AccessStats stats;
+    size_t directed_edges = 0;
+  };
+  const size_t grain = RecommendedGrain(n, pool->threads());
+  ParallelOrderedReduce<ChunkResult>(
+      pool, 0, n, grain,
+      [&](size_t chunk_begin, size_t chunk_end) {
+        ChunkResult result;
+        MTree::ThreadStatsScope scope(tree, &result.stats);
+        std::vector<Neighbor> found;
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          found.clear();
+          tree.RangeQueryAround(static_cast<ObjectId>(i), radius_,
+                                QueryFilter::kAll, /*pruned=*/false, &found);
+          auto& list = adjacency_[i];
+          list.reserve(found.size());
+          for (const Neighbor& nb : found) list.push_back(nb.id);
+          std::sort(list.begin(), list.end());
+          result.directed_edges += list.size();
+        }
+        return result;
+      },
+      [&](ChunkResult& result) {
+        tree.stats() += result.stats;
+        num_edges_ += result.directed_edges;
+      });
+  num_edges_ /= 2;
 }
 
 size_t NeighborhoodGraph::MaxDegree() const {

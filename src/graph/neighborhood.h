@@ -4,6 +4,15 @@
 // Independent Dominating Set on this graph. The graph module is the
 // M-tree-free substrate: it provides ground truth for tests, powers the
 // brute-force reference algorithms, and backs the structural verifiers.
+//
+// Construction is the r-neighborhood computation that dominates every DisC
+// pass (N_r(p) for all p, §4–§6), so all three build paths accept an
+// optional util/parallel.h thread pool: the object range is partitioned
+// into chunks, each chunk collects edges (or adjacency rows) into private
+// buffers, and the buffers are merged on the calling thread in ascending
+// chunk order — the resulting graph is byte-identical to the serial build
+// for every thread count. A null pool (or a one-thread pool) runs the
+// original serial loops.
 
 #ifndef DISC_GRAPH_NEIGHBORHOOD_H_
 #define DISC_GRAPH_NEIGHBORHOOD_H_
@@ -17,23 +26,29 @@
 
 namespace disc {
 
+class ThreadPool;  // util/parallel.h
+
 /// Adjacency-list representation of G_{P,r}. Neighbor lists are sorted by id
 /// and exclude the vertex itself, matching N_r(p_i) in the paper.
 class NeighborhoodGraph {
  public:
-  /// Builds the graph by computing pairwise distances. Uses a uniform-grid
-  /// accelerator for low-dimensional Minkowski metrics and falls back to the
-  /// exact O(n^2) scan otherwise; both produce identical graphs.
+  /// Builds the graph by computing pairwise distances — exactly once per
+  /// unordered pair on both paths. Uses a uniform-grid accelerator for
+  /// low-dimensional Minkowski metrics and falls back to the exact O(n^2)
+  /// scan otherwise; both produce identical graphs.
   NeighborhoodGraph(const Dataset& dataset, const DistanceMetric& metric,
-                    double radius);
+                    double radius, ThreadPool* pool = nullptr);
 
   /// Builds the graph from a built M-tree with one range query per object —
   /// the index-backed path for workloads where the grid accelerator does not
   /// apply (high dimensionality, non-Minkowski metrics). Produces exactly
   /// the same graph as the direct constructors; cost scales with the tree's
   /// clustering quality, so bulk-loaded trees (MTree::BulkLoad) pay off
-  /// here. The queries are charged to tree.stats().
-  NeighborhoodGraph(const MTree& tree, double radius);
+  /// here. The queries are charged to tree.stats() — with a pool, each
+  /// worker queries under a private sink (MTree::ThreadStatsScope) and the
+  /// sinks are summed back, so the totals equal the serial build's.
+  explicit NeighborhoodGraph(const MTree& tree, double radius,
+                             ThreadPool* pool = nullptr);
 
   size_t num_vertices() const { return adjacency_.size(); }
   size_t num_edges() const { return num_edges_; }
@@ -53,8 +68,13 @@ class NeighborhoodGraph {
   bool HasEdge(ObjectId a, ObjectId b) const;
 
  private:
-  void BuildBruteForce(const Dataset& dataset, const DistanceMetric& metric);
-  void BuildWithGrid(const Dataset& dataset, const DistanceMetric& metric);
+  void BuildBruteForce(const Dataset& dataset, const DistanceMetric& metric,
+                       ThreadPool* pool);
+  void BuildWithGrid(const Dataset& dataset, const DistanceMetric& metric,
+                     ThreadPool* pool);
+  void BuildFromTree(const MTree& tree, ThreadPool* pool);
+  /// Appends (i, j) pairs (i < j) to both endpoints' adjacency lists.
+  void MergeEdges(const std::vector<std::pair<ObjectId, ObjectId>>& edges);
 
   double radius_;
   size_t num_edges_ = 0;

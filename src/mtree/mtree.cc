@@ -12,8 +12,33 @@
 #include <vector>
 
 #include "mtree/mtree_internal.h"
+#include "util/parallel.h"
 
 namespace disc {
+
+namespace {
+
+// The active per-thread stats redirect (MTree::ThreadStatsScope). Keyed by
+// tree so a thread touching several trees only redirects the scoped one.
+thread_local const MTree* tls_stats_tree = nullptr;
+thread_local AccessStats* tls_stats_sink = nullptr;
+
+}  // namespace
+
+MTree::ThreadStatsScope::ThreadStatsScope(const MTree& tree, AccessStats* sink)
+    : prev_tree_(tls_stats_tree), prev_sink_(tls_stats_sink) {
+  tls_stats_tree = &tree;
+  tls_stats_sink = sink;
+}
+
+MTree::ThreadStatsScope::~ThreadStatsScope() {
+  tls_stats_tree = prev_tree_;
+  tls_stats_sink = prev_sink_;
+}
+
+AccessStats& MTree::LiveStats() const {
+  return tls_stats_tree == this ? *tls_stats_sink : stats_;
+}
 
 MTree::MTree(const Dataset& dataset, const DistanceMetric& metric,
              MTreeOptions options)
@@ -25,12 +50,12 @@ MTree::MTree(const Dataset& dataset, const DistanceMetric& metric,
 MTree::~MTree() = default;
 
 double MTree::Distance(ObjectId a, ObjectId b) const {
-  ++stats_.distance_computations;
+  ++LiveStats().distance_computations;
   return metric_.Distance(dataset_.point(a), dataset_.point(b));
 }
 
 double MTree::DistanceToPoint(const Point& q, ObjectId b) const {
-  ++stats_.distance_computations;
+  ++LiveStats().distance_computations;
   return metric_.Distance(q, dataset_.point(b));
 }
 
@@ -93,15 +118,42 @@ Status MTree::BuildWithNeighborCounts(double radius,
 }
 
 void MTree::ComputeNeighborCountsPostBuild(double radius,
-                                           std::vector<uint32_t>* counts) {
+                                           std::vector<uint32_t>* counts,
+                                           ThreadPool* pool) {
   assert(built_);
   counts->assign(dataset_.size(), 0);
-  std::vector<Neighbor> found;
-  for (ObjectId id = 0; id < dataset_.size(); ++id) {
-    found.clear();
-    RangeQueryAround(id, radius, QueryFilter::kAll, /*pruned=*/false, &found);
-    (*counts)[id] = static_cast<uint32_t>(found.size());
+  if (pool == nullptr || pool->threads() <= 1) {
+    std::vector<Neighbor> found;
+    for (ObjectId id = 0; id < dataset_.size(); ++id) {
+      found.clear();
+      RangeQueryAround(id, radius, QueryFilter::kAll, /*pruned=*/false,
+                       &found);
+      (*counts)[id] = static_cast<uint32_t>(found.size());
+    }
+    return;
   }
+
+  // Each chunk queries under a private stats sink and writes its own slice
+  // of `counts`; sinks are summed back into stats_ in chunk order, so counts
+  // and totals are exactly the serial pass's (integer sums are exact in any
+  // order; the fixed chunk order keeps the contract byte-for-byte).
+  const size_t n = dataset_.size();
+  const size_t grain = RecommendedGrain(n, pool->threads());
+  ParallelOrderedReduce<AccessStats>(
+      pool, 0, n, grain,
+      [&](size_t chunk_begin, size_t chunk_end) {
+        AccessStats local;
+        ThreadStatsScope scope(*this, &local);
+        std::vector<Neighbor> found;
+        for (size_t id = chunk_begin; id < chunk_end; ++id) {
+          found.clear();
+          RangeQueryAround(static_cast<ObjectId>(id), radius,
+                           QueryFilter::kAll, /*pruned=*/false, &found);
+          (*counts)[id] = static_cast<uint32_t>(found.size());
+        }
+        return local;
+      },
+      [&](AccessStats& local) { stats_ += local; });
 }
 
 Status MTree::CheckBuildPreconditions() const {
@@ -137,7 +189,7 @@ void MTree::Insert(ObjectId id) {
   }
 
   Node* node = root_.get();
-  ++stats_.node_accesses;
+  ++LiveStats().node_accesses;
   while (!node->is_leaf) {
     // Choose the child needing the least covering-radius enlargement,
     // preferring children that already contain the point.
@@ -171,7 +223,7 @@ void MTree::Insert(ObjectId id) {
       chosen.child->radius = best_dist;
     }
     node = chosen.child.get();
-    ++stats_.node_accesses;
+    ++LiveStats().node_accesses;
   }
 
   double parent_dist =
@@ -205,7 +257,7 @@ void MTree::RangeQuery(const Point& center, double radius, QueryFilter filter,
 void MTree::RangeQueryUnchecked(const Point& center, double radius,
                                 QueryFilter filter, bool pruned,
                                 std::vector<Neighbor>* out) const {
-  ++stats_.range_queries;
+  ++LiveStats().range_queries;
   RangeSearchNode(root_.get(), center, radius,
                   std::numeric_limits<double>::quiet_NaN(), filter, pruned,
                   kInvalidObject, out);
@@ -215,7 +267,7 @@ void MTree::RangeQueryAround(ObjectId center, double radius,
                              QueryFilter filter, bool pruned,
                              std::vector<Neighbor>* out) const {
   assert(built_);
-  ++stats_.range_queries;
+  ++LiveStats().range_queries;
   RangeSearchNode(root_.get(), dataset_.point(center), radius,
                   std::numeric_limits<double>::quiet_NaN(), filter, pruned,
                   center, out);
@@ -225,7 +277,7 @@ void MTree::RangeSearchNode(const Node* node, const Point& center,
                             double radius, double dist_center_to_node_pivot,
                             QueryFilter filter, bool pruned, ObjectId exclude,
                             std::vector<Neighbor>* out) const {
-  ++stats_.node_accesses;
+  ++LiveStats().node_accesses;
   const bool have_parent_dist = !std::isnan(dist_center_to_node_pivot);
   if (node->is_leaf) {
     for (const LeafEntry& entry : node->objects) {
@@ -263,7 +315,7 @@ void MTree::LeafMatesWithin(ObjectId center, double radius,
                             std::vector<Neighbor>* out) const {
   assert(built_);
   const Node* leaf = leaf_of_[center];
-  ++stats_.node_accesses;
+  ++LiveStats().node_accesses;
   const Point& q = dataset_.point(center);
   for (const LeafEntry& entry : leaf->objects) {
     if (entry.object == center) continue;
@@ -277,7 +329,7 @@ void MTree::RangeQueryBottomUp(ObjectId center, double radius,
                                bool stop_at_grey,
                                std::vector<Neighbor>* out) const {
   assert(built_);
-  ++stats_.range_queries;
+  ++LiveStats().range_queries;
   const Point& q = dataset_.point(center);
 
   // Search the object's own leaf first, then climb: at every ancestor,
@@ -295,7 +347,7 @@ void MTree::RangeQueryBottomUp(ObjectId center, double radius,
     Node* parent = node->parent;
     // parent->white_count == 0 means the whole climbed-into subtree is grey.
     if (stop_at_grey && parent->white_count == 0) break;
-    ++stats_.node_accesses;  // reading the parent's entries
+    ++LiveStats().node_accesses;  // reading the parent's entries
     for (const RoutingEntry& entry : parent->children) {
       if (entry.child.get() == node) continue;  // already covered below
       if (pruned && entry.child->white_count == 0) continue;
@@ -434,7 +486,7 @@ void MTree::ScanLeaves(bool skip_grey_leaves,
   for (const Node* leaf = first_leaf_; leaf != nullptr;
        leaf = leaf->next_leaf) {
     if (skip_grey_leaves && leaf->white_count == 0) continue;
-    ++stats_.node_accesses;
+    ++LiveStats().node_accesses;
     for (const LeafEntry& entry : leaf->objects) {
       fn(entry.object);
     }

@@ -33,6 +33,8 @@
 
 namespace disc {
 
+class ThreadPool;  // util/parallel.h
+
 /// How two new pivots are chosen when a node overflows (§5 "promote").
 enum class PromotePolicy {
   /// Keep the overflowed node's pivot and promote the entry farthest from it.
@@ -120,6 +122,19 @@ struct AccessStats {
             range_queries - other.range_queries,
             distance_computations - other.distance_computations};
   }
+
+  AccessStats& operator+=(const AccessStats& other) {
+    node_accesses += other.node_accesses;
+    range_queries += other.range_queries;
+    distance_computations += other.distance_computations;
+    return *this;
+  }
+
+  bool operator==(const AccessStats& other) const {
+    return node_accesses == other.node_accesses &&
+           range_queries == other.range_queries &&
+           distance_computations == other.distance_computations;
+  }
 };
 
 /// A neighbor returned by a range query: object id plus its distance to the
@@ -171,8 +186,16 @@ class MTree {
 
   /// Computes all white-neighborhood sizes with one range query per object
   /// over the complete tree (the baseline the build-time variant beats).
+  /// With a pool of more than one thread the object range is fanned out
+  /// across per-thread read-only range queries (the tree structure is
+  /// immutable after build); each worker accounts its accesses to a private
+  /// AccessStats (see ThreadStatsScope) and the sinks are summed into
+  /// stats() in chunk order, so both the counts and the stats totals are
+  /// exactly the serial pass's. A null pool (or threads() <= 1) runs the
+  /// original serial loop.
   void ComputeNeighborCountsPostBuild(double radius,
-                                      std::vector<uint32_t>* counts);
+                                      std::vector<uint32_t>* counts,
+                                      ThreadPool* pool = nullptr);
 
   // -- Queries ---------------------------------------------------------
 
@@ -278,6 +301,27 @@ class MTree {
   AccessStats& stats() const { return stats_; }
   void ResetStats() const { stats_ = AccessStats{}; }
 
+  /// RAII redirect: while alive, every access this *thread* charges against
+  /// this tree lands in `sink` instead of stats(). The enabling primitive
+  /// for parallel read-only query fan-outs (ComputeNeighborCountsPostBuild
+  /// with a pool, the index-backed NeighborhoodGraph): each worker queries
+  /// under its own sink, and the caller sums the sinks into stats()
+  /// afterwards in deterministic order — totals stay exactly the serial
+  /// totals without the counters racing. Scopes nest (restores the previous
+  /// redirect); other threads are unaffected.
+  class ThreadStatsScope {
+   public:
+    ThreadStatsScope(const MTree& tree, AccessStats* sink);
+    ~ThreadStatsScope();
+
+    ThreadStatsScope(const ThreadStatsScope&) = delete;
+    ThreadStatsScope& operator=(const ThreadStatsScope&) = delete;
+
+   private:
+    const MTree* prev_tree_;
+    AccessStats* prev_sink_;
+  };
+
   size_t num_nodes() const { return num_nodes_; }
   size_t num_leaves() const;
   size_t height() const;
@@ -298,6 +342,9 @@ class MTree {
   struct LeafEntry;
 
   Status CheckBuildPreconditions() const;
+  /// The AccessStats the calling thread currently charges: the
+  /// ThreadStatsScope sink when one is active for this tree, else stats_.
+  AccessStats& LiveStats() const;
   // (Re)initializes the per-object arrays (leaf map, colors, closest-black
   // distances) for a build over the full dataset.
   void InitObjectState();

@@ -7,7 +7,8 @@
 //
 // Usage:
 //   disc_serve [--host=127.0.0.1] [--port=4817] [--workers=4]
-//              [--max-engines=8] [--help]
+//              [--max-engines=8] [--threads=0] [--prewarm=<ds>[,<ds>...]]
+//              [--help]
 //
 // --port=0 picks an ephemeral port. The daemon prints exactly one line
 //   disc_serve listening on <host>:<port>
@@ -24,6 +25,7 @@
 #include <string>
 #include <utility>
 
+#include "server/protocol.h"  // kDefaultOpenN/Dim/Seed
 #include "server/server.h"
 #include "util/flags.h"
 
@@ -33,7 +35,15 @@ using namespace disc;
 
 constexpr const char* kUsage =
     "usage: disc_serve [--host=<ipv4>] [--port=<port>] [--workers=<count>]\n"
-    "                  [--max-engines=<count>] [--help]\n"
+    "                  [--max-engines=<count>] [--threads=<count>]\n"
+    "                  [--prewarm=<dataset>[,<dataset>...]] [--help]\n"
+    "\n"
+    "--threads: engine worker threads for parallel read-only passes\n"
+    "           (0 = one per hardware thread, 1 = serial; results are\n"
+    "           byte-identical either way).\n"
+    "--prewarm: comma-separated dataset names (the OPEN dataset= values,\n"
+    "           default n/dim/seed/metric) whose engines are pre-built\n"
+    "           concurrently into the idle pool before serving starts.\n"
     "\n"
     "Line protocol (one command per line, one JSON response per line):\n"
     "  OPEN dataset=uniform|clustered|cities|cameras|csv:<path>\n"
@@ -58,7 +68,9 @@ constexpr const char* kUsage =
 
 int main(int argc, char** argv) {
   auto flags_or = ParseFlagArgs(
-      argc, argv, {"host", "port", "workers", "max-engines", "help"});
+      argc, argv,
+      {"host", "port", "workers", "max-engines", "threads", "prewarm",
+       "help"});
   if (!flags_or.ok()) {
     std::fprintf(stderr, "%s\n%s", flags_or.status().message().c_str(),
                  kUsage);
@@ -75,14 +87,38 @@ int main(int argc, char** argv) {
   auto workers = FlagUint(flags, "workers", options.workers);
   auto max_engines = FlagUint(flags, "max-engines",
                               options.max_idle_engines);
+  auto threads = FlagUint(flags, "threads", options.engine_threads);
   for (const Status& status :
-       {port.status(), workers.status(), max_engines.status()}) {
+       {port.status(), workers.status(), max_engines.status(),
+        threads.status()}) {
     if (!status.ok()) Fail(status.ToString());
   }
   options.host = FlagOr(flags, "host", options.host);
   options.port = *port;
   options.workers = *workers;
   options.max_idle_engines = *max_engines;
+  options.engine_threads = *threads;
+
+  // --prewarm=cities,clustered: each name is an OPEN dataset= value with
+  // the protocol's default knobs (n=10000 dim=2 seed=42, default metric).
+  std::string prewarm_list = FlagOr(flags, "prewarm", "");
+  for (size_t pos = 0; pos < prewarm_list.size();) {
+    size_t comma = prewarm_list.find(',', pos);
+    if (comma == std::string::npos) comma = prewarm_list.size();
+    std::string name = prewarm_list.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (name.empty()) continue;
+    EngineConfig config;
+    // Same knob defaults as DecodeOpen, so the prewarmed pool key matches
+    // a default-argument OPEN of the same dataset.
+    auto spec =
+        ParseDatasetSpec(name, kDefaultOpenN, kDefaultOpenDim,
+                         kDefaultOpenSeed);
+    if (!spec.ok()) Fail("--prewarm: " + spec.status().ToString());
+    config.dataset = std::move(spec).value();
+    config.metric = DefaultMetricFor(config.dataset.source);
+    options.prewarm.push_back(std::move(config));
+  }
 
   // Block the shutdown signals before Start so every server thread
   // inherits the mask and delivery funnels into the sigwait below — no

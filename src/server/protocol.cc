@@ -159,9 +159,9 @@ Result<Request> ParseRequest(const std::string& line) {
 }
 
 Result<OpenParams> DecodeOpen(const Request& request) {
-  uint64_t n = 10000;
-  uint64_t dim = 2;
-  uint64_t seed = 42;
+  uint64_t n = kDefaultOpenN;
+  uint64_t dim = kDefaultOpenDim;
+  uint64_t seed = kDefaultOpenSeed;
   if (const std::string* text = FindArg(request, "n")) {
     DISC_ASSIGN_OR_RETURN(n, ParseUintArg("n", *text));
   }
@@ -446,6 +446,7 @@ std::string SerializeSnapshot(const EngineSnapshot& snapshot) {
                static_cast<uint64_t>(snapshot.cached_solutions));
   writer.Field("cached_count_radii",
                static_cast<uint64_t>(snapshot.cached_count_radii));
+  writer.Field("cache_hits", static_cast<uint64_t>(snapshot.cache_hits));
   writer.Field("sessions_served",
                static_cast<uint64_t>(snapshot.sessions_served));
   writer.Field("node_accesses", snapshot.lifetime_stats.node_accesses);

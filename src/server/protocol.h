@@ -73,6 +73,13 @@ struct OpenParams {
   std::string dataset_text;
 };
 
+/// OPEN's default generator knobs, shared by DecodeOpen and by disc_serve's
+/// --prewarm parsing — the two must agree or a prewarmed engine's pool key
+/// would never match a default-argument OPEN.
+inline constexpr uint64_t kDefaultOpenN = 10000;
+inline constexpr uint64_t kDefaultOpenDim = 2;
+inline constexpr uint64_t kDefaultOpenSeed = 42;
+
 /// OPEN -> EngineConfig. Defaults mirror disc_cli: n=10000 dim=2 seed=42,
 /// metric defaults per dataset (DefaultMetricFor), build=insert.
 Result<OpenParams> DecodeOpen(const Request& request);

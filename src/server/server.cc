@@ -22,6 +22,20 @@ Result<std::unique_ptr<DiscServer>> DiscServer::Start(ServerOptions options) {
                         ListenTcp(server->options_.host,
                                   server->options_.port));
   DISC_ASSIGN_OR_RETURN(server->port_, ListenPort(server->listen_fd_));
+  // Pre-build the configured hot engines into the idle pool before serving;
+  // the builds overlap on a temporary pool instead of serializing on each
+  // dataset's first OPEN. Build concurrency is deliberately NOT tied to
+  // engine_threads (a knob for per-request passes): warm-up is a one-shot
+  // startup burst, so it always uses the hardware (threads=0) even when
+  // the operator wants serial engines. A prewarm failure is a startup
+  // error: the operator asked for those datasets by name.
+  if (!server->options_.prewarm.empty()) {
+    std::vector<EngineConfig> prewarm = server->options_.prewarm;
+    for (EngineConfig& config : prewarm) {
+      config.threads = server->options_.engine_threads;
+    }
+    DISC_RETURN_NOT_OK(server->manager_.Prewarm(prewarm, /*threads=*/0));
+  }
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   server->workers_.reserve(server->options_.workers);
   for (size_t i = 0; i < server->options_.workers; ++i) {
@@ -124,6 +138,10 @@ std::string DiscServer::HandleLine(const std::string& line,
       }
       Result<OpenParams> params = DecodeOpen(*request);
       if (!params.ok()) return SerializeError(cmd, params.status());
+      // The thread knob is the operator's, not the client's: it changes
+      // wall time only (results are byte-identical), so it is applied
+      // uniformly and stays out of the wire vocabulary and the pool key.
+      params->config.threads = options_.engine_threads;
       Result<EngineLease> acquired = manager_.Acquire(params->config);
       if (!acquired.ok()) return SerializeError(cmd, acquired.status());
       *lease = std::move(acquired).value();

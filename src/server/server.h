@@ -26,6 +26,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "engine/config.h"
+
 #include "server/session_manager.h"
 #include "util/status.h"
 
@@ -40,6 +42,16 @@ struct ServerOptions {
   size_t workers = 4;
   /// Idle engines kept warm by the session manager (LRU beyond this).
   size_t max_idle_engines = 8;
+  /// EngineConfig::threads for every engine this server builds (each
+  /// leased engine fans its read-only passes out across its own pool).
+  /// 0 = one per hardware thread; 1 = serial engines. Results are
+  /// byte-identical either way, so this never affects protocol output.
+  size_t engine_threads = 0;
+  /// Engines to pre-build into the idle pool before Start() returns
+  /// (SessionManager::Prewarm): the first OPEN of a hot dataset then
+  /// leases a warm engine instead of paying the index build. The builds
+  /// run concurrently, so warm-up costs max(build), not sum.
+  std::vector<EngineConfig> prewarm;
 };
 
 class DiscServer {

@@ -1,11 +1,15 @@
 #include "server/session_manager.h"
 
+#include <algorithm>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "metric/metric.h"
 #include "mtree/mtree.h"
+#include "util/parallel.h"
 
 namespace disc {
 
@@ -91,6 +95,38 @@ Result<EngineLease> SessionManager::Acquire(const EngineConfig& config) {
   }
   return EngineLease(this, std::move(key), std::move(engine),
                      /*reused=*/false);
+}
+
+Status SessionManager::Prewarm(const std::vector<EngineConfig>& configs,
+                               size_t threads) {
+  if (configs.empty()) return Status::OK();
+  // One engine build per task; every build runs on its own worker, so a
+  // list of hot datasets warms in max(build time), not sum. Each slot is
+  // written by exactly one task — results are collected after the pool
+  // joins (no locking needed).
+  std::vector<std::optional<Result<std::unique_ptr<DiscEngine>>>> built(
+      configs.size());
+  const size_t resolved = threads == 0 ? DefaultThreads() : threads;
+  ThreadPool pool(std::min(resolved, configs.size()));
+  pool.Run(configs.size(), [&](size_t i) {
+    if (EnginePoolKey(configs[i]).empty()) return;  // unpoolable: skip
+    built[i].emplace(DiscEngine::Create(configs[i]));
+  });
+
+  Status first_error = Status::OK();
+  for (size_t i = 0; i < configs.size(); ++i) {
+    if (!built[i].has_value()) continue;  // unpoolable, skipped above
+    if (!built[i]->ok()) {
+      if (first_error.ok()) first_error = built[i]->status();
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.engines_created;
+    }
+    ReturnToPool(EnginePoolKey(configs[i]), std::move(*built[i]).value());
+  }
+  return first_error;
 }
 
 void SessionManager::ReturnToPool(std::string key,

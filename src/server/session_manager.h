@@ -31,6 +31,7 @@
 #include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "engine/config.h"
 #include "engine/engine.h"
@@ -108,6 +109,18 @@ class SessionManager {
   /// (restarted via DiscEngine::NewSession) when available, otherwise a
   /// freshly built one. Fails with DiscEngine::Create's error.
   Result<EngineLease> Acquire(const EngineConfig& config);
+
+  /// Warm-up: builds one engine per config *concurrently* (a temporary
+  /// util/parallel.h pool of min(`threads`, configs) workers; 0 means one
+  /// per hardware thread) and parks them in the idle pool, so the first
+  /// OPEN of a hot dataset leases a warm engine instead of paying dataset
+  /// load + index build — and a list of hot datasets warms in the time of
+  /// the slowest build rather than the sum. Unpoolable configs (empty
+  /// EnginePoolKey) are skipped. Returns the first build error (engines
+  /// that did build are kept either way); idle-pool eviction applies as
+  /// usual, so warming more configs than `max_idle_engines` keeps only the
+  /// most recently finished.
+  Status Prewarm(const std::vector<EngineConfig>& configs, size_t threads);
 
   SessionManagerStats stats() const;
 

@@ -597,5 +597,136 @@ TEST(EngineMultiRadiusTest, RejectsBadRadiusRange) {
             StatusCode::kInvalidArgument);
 }
 
+// ---------------------------------------------------------------------------
+// Threaded engines: EngineConfig::threads changes wall time, nothing else.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<DiscEngine> MakeThreadedEngine(DatasetSpec spec,
+                                               MetricKind metric,
+                                               size_t threads) {
+  EngineConfig config;
+  config.dataset = std::move(spec);
+  config.metric = metric;
+  config.threads = threads;
+  auto engine = DiscEngine::Create(std::move(config));
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+// Every algorithm on every dataset shape: a threads=4 engine must produce
+// byte-identical responses to a threads=1 engine — solution membership AND
+// order, plus the reported node-access / range-query / distance totals.
+// This suite runs under TSan in CI, which also proves the fan-out is
+// race-free.
+TEST(EngineThreadedTest, AllAlgorithmsByteIdenticalAcrossThreadCounts) {
+  const struct {
+    DatasetSpec spec;
+    MetricKind metric;
+    double radius;
+  } kWorkloads[] = {
+      {DatasetSpec::Clustered(1500, 2, 7), MetricKind::kEuclidean, 0.05},
+      {DatasetSpec::Uniform(800, 5, 7), MetricKind::kManhattan, 0.6},
+      {DatasetSpec::Cameras(), MetricKind::kHamming, 3.0},
+  };
+  const Algorithm kAlgorithms[] = {
+      Algorithm::kBasic,     Algorithm::kGreedy,  Algorithm::kGreedyWhite,
+      Algorithm::kLazyGrey,  Algorithm::kLazyWhite,
+      Algorithm::kGreedyC,   Algorithm::kFastC,
+  };
+
+  for (const auto& workload : kWorkloads) {
+    auto serial = MakeThreadedEngine(workload.spec, workload.metric, 1);
+    auto threaded = MakeThreadedEngine(workload.spec, workload.metric, 4);
+    EXPECT_EQ(serial->Snapshot().threads, 1u);
+    EXPECT_EQ(threaded->Snapshot().threads, 4u);
+
+    for (Algorithm algorithm : kAlgorithms) {
+      DiversifyRequest request;
+      request.algorithm = algorithm;
+      request.radius = workload.radius;
+      auto serial_response = serial->Diversify(request);
+      auto threaded_response = threaded->Diversify(request);
+      ASSERT_TRUE(serial_response.ok())
+          << serial_response.status().ToString();
+      ASSERT_TRUE(threaded_response.ok())
+          << threaded_response.status().ToString();
+      // Membership and order.
+      ASSERT_EQ(serial_response->solution, threaded_response->solution)
+          << AlgorithmToString(algorithm);
+      // Reported work (per-thread counters summed back must be exact).
+      EXPECT_EQ(serial_response->stats.node_accesses,
+                threaded_response->stats.node_accesses)
+          << AlgorithmToString(algorithm);
+      EXPECT_EQ(serial_response->stats.range_queries,
+                threaded_response->stats.range_queries)
+          << AlgorithmToString(algorithm);
+      EXPECT_EQ(serial_response->stats.distance_computations,
+                threaded_response->stats.distance_computations)
+          << AlgorithmToString(algorithm);
+    }
+    // Lifetime totals across the whole request sequence agree too.
+    const AccessStats serial_total = serial->Snapshot().lifetime_stats;
+    const AccessStats threaded_total = threaded->Snapshot().lifetime_stats;
+    EXPECT_EQ(serial_total.node_accesses, threaded_total.node_accesses);
+    EXPECT_EQ(serial_total.range_queries, threaded_total.range_queries);
+    EXPECT_EQ(serial_total.distance_computations,
+              threaded_total.distance_computations);
+  }
+}
+
+TEST(EngineThreadedTest, ZoomAfterThreadedBuildMatchesSerial) {
+  auto serial =
+      MakeThreadedEngine(DatasetSpec::Clustered(1000, 2, 9),
+                         MetricKind::kEuclidean, 1);
+  auto threaded =
+      MakeThreadedEngine(DatasetSpec::Clustered(1000, 2, 9),
+                         MetricKind::kEuclidean, 4);
+  DiversifyRequest request;
+  request.radius = 0.08;
+  ASSERT_TRUE(serial->Diversify(request).ok());
+  ASSERT_TRUE(threaded->Diversify(request).ok());
+
+  ZoomRequest zoom;
+  zoom.radius = 0.04;
+  auto serial_zoom = serial->Zoom(zoom);
+  auto threaded_zoom = threaded->Zoom(zoom);
+  ASSERT_TRUE(serial_zoom.ok()) << serial_zoom.status().ToString();
+  ASSERT_TRUE(threaded_zoom.ok()) << threaded_zoom.status().ToString();
+  EXPECT_EQ(serial_zoom->solution, threaded_zoom->solution);
+  EXPECT_EQ(serial_zoom->stats.node_accesses,
+            threaded_zoom->stats.node_accesses);
+}
+
+TEST(EngineThreadedTest, RepeatedDiversifyAfterThreadedBuildIsCacheHit) {
+  // The counts pass fans out across the pool; the cache must still absorb
+  // the repeat completely — zero node accesses — and report the hit.
+  auto engine = MakeThreadedEngine(DatasetSpec::Clustered(1200, 2, 13),
+                                   MetricKind::kEuclidean, 4);
+  EXPECT_EQ(engine->Snapshot().cache_hits, 0u);
+
+  DiversifyRequest request;
+  request.radius = 0.06;
+  auto first = engine->Diversify(request);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->from_cache);
+  EXPECT_GT(first->stats.node_accesses, 0u);
+
+  auto second = engine->Diversify(request);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->from_cache);
+  EXPECT_EQ(second->stats.node_accesses, 0u);
+  EXPECT_EQ(second->stats.range_queries, 0u);
+  EXPECT_EQ(second->solution, first->solution);
+  EXPECT_EQ(engine->Snapshot().cache_hits, 1u);
+
+  // Still a zero-access hit for the next session leasing this engine.
+  engine->NewSession();
+  auto third = engine->Diversify(request);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->from_cache);
+  EXPECT_EQ(third->stats.node_accesses, 0u);
+  EXPECT_EQ(engine->Snapshot().cache_hits, 2u);
+}
+
 }  // namespace
 }  // namespace disc

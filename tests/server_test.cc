@@ -255,6 +255,71 @@ TEST(SessionManagerTest, ProvidedDatasetsAreNeverPooled) {
   EXPECT_EQ(manager.stats().idle_engines, 0u);
 }
 
+TEST(SessionManagerTest, PrewarmBuildsEnginesConcurrentlyIntoThePool) {
+  SessionManager manager(/*max_idle_engines=*/8);
+  std::vector<EngineConfig> configs = {TestConfig(300, 1), TestConfig(300, 2)};
+  // Unpoolable configs are skipped, not built.
+  EngineConfig provided;
+  provided.dataset = DatasetSpec::Provided(MakeUniformDataset(50, 2, 3));
+  configs.push_back(provided);
+
+  Status status = manager.Prewarm(configs, /*threads=*/4);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(manager.stats().engines_created, 2u);
+  EXPECT_EQ(manager.stats().idle_engines, 2u);
+
+  // The first OPEN of a prewarmed key is a pool hit — no build.
+  auto lease = manager.Acquire(TestConfig(300, 1));
+  ASSERT_TRUE(lease.ok()) << lease.status().ToString();
+  EXPECT_TRUE(lease->reused());
+  EXPECT_EQ(manager.stats().engines_created, 2u);
+  EXPECT_EQ(manager.stats().pool_hits, 1u);
+}
+
+TEST(SessionManagerTest, PrewarmSurfacesBuildErrors) {
+  SessionManager manager(/*max_idle_engines=*/8);
+  EngineConfig bad;
+  bad.dataset = DatasetSpec::Csv("/nonexistent/prewarm.csv");
+  Status status = manager.Prewarm({TestConfig(200, 4), bad}, /*threads=*/2);
+  EXPECT_FALSE(status.ok());
+  // The good engine was still built and pooled.
+  EXPECT_EQ(manager.stats().engines_created, 1u);
+  EXPECT_EQ(manager.stats().idle_engines, 1u);
+}
+
+TEST(ServerTest, PrewarmedServerReusesEngineOnFirstOpen) {
+  ServerOptions options;
+  options.port = 0;
+  options.workers = 2;
+  options.max_idle_engines = 4;
+  options.engine_threads = 2;
+  options.prewarm = {TestConfig(350, 21)};
+  auto server = DiscServer::Start(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  LineClient client = ConnectTo(**server);
+  std::string open =
+      MustRoundtrip(client, "OPEN dataset=clustered n=350 dim=2 seed=21");
+  EXPECT_NE(open.find("\"reused\":true"), std::string::npos) << open;
+  // sessions_served 2: the prewarm build was session 1, this lease is 2.
+  EXPECT_NE(open.find("\"sessions_served\":2"), std::string::npos) << open;
+  SessionManagerStats stats = (*server)->manager_stats();
+  EXPECT_EQ(stats.pool_hits, 1u);
+}
+
+TEST(ServerTest, StatsReportsWireCacheHits) {
+  auto server = StartServer();
+  LineClient client = ConnectTo(*server);
+  MustRoundtrip(client, "OPEN dataset=clustered n=300 dim=2 seed=6");
+  std::string cold = MustRoundtrip(client, "STATS");
+  EXPECT_NE(cold.find("\"cache_hits\":0"), std::string::npos) << cold;
+
+  MustRoundtrip(client, "DIVERSIFY r=0.1");
+  MustRoundtrip(client, "DIVERSIFY r=0.1");  // identical -> cache hit
+  std::string warm = MustRoundtrip(client, "STATS");
+  EXPECT_NE(warm.find("\"cache_hits\":1"), std::string::npos) << warm;
+}
+
 TEST(ServerTest, OversizedLinesCloseTheConnectionInsteadOfBuffering) {
   auto server = StartServer();
   LineClient client = ConnectTo(*server);

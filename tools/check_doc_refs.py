@@ -5,8 +5,12 @@ Scans the markdown documentation (README.md, BUILDING.md, ROADMAP.md and
 docs/*.md) for backticked references to repository paths — `src/...`,
 `tests/...`, `bench/...`, `examples/...`, `tools/...`, `docs/...` — and
 fails when a referenced path no longer exists, so renames and deletions
-cannot silently rot the documentation. CI runs this in the docs job; run
-it locally from the repo root:
+cannot silently rot the documentation.
+
+The inverse direction is checked too: every subdirectory of src/ must be
+mentioned in docs/ARCHITECTURE.md (the layer map), so a new layer cannot
+land undocumented. CI runs this in the docs job; run it locally from the
+repo root:
 
     python3 tools/check_doc_refs.py
 """
@@ -48,6 +52,24 @@ def path_exists(path: str) -> bool:
     )
 
 
+ARCHITECTURE_DOC = "docs/ARCHITECTURE.md"
+
+
+def undocumented_src_subdirs():
+    """src/ subdirectories (layers) that docs/ARCHITECTURE.md never names."""
+    if not os.path.isdir("src") or not os.path.exists(ARCHITECTURE_DOC):
+        return []
+    with open(ARCHITECTURE_DOC, encoding="utf-8") as handle:
+        architecture = handle.read()
+    undocumented = []
+    for entry in sorted(os.listdir("src")):
+        if not os.path.isdir(os.path.join("src", entry)):
+            continue
+        if f"src/{entry}" not in architecture:
+            undocumented.append(entry)
+    return undocumented
+
+
 def main() -> int:
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     os.chdir(repo_root)
@@ -65,7 +87,9 @@ def main() -> int:
                         if not path_exists(path):
                             missing.append(f"{doc}:{lineno}: `{path}`")
 
+    failed = False
     if missing:
+        failed = True
         print("Documentation references paths that do not exist:")
         for entry in missing:
             print(f"  {entry}")
@@ -74,9 +98,24 @@ def main() -> int:
             "Update the docs (or the checker's rules in "
             "tools/check_doc_refs.py if the reference is intentional)."
         )
-        return 1
 
-    print(f"OK: {checked} doc path references all resolve.")
+    undocumented = undocumented_src_subdirs()
+    if undocumented:
+        failed = True
+        print(f"src/ layers missing from {ARCHITECTURE_DOC}:")
+        for entry in undocumented:
+            print(f"  src/{entry}/")
+        print(
+            "\nEvery src/ subdirectory must appear in the layer map — add a "
+            "paragraph for the new layer."
+        )
+
+    if failed:
+        return 1
+    print(
+        f"OK: {checked} doc path references all resolve; every src/ layer "
+        f"is documented in {ARCHITECTURE_DOC}."
+    )
     return 0
 
 
