@@ -27,6 +27,15 @@ runner, so their wall clocks ARE comparable):
       (and unless at least one key matched). How CI proves the parallel
       leg actually wins graph-build wall time.
 
+Candidate-side absolute bounds (usable with or without --baseline; a
+--baseline may be omitted entirely when only bounds are requested):
+
+  --require-floor REGEX=VALUE / --require-ceiling REGEX=VALUE
+      Every candidate metric (deterministic or wall-clock) whose key
+      matches REGEX must be >= / <= VALUE. Repeatable; a bound matching
+      no metric is a usage error. How CI pins the serve bench's
+      requests/sec floor, p99 ceiling, and mismatches == 0.
+
 Exit codes: 0 ok, 1 regression or missing benchmark, 2 usage/input error.
 
 Usage:
@@ -64,8 +73,12 @@ GB_TIME_FIELDS = {"real_time", "cpu_time"}
 
 
 def is_time_metric(name):
+    # Throughput (rps) is wall-clock derived and machine dependent, so it
+    # rides with the time metrics: excluded from the deterministic diff,
+    # available to --require-floor / --require-ceiling bounds.
     return (name in GB_TIME_FIELDS or name.endswith("_ms")
-            or name.endswith("_time") or name == "ms")
+            or name.endswith("_time") or name == "ms"
+            or name == "rps" or name.endswith("_rps"))
 
 
 def parse_float(cell):
@@ -148,6 +161,40 @@ def extract_all(merged):
     return deterministic, time_metrics
 
 
+def check_bounds(metrics, specs, kind):
+    """Returns (failures, error) for --require-floor / --require-ceiling.
+
+    Each spec is 'REGEX=VALUE'; every candidate metric (deterministic and
+    wall-clock) whose key matches REGEX must be >= VALUE (floor) or
+    <= VALUE (ceiling). A spec that matches nothing is a usage error —
+    a silently-unmatched bound would gate nothing.
+    """
+    failures = []
+    for spec in specs:
+        pattern, sep, bound_text = spec.rpartition("=")
+        bound = parse_float(bound_text)
+        if not sep or not pattern or bound is None:
+            return failures, f"malformed --require-{kind} '{spec}' " \
+                             f"(expected REGEX=VALUE)"
+        matcher = re.compile(pattern)
+        matched = 0
+        for key in sorted(metrics):
+            if not matcher.search(key):
+                continue
+            matched += 1
+            value = metrics[key]
+            ok = value >= bound if kind == "floor" else value <= bound
+            status = "ok" if ok else "OUT OF BOUNDS"
+            relation = ">=" if kind == "floor" else "<="
+            print(f"  {kind} {status:13s}: {key}: {value:g} "
+                  f"(need {relation} {bound:g})")
+            if not ok:
+                failures.append(key)
+        if matched == 0:
+            return failures, f"no metric matched --require-{kind} '{spec}'"
+    return failures, None
+
+
 def check_speedup(base_time, cand_time, factor, pattern):
     """Returns (failures, matched) for the --require-speedup gate."""
     matcher = re.compile(pattern)
@@ -168,7 +215,10 @@ def check_speedup(base_time, cand_time, factor, pattern):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--baseline", default=None,
+                        help="reference merged JSON; omit to run only the "
+                             "candidate-side --require-floor/--require-"
+                             "ceiling bounds")
     parser.add_argument("--candidate", required=True)
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="relative regression that fails the gate "
@@ -188,16 +238,36 @@ def main():
     parser.add_argument("--speedup-metric", default=None, metavar="REGEX",
                         help="wall-clock metric keys the speedup gate "
                              "applies to (required with --require-speedup)")
+    parser.add_argument("--require-floor", action="append", default=[],
+                        metavar="REGEX=VALUE",
+                        help="fail unless every candidate metric matching "
+                             "REGEX is >= VALUE (repeatable; matches "
+                             "deterministic and wall-clock metrics)")
+    parser.add_argument("--require-ceiling", action="append", default=[],
+                        metavar="REGEX=VALUE",
+                        help="fail unless every candidate metric matching "
+                             "REGEX is <= VALUE (repeatable)")
     args = parser.parse_args()
 
     if (args.require_speedup is None) != (args.speedup_metric is None):
         print("error: --require-speedup and --speedup-metric go together",
               file=sys.stderr)
         return 2
+    if args.baseline is None and args.require_speedup is not None:
+        print("error: --require-speedup needs a --baseline",
+              file=sys.stderr)
+        return 2
+    if args.baseline is None and not (args.require_floor
+                                      or args.require_ceiling):
+        print("error: nothing to do without a --baseline or bounds",
+              file=sys.stderr)
+        return 2
 
     try:
-        with open(args.baseline) as f:
-            base_det, base_time = extract_all(json.load(f))
+        base_det, base_time = {}, {}
+        if args.baseline is not None:
+            with open(args.baseline) as f:
+                base_det, base_time = extract_all(json.load(f))
         with open(args.candidate) as f:
             cand_det, cand_time = extract_all(json.load(f))
     except (OSError, json.JSONDecodeError) as error:
@@ -209,7 +279,8 @@ def main():
     if args.check_time:
         baseline.update(base_time)
         candidate.update(cand_time)
-    if not baseline and args.require_speedup is None:
+    if args.baseline is not None and not baseline \
+            and args.require_speedup is None:
         print(f"error: no comparable metrics in {args.baseline}",
               file=sys.stderr)
         return 2
@@ -251,7 +322,19 @@ def main():
                   f"'{args.speedup_metric}'", file=sys.stderr)
             return 2
 
-    failed = bool(regressions or missing or speedup_failures)
+    bound_failures = []
+    all_candidate = dict(cand_det)
+    all_candidate.update(cand_time)
+    for specs, kind in ((args.require_floor, "floor"),
+                        (args.require_ceiling, "ceiling")):
+        failures, error = check_bounds(all_candidate, specs, kind)
+        if error is not None:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        bound_failures.extend(failures)
+
+    failed = bool(regressions or missing or speedup_failures
+                  or bound_failures)
     if args.require_identical and improvements:
         failed = True
     if failed:

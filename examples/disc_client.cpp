@@ -8,11 +8,18 @@
 //     disc_client --port=4817
 //
 // Exits 0 when every response had "ok":true, 1 otherwise (so scripted
-// transcripts double as checks), 2 on usage or connection errors.
+// transcripts double as checks; a BUSY rejection from the daemon's
+// admission control is a not-ok response like any other), 2 on usage or
+// connection errors. Errors and BUSY rejections are summarized on stderr
+// so pipelines can tell "the data was odd" from "the daemon refused".
 //
 // Usage:
-//   disc_client [--host=127.0.0.1] [--port=4817] [--help]
+//   disc_client [--host=127.0.0.1] [--port=4817] [--timing] [--help]
+//
+// --timing prints per-request wall time to stderr ("12.345 ms  <cmd>"),
+// keeping stdout byte-clean for transcript comparison.
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -27,14 +34,17 @@ namespace {
 using namespace disc;
 
 constexpr const char* kUsage =
-    "usage: disc_client [--host=<ipv4>] [--port=<port>] [--help]\n"
+    "usage: disc_client [--host=<ipv4>] [--port=<port>] [--timing] "
+    "[--help]\n"
     "reads protocol lines from stdin; see disc_serve --help for the "
-    "command vocabulary\n";
+    "command vocabulary\n"
+    "--timing: per-request wall time on stderr (stdout stays byte-clean)\n";
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto flags_or = ParseFlagArgs(argc, argv, {"host", "port", "help"});
+  auto flags_or =
+      ParseFlagArgs(argc, argv, {"host", "port", "timing", "help"});
   if (!flags_or.ok()) {
     std::fprintf(stderr, "%s\n%s", flags_or.status().message().c_str(),
                  kUsage);
@@ -46,6 +56,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   const std::string host = FlagOr(flags, "host", "127.0.0.1");
+  const bool timing = flags.count("timing") > 0;
   auto port = FlagInt(flags, "port", 4817);
   if (!port.ok()) {
     std::fprintf(stderr, "%s\n%s", port.status().message().c_str(), kUsage);
@@ -60,16 +71,34 @@ int main(int argc, char** argv) {
   LineClient client = std::move(client_or).value();
 
   bool all_ok = true;
+  size_t errors = 0;
+  size_t busy = 0;
   for (std::string line; std::getline(std::cin, line);) {
     if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    const auto started = std::chrono::steady_clock::now();
     auto response = client.Roundtrip(line);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - started)
+            .count();
     if (!response.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    response.status().ToString().c_str());
       return 2;
     }
+    if (timing) std::fprintf(stderr, "%.3f ms  %s\n", wall_ms, line.c_str());
     std::printf("%s\n", response->c_str());
-    if (response->rfind("{\"ok\":true", 0) != 0) all_ok = false;
+    if (response->rfind("{\"ok\":true", 0) != 0) {
+      all_ok = false;
+      ++errors;
+      // The protocol serializes the status code as "code":"Busy" for
+      // admission-control rejections.
+      if (response->find("\"code\":\"Busy\"") != std::string::npos) ++busy;
+    }
+  }
+  if (!all_ok) {
+    std::fprintf(stderr, "disc_client: %zu not-ok response%s (%zu busy)\n",
+                 errors, errors == 1 ? "" : "s", busy);
   }
   return all_ok ? 0 : 1;
 }

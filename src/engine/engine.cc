@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <charconv>
 #include <cmath>
 #include <cstddef>
 #include <memory>
@@ -23,6 +24,16 @@ namespace {
 /// session's working set small while covering the common explore loop
 /// (a handful of radii revisited repeatedly).
 constexpr size_t kMaxCachedSolutions = 8;
+
+/// Shortest round-trip decimal form, used for the canonical session history
+/// (equal doubles must always render identically or equal sessions would
+/// fingerprint differently).
+std::string CanonicalDouble(double value) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc()) return "?";
+  return std::string(buf, ptr);
+}
 
 }  // namespace
 
@@ -77,6 +88,55 @@ DiscEngine::CacheEntry* DiscEngine::FindCached(const CacheKey& key) {
   return nullptr;
 }
 
+const DiscEngine::CacheEntry* DiscEngine::FindCached(
+    const CacheKey& key) const {
+  for (const CacheEntry& entry : cache_) {
+    if (entry.key == key) return &entry;
+  }
+  return nullptr;
+}
+
+bool DiscEngine::HasCachedDiversify(const DiversifyRequest& request) const {
+  if (!ValidateRadius(request.radius).ok()) return false;
+  const CacheKey key{request.algorithm, request.radius,
+                     EffectivePruned(request)};
+  return FindCached(key) != nullptr;
+}
+
+std::string DiscEngine::SessionFingerprint() const {
+  if (!session_.has_solution) return "";
+  return session_.history + (session_.distances_exact ? "|e1" : "|e0");
+}
+
+DiscEngine::SessionCapsule DiscEngine::ExportSession() const {
+  SessionCapsule capsule;
+  capsule.state = tree_->SaveColorState();
+  capsule.session = session_;
+  if (session_.cache_key_valid) {
+    if (const CacheEntry* entry = FindCached(session_.cache_key)) {
+      capsule.has_cache_entry = true;
+      capsule.cache_response = entry->response;
+      capsule.cache_distances_exact = entry->distances_exact;
+    }
+  }
+  return capsule;
+}
+
+Status DiscEngine::AdoptSession(const SessionCapsule& capsule) {
+  DISC_RETURN_NOT_OK(tree_->RestoreColorState(capsule.state));
+  session_ = capsule.session;
+  if (capsule.has_cache_entry) {
+    CacheEntry entry;
+    entry.key = capsule.session.cache_key;
+    entry.response = capsule.cache_response;
+    entry.state = capsule.state;
+    entry.distances_exact = capsule.cache_distances_exact;
+    InsertCache(std::move(entry));
+  }
+  ++adopted_sessions_;
+  return Status::OK();
+}
+
 void DiscEngine::SetSession(const CacheKey& key, size_t solution_size,
                             bool distances_exact) {
   session_.has_solution = true;
@@ -93,6 +153,9 @@ void DiscEngine::SetSession(const CacheKey& key, size_t solution_size,
   session_.distances_exact = distances_exact;
   session_.cache_key_valid = true;
   session_.cache_key = key;
+  session_.history = std::string("d:") + AlgorithmToString(key.algorithm) +
+                     ":" + CanonicalDouble(key.radius) +
+                     (key.pruned ? ":p1" : ":p0");
 }
 
 void DiscEngine::InsertCache(CacheEntry entry) {
@@ -170,6 +233,7 @@ Result<DiversifyResponse> DiscEngine::Diversify(
   DiscResult run =
       RunAlgorithm(tree_.get(), request.algorithm, request.radius,
                    run_options);
+  ++computations_;
 
   DiversifyResponse response;
   response.solution = std::move(run.solution);
@@ -255,6 +319,7 @@ Result<DiversifyResponse> DiscEngine::Zoom(const ZoomRequest& request) {
   } else {
     run = ZoomOut(tree_.get(), request.radius, request.zoom_out_variant);
   }
+  ++computations_;
 
   DiversifyResponse response;
   response.solution = std::move(run.solution);
@@ -272,6 +337,15 @@ Result<DiversifyResponse> DiscEngine::Zoom(const ZoomRequest& request) {
 
   session_.solution_size = response.solution.size();
   session_.cache_key_valid = false;  // the zoom mutated the tree state
+  // Extend the canonical history with this zoom; every parameter that can
+  // change the resulting state or reported stats participates.
+  session_.history += std::string("|z:") +
+                      (local ? "l" : (reads_distances ? "i" : "o")) +
+                      CanonicalDouble(request.radius) +
+                      (request.greedy ? ":g1" : ":g0") + ":v" +
+                      std::to_string(static_cast<int>(
+                          request.zoom_out_variant)) +
+                      (local ? ":c" + std::to_string(*request.center) : "");
   if (local) {
     session_.zoomable = false;
     session_.zoom_blocker =
@@ -298,6 +372,7 @@ Result<DiversifyResponse> DiscEngine::WeightedDiversify(
       std::vector<ObjectId> solution,
       GreedyWeightedDisc(dataset_, *metric_, request.radius, request.weights,
                          request.objective));
+  ++computations_;
   DiversifyResponse response;
   response.solution = std::move(solution);
   response.wall_ms = watch.ElapsedMillis();
@@ -318,6 +393,7 @@ Result<DiversifyResponse> DiscEngine::MultiRadiusDiversify(
   DISC_ASSIGN_OR_RETURN(
       std::vector<ObjectId> solution,
       MultiRadiusDisc(dataset_, *metric_, radii, request.relevance));
+  ++computations_;
   DiversifyResponse response;
   response.solution = std::move(solution);
   response.wall_ms = watch.ElapsedMillis();
@@ -350,6 +426,8 @@ EngineSnapshot DiscEngine::Snapshot() const {
   snapshot.cached_solutions = cache_.size();
   snapshot.cached_count_radii = counts_cache_.size();
   snapshot.cache_hits = cache_hits_;
+  snapshot.computations = computations_;
+  snapshot.adopted_sessions = adopted_sessions_;
   snapshot.threads = threads_;
   snapshot.sessions_served = sessions_served_;
   snapshot.lifetime_stats = tree_->stats();

@@ -177,6 +177,15 @@ struct EngineSnapshot {
   /// STATS `cache_hits` field so clients can see pooled-engine warm-cache
   /// reuse without diffing node-access totals.
   size_t cache_hits = 0;
+  /// Algorithm executions this engine actually performed (Diversify misses,
+  /// zoom passes, weighted / multi-radius runs). Cache hits and adopted
+  /// sessions do not count — the serving layer's coalescing tests rely on
+  /// this to prove N identical concurrent requests cost one computation.
+  size_t computations = 0;
+  /// Sessions installed via AdoptSession (a coalesced result fanned out by
+  /// the serving layer's single-flight table). STATS `coalesced` on the
+  /// wire.
+  size_t adopted_sessions = 0;
   /// Worker threads the engine's parallel passes use (resolved from
   /// EngineConfig::threads; 1 = serial).
   size_t threads = 1;
@@ -280,7 +289,58 @@ class DiscEngine {
     /// recomputation can be written back to the entry.
     bool cache_key_valid = false;
     CacheKey cache_key{Algorithm::kGreedy, 0.0, true};
+    /// Canonical request history that produced this solution: the Diversify
+    /// parameters plus every zoom applied since, in order. Two engines over
+    /// the same dataset with equal histories (and equal distances_exact)
+    /// hold byte-identical session state — the serving layer keys its
+    /// single-flight table on SessionFingerprint(), which is derived from
+    /// this.
+    std::string history;
   };
+
+ public:
+  /// A transferable snapshot of the whole session: the per-object color
+  /// state plus the session descriptor and (when the tree state still
+  /// matches a cache entry) that entry's response. Produced by the flight
+  /// leader after a computation; adopting it puts a follower engine over
+  /// the *same dataset* into the exact state the leader's computation left
+  /// behind, so the follower's subsequent Zoom chain stays valid without
+  /// re-running the algorithm. The nested private types keep the payload
+  /// opaque: callers move capsules around, only DiscEngine reads them.
+  struct SessionCapsule {
+    MTree::ColorState state;
+    SessionState session;
+    bool has_cache_entry = false;
+    DiversifyResponse cache_response;
+    bool cache_distances_exact = false;
+  };
+
+  /// Snapshots the current session (colors, descriptor, the matching cache
+  /// entry when one exists). Meaningful only after a successful Diversify
+  /// or Zoom.
+  SessionCapsule ExportSession() const;
+
+  /// Installs a capsule exported by another engine over the same dataset:
+  /// restores the colors, copies the session descriptor, and replicates the
+  /// leader's cache entry so a repeated identical Diversify is an honest
+  /// cache hit. InvalidArgument when the capsule's color state does not
+  /// match this engine's dataset size.
+  Status AdoptSession(const SessionCapsule& capsule);
+
+  /// True when Diversify(request) would be served from the solution cache
+  /// (zero index work). The serving layer checks this before consulting its
+  /// single-flight table so warm-engine repeats keep reporting
+  /// from_cache=true instead of replaying a coalesced response.
+  bool HasCachedDiversify(const DiversifyRequest& request) const;
+
+  /// Canonical fingerprint of the session state: the request history plus
+  /// the distances_exact bit (two equal-history engines can still diverge
+  /// on whether a §5.2 recomputation was banked, which changes the stats a
+  /// zoom-in reports). Empty when no solution is held — such sessions are
+  /// never coalesced.
+  std::string SessionFingerprint() const;
+
+ private:
 
   /// Rejects non-finite or negative radii.
   static Status ValidateRadius(double radius);
@@ -298,6 +358,7 @@ class DiscEngine {
   ThreadPool* pool();
 
   CacheEntry* FindCached(const CacheKey& key);
+  const CacheEntry* FindCached(const CacheKey& key) const;
   void InsertCache(CacheEntry entry);
   /// White-neighborhood counts for `radius`, computed on first use (charged
   /// to the tree's stats) and cached — they depend only on geometry.
@@ -321,6 +382,8 @@ class DiscEngine {
   std::map<double, std::vector<uint32_t>> counts_cache_;
   size_t sessions_served_ = 1;
   size_t cache_hits_ = 0;
+  size_t computations_ = 0;
+  size_t adopted_sessions_ = 0;
 };
 
 }  // namespace disc

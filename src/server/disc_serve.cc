@@ -8,7 +8,8 @@
 // Usage:
 //   disc_serve [--host=127.0.0.1] [--port=4817] [--workers=4]
 //              [--max-engines=8] [--threads=0] [--prewarm=<ds>[,<ds>...]]
-//              [--help]
+//              [--loop=event|blocking] [--max-pending=64]
+//              [--max-inflight=0] [--help]
 //
 // --port=0 picks an ephemeral port. The daemon prints exactly one line
 //   disc_serve listening on <host>:<port>
@@ -36,7 +37,9 @@ using namespace disc;
 constexpr const char* kUsage =
     "usage: disc_serve [--host=<ipv4>] [--port=<port>] [--workers=<count>]\n"
     "                  [--max-engines=<count>] [--threads=<count>]\n"
-    "                  [--prewarm=<dataset>[,<dataset>...]] [--help]\n"
+    "                  [--prewarm=<dataset>[,<dataset>...]]\n"
+    "                  [--loop=event|blocking] [--max-pending=<count>]\n"
+    "                  [--max-inflight=<count>] [--help]\n"
     "\n"
     "--threads: engine worker threads for parallel read-only passes\n"
     "           (0 = one per hardware thread, 1 = serial; results are\n"
@@ -44,6 +47,13 @@ constexpr const char* kUsage =
     "--prewarm: comma-separated dataset names (the OPEN dataset= values,\n"
     "           default n/dim/seed/metric) whose engines are pre-built\n"
     "           concurrently into the idle pool before serving starts.\n"
+    "--loop:    transport: 'event' (default) is the epoll event loop with\n"
+    "           request coalescing and admission control; 'blocking' is\n"
+    "           the thread-per-connection baseline.\n"
+    "--max-pending:  event loop only: compute requests queued beyond the\n"
+    "           executing ones before new requests get a BUSY error.\n"
+    "--max-inflight: event loop only: computations executing concurrently\n"
+    "           (0 = one per worker thread).\n"
     "\n"
     "Line protocol (one command per line, one JSON response per line):\n"
     "  OPEN dataset=uniform|clustered|cities|cameras|csv:<path>\n"
@@ -70,7 +80,7 @@ int main(int argc, char** argv) {
   auto flags_or = ParseFlagArgs(
       argc, argv,
       {"host", "port", "workers", "max-engines", "threads", "prewarm",
-       "help"});
+       "loop", "max-pending", "max-inflight", "help"});
   if (!flags_or.ok()) {
     std::fprintf(stderr, "%s\n%s", flags_or.status().message().c_str(),
                  kUsage);
@@ -88,9 +98,11 @@ int main(int argc, char** argv) {
   auto max_engines = FlagUint(flags, "max-engines",
                               options.max_idle_engines);
   auto threads = FlagUint(flags, "threads", options.engine_threads);
+  auto max_pending = FlagUint(flags, "max-pending", options.max_pending);
+  auto max_inflight = FlagUint(flags, "max-inflight", options.max_inflight);
   for (const Status& status :
        {port.status(), workers.status(), max_engines.status(),
-        threads.status()}) {
+        threads.status(), max_pending.status(), max_inflight.status()}) {
     if (!status.ok()) Fail(status.ToString());
   }
   options.host = FlagOr(flags, "host", options.host);
@@ -98,6 +110,16 @@ int main(int argc, char** argv) {
   options.workers = *workers;
   options.max_idle_engines = *max_engines;
   options.engine_threads = *threads;
+  options.max_pending = *max_pending;
+  options.max_inflight = *max_inflight;
+  const std::string loop = FlagOr(flags, "loop", "event");
+  if (loop == "event") {
+    options.loop = ServeLoop::kEventLoop;
+  } else if (loop == "blocking") {
+    options.loop = ServeLoop::kBlocking;
+  } else {
+    Fail("--loop must be 'event' or 'blocking', got '" + loop + "'");
+  }
 
   // --prewarm=cities,clustered: each name is an OPEN dataset= value with
   // the protocol's default knobs (n=10000 dim=2 seed=42, default metric).
@@ -145,11 +167,14 @@ int main(int argc, char** argv) {
   sigwait(&stop_signals, &signal_number);
 
   SessionManagerStats stats = server->manager_stats();
+  ServerStats transport = server->server_stats();
   server->Shutdown();
   std::fprintf(stderr,
                "disc_serve exiting: %zu leases (%zu pool hits), "
-               "%zu engines built, %zu evicted\n",
+               "%zu engines built, %zu evicted; %zu connections, "
+               "%zu coalesced responses, %zu busy rejections\n",
                stats.leases_acquired, stats.pool_hits, stats.engines_created,
-               stats.engines_evicted);
+               stats.engines_evicted, transport.connections_accepted,
+               transport.coalesced_responses, transport.busy_rejections);
   return 0;
 }

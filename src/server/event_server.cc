@@ -1,0 +1,804 @@
+// The epoll event-loop transport (ServeLoop::kEventLoop).
+//
+// One loop thread owns every connection: non-blocking sockets registered
+// edge-triggered, a per-connection read buffer split into protocol lines,
+// and a per-connection write buffer flushed opportunistically. Engine
+// work — OPEN builds and DIVERSIFY/ZOOM computations — never runs on the
+// loop thread; it is dispatched as jobs to a fixed pool of compute
+// workers, whose results come back through a completion queue drained when
+// the worker signals an eventfd.
+//
+// State ownership (the rule everything here follows): a Conn and its
+// EngineLease belong to the loop thread, EXCEPT while `busy` is set — then
+// exactly one worker (or one flight waiter) may touch the leased engine,
+// and the loop thread touches neither engine nor lease until the
+// completion arrives. A connection is therefore never destroyed while
+// busy; teardown marks it dead and the completion handler finishes the
+// job. This is also why a conn processes at most one command at a time:
+// pipelined lines queue in order and the next one starts only after the
+// previous completion.
+//
+// Coalescing: a DIVERSIFY/ZOOM whose flight key (server/handlers.h) is
+// already in the session manager's single-flight table attaches a waiter
+// instead of dispatching a job. The leader computes once, exports a
+// session capsule, and FinishFlight fans the byte-identical response line
+// to every waiter; each waiter adopts the capsule into its own engine so
+// its subsequent zoom chain stays valid. Completed flights are memoized in
+// the manager, so a request arriving just after the flight finished still
+// coalesces instead of recomputing.
+//
+// Backpressure, outermost first:
+//  * admission control: at most max_inflight executing + max_pending
+//    queued jobs; beyond that a request is answered with a BUSY error
+//    line (flight followers and capsule adoptions are exempt — they
+//    consume no compute slot);
+//  * pipelining cap: a connection with kMaxQueuedLines parsed-but-
+//    unserved lines stops being read — bytes back up into the kernel
+//    buffer and TCP flow control stalls the client until we catch up;
+//  * read cap: kMaxLineBytes without a newline tears the connection down
+//    (same memory-DoS rule as the blocking transport's LineChannel);
+//  * write cap: a client that never reads accumulates responses until
+//    kMaxOutBytes, then is torn down.
+//
+// Shutdown drains: accepting stops, idle connections close immediately,
+// queued and executing jobs run to completion, their responses are
+// flushed (bounded by kDrainDeadline for clients that will not read), and
+// only then do the loop and the workers join.
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "server/handlers.h"
+#include "server/net.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace disc {
+namespace internal {
+namespace {
+
+/// Same no-newline memory cap as LineChannel.
+constexpr size_t kMaxLineBytes = 1 << 20;
+/// Parsed lines a connection may have waiting before reads pause.
+constexpr size_t kMaxQueuedLines = 128;
+/// Unflushed response bytes before a never-reading client is torn down.
+constexpr size_t kMaxOutBytes = 4 << 20;
+/// How long Shutdown keeps polling to flush final responses.
+constexpr std::chrono::seconds kDrainDeadline(5);
+
+/// epoll user-data ids for the two non-connection descriptors.
+constexpr uint64_t kListenId = 0;
+constexpr uint64_t kWakeId = 1;
+
+class EventLoopServer final : public DiscServer {
+ public:
+  explicit EventLoopServer(ServerOptions options)
+      : DiscServer(std::move(options)),
+        max_inflight_(options_.max_inflight == 0 ? options_.workers
+                                                 : options_.max_inflight) {}
+
+  ~EventLoopServer() override { Shutdown(); }
+
+  Status Run() {
+    DISC_RETURN_NOT_OK(Listen());
+    DISC_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ < 0) return Status::IOError("epoll_create1 failed");
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+    if (wake_fd_ < 0) return Status::IOError("eventfd failed");
+    AddToEpoll(listen_fd_, kListenId, EPOLLIN);
+    AddToEpoll(wake_fd_, kWakeId, EPOLLIN);
+    loop_thread_ = std::thread([this] { LoopThread(); });
+    workers_.reserve(options_.workers);
+    for (size_t i = 0; i < options_.workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+    return Status::OK();
+  }
+
+  void Shutdown() override {
+    std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_requested_.store(true);
+    Wake();
+    if (loop_thread_.joinable()) loop_thread_.join();
+    {
+      std::lock_guard<std::mutex> lock(work_mutex_);
+      workers_stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    CloseSocket(&listen_fd_);
+    CloseSocket(&wake_fd_);
+    CloseSocket(&epoll_fd_);
+  }
+
+  ServerStats server_stats() const override {
+    ServerStats stats;
+    stats.connections_accepted = connections_accepted_.load();
+    stats.busy_rejections = busy_rejections_.load();
+    stats.coalesced_responses = coalesced_responses_.load();
+    stats.active_connections = active_connections_.load();
+    return stats;
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;
+    std::string in;   // raw bytes awaiting a newline
+    std::string out;  // serialized responses awaiting the socket
+    std::deque<std::string> lines;
+    EngineLease lease;
+    /// A job or flight waiter for this conn is outstanding; the loop
+    /// thread must not touch the lease or destroy the conn.
+    bool busy = false;
+    /// EOF (or drain) observed: finish the queued lines, flush, close.
+    bool no_more_input = false;
+    /// Reads paused by the pipelining cap; resume when lines drain.
+    bool read_paused = false;
+    /// Torn down; destroy as soon as !busy.
+    bool dead = false;
+    /// EPOLLOUT currently registered.
+    bool want_write = false;
+  };
+
+  struct Job {
+    enum class Kind { kOpen, kCompute, kLeader, kAdopt };
+    Kind kind = Kind::kCompute;
+    uint64_t conn_id = 0;
+    Request request;                // kOpen
+    ComputePlan plan;               // kCompute / kLeader
+    DiscEngine* engine = nullptr;   // all but kOpen
+    std::string flight_key;         // kLeader
+    FlightOutcome outcome;          // kAdopt
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string response;
+    EngineLease lease;       // valid => install (a successful OPEN)
+    bool coalesced = false;  // produced by another connection's flight
+    bool counts = false;     // consumed an admission slot
+  };
+
+  // ---- loop thread ----
+
+  void LoopThread() {
+    std::chrono::steady_clock::time_point drain_deadline{};
+    bool draining = false;
+    epoll_event events[64];
+    while (true) {
+      if (!draining && stop_requested_.load()) {
+        draining = true;
+        drain_deadline = std::chrono::steady_clock::now() + kDrainDeadline;
+        BeginDrain();
+      }
+      if (draining && conns_.empty()) return;
+      if (draining &&
+          std::chrono::steady_clock::now() >= drain_deadline) {
+        // Busy conns must wait for their worker (the engine is in use);
+        // everything else — clients that will not read their last
+        // response — is forcibly dropped.
+        std::vector<uint64_t> drop;
+        for (auto& [id, conn] : conns_) {
+          if (!conn->busy) drop.push_back(id);
+        }
+        for (uint64_t id : drop) Destroy(id);
+        if (conns_.empty()) return;
+      }
+      const int timeout_ms = draining ? 50 : -1;
+      const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;  // unrecoverable poll error; Shutdown still joins us
+      }
+      for (int i = 0; i < n; ++i) {
+        const uint64_t id = events[i].data.u64;
+        if (id == kListenId) {
+          if (!draining) AcceptAll();
+        } else if (id == kWakeId) {
+          DrainWakeFd();
+        } else {
+          OnConnEvent(id, events[i].events);
+        }
+      }
+      ProcessCompletions(draining);
+    }
+  }
+
+  void AcceptAll() {
+    while (true) {
+      int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        // EAGAIN (drained) or a resource error (e.g. EMFILE): either way
+        // stop here — the listen fd is level-triggered, so a still-pending
+        // connection refires the event.
+        return;
+      }
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      conn->id = next_conn_id_++;
+      AddToEpoll(fd, conn->id, EPOLLIN | EPOLLRDHUP | EPOLLET);
+      connections_accepted_.fetch_add(1);
+      const uint64_t id = conn->id;
+      conns_.emplace(id, std::move(conn));
+      active_connections_.store(conns_.size());
+    }
+  }
+
+  void DrainWakeFd() {
+    uint64_t value = 0;
+    while (::read(wake_fd_, &value, sizeof(value)) > 0) {
+    }
+  }
+
+  void OnConnEvent(uint64_t id, uint32_t events) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    Conn* conn = it->second.get();
+    if (events & EPOLLERR) Teardown(conn);
+    if (!conn->dead && (events & EPOLLOUT)) FlushOut(conn);
+    if (events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) {
+      Pump(conn);  // ends in MaybeDestroy
+      return;
+    }
+    MaybeDestroy(conn);
+  }
+
+  /// Read -> split -> process until the conn blocks on the socket, a job,
+  /// the pipelining cap, or death. The only place (besides completions)
+  /// that advances a connection's protocol state.
+  void Pump(Conn* conn) {
+    while (!conn->dead) {
+      if (!conn->no_more_input && !conn->read_paused) DrainSocket(conn);
+      if (conn->dead) break;
+      ProcessLines(conn);
+      if (conn->dead || conn->busy) break;
+      if (conn->read_paused && conn->lines.size() < kMaxQueuedLines / 2) {
+        // Room again: re-drain now — edge-triggered epoll will not refire
+        // for bytes that arrived while reads were paused.
+        conn->read_paused = false;
+        continue;
+      }
+      break;
+    }
+    MaybeDestroy(conn);
+  }
+
+  /// recv until EAGAIN/EOF/pause, splitting complete lines.
+  void DrainSocket(Conn* conn) {
+    char chunk[4096];
+    while (!conn->dead) {
+      const ssize_t got = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+      if (got > 0) {
+        conn->in.append(chunk, static_cast<size_t>(got));
+        SplitLines(conn);
+        if (conn->read_paused) return;
+        continue;
+      }
+      if (got == 0) {
+        // EOF: the lines already received still get answers (matching the
+        // blocking transport); the partial tail, if any, is dropped.
+        conn->no_more_input = true;
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      Teardown(conn);
+      return;
+    }
+  }
+
+  /// Moves complete lines out of the read buffer; tears down on the
+  /// no-newline memory cap.
+  void SplitLines(Conn* conn) {
+    size_t start = 0;
+    while (true) {
+      const size_t newline = conn->in.find('\n', start);
+      if (newline == std::string::npos) break;
+      std::string line = conn->in.substr(start, newline - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      conn->lines.push_back(std::move(line));
+      start = newline + 1;
+      if (conn->lines.size() >= kMaxQueuedLines) {
+        conn->read_paused = true;
+      }
+    }
+    conn->in.erase(0, start);
+    if (conn->in.size() > kMaxLineBytes) Teardown(conn);
+  }
+
+  void ProcessLines(Conn* conn) {
+    while (!conn->busy && !conn->dead && !conn->lines.empty()) {
+      std::string line = std::move(conn->lines.front());
+      conn->lines.pop_front();
+      // Skip blank lines so `printf '...\n\n'`-style drivers are harmless.
+      if (line.find_first_not_of(" \t") == std::string::npos) continue;
+      try {
+        HandleLine(conn, line);
+      } catch (const std::exception& e) {
+        // Same barrier as the blocking transport: a stray exception must
+        // not take down the loop thread (and with it the whole daemon).
+        Respond(conn, SerializeError("?", Status::IOError(
+                                              std::string("internal error: ") +
+                                              e.what())));
+      }
+    }
+  }
+
+  void HandleLine(Conn* conn, const std::string& line) {
+    Result<Request> request = ParseRequest(line);
+    if (!request.ok()) {
+      Respond(conn, SerializeError("?", request.status()));
+      return;
+    }
+    const char* cmd = VerbToString(request->verb);
+    switch (request->verb) {
+      case Verb::kOpen: {
+        if (conn->lease.valid()) {
+          Respond(conn,
+                  SerializeError(
+                      cmd, Status::FailedPrecondition(
+                               "a session is already open on this "
+                               "connection; CLOSE it first")));
+          return;
+        }
+        if (!Admit()) {
+          RejectBusy(conn, cmd);
+          return;
+        }
+        Job job;
+        job.kind = Job::Kind::kOpen;
+        job.conn_id = conn->id;
+        job.request = std::move(*request);
+        Dispatch(conn, std::move(job));
+        return;
+      }
+      case Verb::kDiversify:
+      case Verb::kZoom: {
+        if (!conn->lease.valid()) {
+          Respond(conn, SerializeError(cmd, Status::FailedPrecondition(
+                                                "no session open; OPEN "
+                                                "first")));
+          return;
+        }
+        Result<ComputePlan> plan = PlanCompute(*request, conn->lease);
+        if (!plan.ok()) {
+          Respond(conn, SerializeError(cmd, plan.status()));
+          return;
+        }
+        DispatchCompute(conn, std::move(*plan));
+        return;
+      }
+      case Verb::kStats: {
+        // Cheap and engine-read-only; the conn is not busy, so the loop
+        // thread is the only toucher of this engine right now.
+        if (!conn->lease.valid()) {
+          Respond(conn, SerializeError(cmd, Status::FailedPrecondition(
+                                                "no session open; OPEN "
+                                                "first")));
+          return;
+        }
+        Respond(conn, SerializeSnapshot(conn->lease.engine().Snapshot()));
+        return;
+      }
+      case Verb::kClose: {
+        if (!conn->lease.valid()) {
+          Respond(conn, SerializeError(
+                            cmd, Status::FailedPrecondition(
+                                     "no session open")));
+          return;
+        }
+        conn->lease.Release();
+        Respond(conn, SerializeClose());
+        return;
+      }
+    }
+    Respond(conn, SerializeError(cmd, Status::InvalidArgument(
+                                          "unhandled verb")));
+  }
+
+  void DispatchCompute(Conn* conn, ComputePlan plan) {
+    DiscEngine* engine = &conn->lease.engine();
+    const char* cmd = VerbToString(plan.verb);
+    if (plan.flight_key.empty()) {
+      // Not coalescable (own-cache hit or unpoolable engine): a plain
+      // compute job, still subject to admission.
+      if (!Admit()) {
+        RejectBusy(conn, cmd);
+        return;
+      }
+      Job job;
+      job.kind = Job::Kind::kCompute;
+      job.conn_id = conn->id;
+      job.plan = std::move(plan);
+      job.engine = engine;
+      Dispatch(conn, std::move(job));
+      return;
+    }
+    // Mark busy BEFORE JoinFlight: a follower's waiter may fire from the
+    // leader's thread at any moment after registration, and it touches
+    // this conn's engine.
+    conn->busy = true;
+    FlightOutcome cached;
+    const uint64_t conn_id = conn->id;
+    const Verb verb = plan.verb;
+    const FlightJoin join = manager_.JoinFlight(
+        plan.flight_key,
+        [this, conn_id, engine, verb](const FlightOutcome& outcome) {
+          AdoptAndComplete(conn_id, engine, verb, outcome);
+        },
+        &cached);
+    switch (join) {
+      case FlightJoin::kLeader: {
+        if (!Admit()) {
+          // The flight exists but its computation was refused: finish it
+          // with the BUSY line so any follower that squeezed in gets the
+          // same answer instead of waiting forever.
+          conn->busy = false;
+          const std::string busy = BusyLine(cmd);
+          manager_.FinishFlight(plan.flight_key,
+                                FlightOutcome{busy, nullptr},
+                                /*memoize=*/false);
+          busy_rejections_.fetch_add(1);
+          Respond(conn, busy);
+          return;
+        }
+        Job job;
+        job.kind = Job::Kind::kLeader;
+        job.conn_id = conn->id;
+        job.flight_key = std::move(plan.flight_key);
+        job.plan = std::move(plan);
+        job.engine = engine;
+        conn->busy = false;  // Dispatch re-marks it
+        Dispatch(conn, std::move(job));
+        return;
+      }
+      case FlightJoin::kFollower:
+        // Nothing to do: the waiter owns the rest.
+        return;
+      case FlightJoin::kCached: {
+        // Adoption is O(n); run it on a worker like everything else that
+        // touches an engine. Exempt from admission — no computation.
+        Job job;
+        job.kind = Job::Kind::kAdopt;
+        job.conn_id = conn->id;
+        job.plan.verb = verb;
+        job.engine = engine;
+        job.outcome = std::move(cached);
+        conn->busy = false;  // Dispatch re-marks it
+        Dispatch(conn, std::move(job));
+        return;
+      }
+    }
+  }
+
+  /// Admission check: executing + queued jobs against the configured
+  /// budget. Loop-thread only.
+  bool Admit() {
+    return jobs_in_system_ < max_inflight_ + options_.max_pending;
+  }
+
+  std::string BusyLine(const char* cmd) {
+    return SerializeError(
+        cmd, Status::Busy("server overloaded (admission queue full); "
+                          "retry later"));
+  }
+
+  void RejectBusy(Conn* conn, const char* cmd) {
+    busy_rejections_.fetch_add(1);
+    Respond(conn, BusyLine(cmd));
+  }
+
+  void Dispatch(Conn* conn, Job job) {
+    conn->busy = true;
+    ++jobs_in_system_;
+    {
+      std::lock_guard<std::mutex> lock(work_mutex_);
+      jobs_.push_back(std::move(job));
+    }
+    work_cv_.notify_one();
+  }
+
+  void ProcessCompletions(bool draining) {
+    std::deque<Completion> done;
+    {
+      std::lock_guard<std::mutex> lock(completion_mutex_);
+      done.swap(completions_);
+    }
+    for (Completion& completion : done) {
+      if (completion.counts && jobs_in_system_ > 0) --jobs_in_system_;
+      auto it = conns_.find(completion.conn_id);
+      if (it == conns_.end()) continue;  // force-dropped during drain
+      Conn* conn = it->second.get();
+      conn->busy = false;
+      if (completion.lease.valid()) {
+        conn->lease = std::move(completion.lease);
+      }
+      if (completion.coalesced) coalesced_responses_.fetch_add(1);
+      if (conn->dead) {
+        Destroy(conn->id);
+        continue;
+      }
+      Respond(conn, completion.response);
+      if (draining) {
+        conn->no_more_input = true;
+        conn->lines.clear();
+      }
+      if (conn->dead) {
+        MaybeDestroy(conn);
+      } else {
+        Pump(conn);
+      }
+    }
+  }
+
+  void BeginDrain() {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    std::vector<uint64_t> idle;
+    for (auto& [id, conn] : conns_) {
+      conn->no_more_input = true;
+      conn->lines.clear();
+      if (!conn->busy && conn->out.empty()) idle.push_back(id);
+    }
+    for (uint64_t id : idle) Destroy(id);
+  }
+
+  // ---- writing ----
+
+  void Respond(Conn* conn, const std::string& line) {
+    conn->out += line;
+    conn->out += '\n';
+    FlushOut(conn);
+    if (!conn->dead && conn->out.size() > kMaxOutBytes) Teardown(conn);
+  }
+
+  /// send until empty or EAGAIN; arms/disarms EPOLLOUT. Tears down on a
+  /// write error (closed peer).
+  void FlushOut(Conn* conn) {
+    while (!conn->out.empty()) {
+      const ssize_t wrote = ::send(conn->fd, conn->out.data(),
+                                   conn->out.size(), MSG_NOSIGNAL);
+      if (wrote > 0) {
+        conn->out.erase(0, static_cast<size_t>(wrote));
+        continue;
+      }
+      if (wrote < 0 && errno == EINTR) continue;
+      if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      Teardown(conn);
+      return;
+    }
+    UpdateWriteInterest(conn);
+  }
+
+  void UpdateWriteInterest(Conn* conn) {
+    const bool want = !conn->out.empty();
+    if (want == conn->want_write) return;
+    conn->want_write = want;
+    epoll_event event{};
+    event.events = EPOLLIN | EPOLLRDHUP | EPOLLET |
+                   (want ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+    event.data.u64 = conn->id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &event);
+  }
+
+  // ---- lifecycle ----
+
+  /// Marks the conn for destruction. Never destroys in place — callers up
+  /// the stack still hold the pointer; MaybeDestroy at the safe points
+  /// (end of Pump / OnConnEvent / completion handling) finishes the job.
+  void Teardown(Conn* conn) { conn->dead = true; }
+
+  void MaybeDestroy(Conn* conn) {
+    if (conn->busy) return;
+    if (conn->dead || (conn->no_more_input && conn->lines.empty() &&
+                       conn->out.empty())) {
+      Destroy(conn->id);
+    }
+  }
+
+  void Destroy(uint64_t id) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    Conn* conn = it->second.get();
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+    conns_.erase(it);  // lease RAII returns the engine to the pool
+    active_connections_.store(conns_.size());
+  }
+
+  // ---- worker threads ----
+
+  void WorkerLoop() {
+    while (true) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(work_mutex_);
+        work_cv_.wait(lock, [this] {
+          return (workers_stop_ && jobs_.empty()) ||
+                 (!jobs_.empty() && executing_ < max_inflight_);
+        });
+        if (jobs_.empty()) return;  // stop requested and fully drained
+        job = std::move(jobs_.front());
+        jobs_.pop_front();
+        ++executing_;
+      }
+      ExecuteJob(job);
+      {
+        std::lock_guard<std::mutex> lock(work_mutex_);
+        --executing_;
+      }
+      work_cv_.notify_all();
+    }
+  }
+
+  void ExecuteJob(Job& job) {
+    const CommandContext ctx{&manager_, options_.engine_threads};
+    Completion completion;
+    completion.conn_id = job.conn_id;
+    completion.counts = job.kind != Job::Kind::kAdopt;
+    try {
+      switch (job.kind) {
+        case Job::Kind::kOpen: {
+          EngineLease lease;
+          completion.response = ExecuteOpen(ctx, job.request, &lease);
+          completion.lease = std::move(lease);
+          break;
+        }
+        case Job::Kind::kCompute: {
+          completion.response =
+              RunCompute(job.plan, *job.engine).response;
+          break;
+        }
+        case Job::Kind::kLeader: {
+          const ComputeResult result = RunCompute(job.plan, *job.engine);
+          FlightOutcome outcome;
+          outcome.response = result.response;
+          if (result.ok) {
+            outcome.capsule = std::make_shared<DiscEngine::SessionCapsule>(
+                job.engine->ExportSession());
+          }
+          manager_.FinishFlight(job.flight_key, std::move(outcome),
+                                /*memoize=*/result.ok);
+          completion.response = result.response;
+          break;
+        }
+        case Job::Kind::kAdopt: {
+          completion.response = AdoptOutcome(job.engine, job.plan.verb,
+                                             job.outcome);
+          completion.coalesced = true;
+          break;
+        }
+      }
+    } catch (const std::exception& e) {
+      // Keep the flight honest even when the leader's computation threw:
+      // followers must be released with the same error line.
+      completion.response = SerializeError(
+          "?",
+          Status::IOError(std::string("internal error: ") + e.what()));
+      if (job.kind == Job::Kind::kLeader) {
+        manager_.FinishFlight(job.flight_key,
+                              FlightOutcome{completion.response, nullptr},
+                              /*memoize=*/false);
+      }
+    }
+    PushCompletion(std::move(completion));
+  }
+
+  /// Installs a flight outcome into a follower/memo-hit engine and returns
+  /// the line to send.
+  std::string AdoptOutcome(DiscEngine* engine, Verb verb,
+                           const FlightOutcome& outcome) {
+    if (outcome.capsule != nullptr) {
+      const Status adopted = engine->AdoptSession(*outcome.capsule);
+      if (!adopted.ok()) {
+        return SerializeError(VerbToString(verb), adopted);
+      }
+    }
+    return outcome.response;
+  }
+
+  /// The follower waiter: runs on the leader's worker thread. The conn is
+  /// busy for the whole window, so this thread is the engine's only
+  /// toucher.
+  void AdoptAndComplete(uint64_t conn_id, DiscEngine* engine, Verb verb,
+                        const FlightOutcome& outcome) {
+    Completion completion;
+    completion.conn_id = conn_id;
+    completion.coalesced = true;
+    completion.counts = false;
+    try {
+      completion.response = AdoptOutcome(engine, verb, outcome);
+    } catch (const std::exception& e) {
+      completion.response = SerializeError(
+          VerbToString(verb),
+          Status::IOError(std::string("internal error: ") + e.what()));
+    }
+    PushCompletion(std::move(completion));
+  }
+
+  void PushCompletion(Completion completion) {
+    {
+      std::lock_guard<std::mutex> lock(completion_mutex_);
+      completions_.push_back(std::move(completion));
+    }
+    Wake();
+  }
+
+  void Wake() {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t wrote = ::write(wake_fd_, &one, sizeof(one));
+  }
+
+  void AddToEpoll(int fd, uint64_t id, uint32_t events) {
+    epoll_event event{};
+    event.events = events;
+    event.data.u64 = id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event);
+  }
+
+  const size_t max_inflight_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  // Loop-thread state.
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 2;  // 0/1 are the listen/wake sentinels
+  size_t jobs_in_system_ = 0;
+
+  // Worker queue.
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;
+  std::deque<Job> jobs_;
+  size_t executing_ = 0;
+  bool workers_stop_ = false;
+
+  // Completion queue (workers -> loop).
+  std::mutex completion_mutex_;
+  std::deque<Completion> completions_;
+
+  std::mutex shutdown_mutex_;
+  bool stopped_ = false;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<size_t> connections_accepted_{0};
+  std::atomic<size_t> busy_rejections_{0};
+  std::atomic<size_t> coalesced_responses_{0};
+  std::atomic<size_t> active_connections_{0};
+};
+
+}  // namespace
+
+Result<std::unique_ptr<DiscServer>> StartEventLoopServer(
+    ServerOptions options) {
+  auto server = std::make_unique<EventLoopServer>(std::move(options));
+  DISC_RETURN_NOT_OK(server->Run());
+  return std::unique_ptr<DiscServer>(std::move(server));
+}
+
+}  // namespace internal
+}  // namespace disc

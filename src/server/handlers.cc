@@ -1,0 +1,149 @@
+#include "server/handlers.h"
+
+#include <string>
+#include <utility>
+
+#include "core/disc_algorithms.h"
+
+namespace disc {
+
+namespace {
+
+/// The coalescing key for a DIVERSIFY. Greedy-C / Fast-C ignore the pruned
+/// flag, so it is normalized out (mirroring the engine's cache key) — the
+/// same request text must never lead two flights.
+std::string DiversifyFlightKey(const std::string& pool_key,
+                               const DiversifyRequest& request) {
+  if (pool_key.empty()) return "";
+  const bool covering = request.algorithm == Algorithm::kGreedyC ||
+                        request.algorithm == Algorithm::kFastC;
+  const bool pruned = covering ? false : request.pruned;
+  std::string key = pool_key;
+  key += "|D|";
+  key += AlgorithmToString(request.algorithm);
+  key += "|";
+  key += FormatJsonDouble(request.radius);
+  key += pruned ? "|p1" : "|p0";
+  key += request.compute_quality ? "|q1" : "|q0";
+  return key;
+}
+
+/// The coalescing key for a ZOOM: everything the zoom result depends on —
+/// the session state (fingerprint) plus every request knob. `fingerprint`
+/// must be non-empty (the caller checks).
+std::string ZoomFlightKey(const std::string& pool_key,
+                          const std::string& fingerprint,
+                          const ZoomRequest& request) {
+  if (pool_key.empty()) return "";
+  std::string key = pool_key;
+  key += "|Z|";
+  key += fingerprint;
+  key += "|";
+  key += FormatJsonDouble(request.radius);
+  key += request.greedy ? "|g1" : "|g0";
+  key += "|v" + std::to_string(static_cast<int>(request.zoom_out_variant));
+  if (request.center.has_value()) {
+    key += "|c" + std::to_string(*request.center);
+  }
+  key += request.distances == DistancePolicy::kRequireExact ? "|de" : "|da";
+  key += request.compute_quality ? "|q1" : "|q0";
+  return key;
+}
+
+}  // namespace
+
+std::string ExecuteOpen(const CommandContext& ctx, const Request& request,
+                        EngineLease* lease) {
+  const char* cmd = VerbToString(Verb::kOpen);
+  Result<OpenParams> params = DecodeOpen(request);
+  if (!params.ok()) return SerializeError(cmd, params.status());
+  params->config.threads = ctx.engine_threads;
+  Result<EngineLease> acquired = ctx.manager->Acquire(params->config);
+  if (!acquired.ok()) return SerializeError(cmd, acquired.status());
+  *lease = std::move(acquired).value();
+  return SerializeOpen(lease->engine().Snapshot(), params->dataset_text,
+                       lease->reused());
+}
+
+Result<ComputePlan> PlanCompute(const Request& request, EngineLease& lease) {
+  ComputePlan plan;
+  plan.verb = request.verb;
+  if (request.verb == Verb::kDiversify) {
+    DISC_ASSIGN_OR_RETURN(plan.diversify, DecodeDiversify(request));
+    // An engine that can answer from its own solution cache serves the
+    // request locally (zero index work, honest from_cache): replaying a
+    // coalesced from_cache=false line would misreport the work done.
+    if (!lease.engine().HasCachedDiversify(plan.diversify)) {
+      plan.flight_key = DiversifyFlightKey(lease.key(), plan.diversify);
+    }
+    return plan;
+  }
+  DISC_ASSIGN_OR_RETURN(plan.zoom, DecodeZoom(request));
+  const std::string fingerprint = lease.engine().SessionFingerprint();
+  if (!fingerprint.empty()) {
+    plan.flight_key = ZoomFlightKey(lease.key(), fingerprint, plan.zoom);
+  }
+  return plan;
+}
+
+ComputeResult RunCompute(const ComputePlan& plan, DiscEngine& engine) {
+  ComputeResult result;
+  Result<DiversifyResponse> response =
+      plan.verb == Verb::kDiversify ? engine.Diversify(plan.diversify)
+                                    : engine.Zoom(plan.zoom);
+  if (!response.ok()) {
+    result.response =
+        SerializeError(VerbToString(plan.verb), response.status());
+    return result;
+  }
+  result.response = SerializeDiversifyResponse(plan.verb, *response);
+  result.ok = true;
+  return result;
+}
+
+std::string ExecuteLine(const CommandContext& ctx, const std::string& line,
+                        EngineLease* lease) {
+  Result<Request> request = ParseRequest(line);
+  if (!request.ok()) return SerializeError("?", request.status());
+  const char* cmd = VerbToString(request->verb);
+
+  switch (request->verb) {
+    case Verb::kOpen: {
+      if (lease->valid()) {
+        return SerializeError(
+            cmd, Status::FailedPrecondition(
+                     "a session is already open on this connection; CLOSE "
+                     "it first"));
+      }
+      return ExecuteOpen(ctx, *request, lease);
+    }
+    case Verb::kDiversify:
+    case Verb::kZoom: {
+      if (!lease->valid()) {
+        return SerializeError(
+            cmd, Status::FailedPrecondition("no session open; OPEN first"));
+      }
+      Result<ComputePlan> plan = PlanCompute(*request, *lease);
+      if (!plan.ok()) return SerializeError(cmd, plan.status());
+      return RunCompute(*plan, lease->engine()).response;
+    }
+    case Verb::kStats: {
+      if (!lease->valid()) {
+        return SerializeError(
+            cmd, Status::FailedPrecondition("no session open; OPEN first"));
+      }
+      return SerializeSnapshot(lease->engine().Snapshot());
+    }
+    case Verb::kClose: {
+      if (!lease->valid()) {
+        return SerializeError(
+            cmd, Status::FailedPrecondition("no session open"));
+      }
+      lease->Release();
+      return SerializeClose();
+    }
+  }
+  return SerializeError(cmd, Status::InvalidArgument("unhandled verb"));
+}
+
+}  // namespace disc

@@ -1,0 +1,78 @@
+// Shared per-verb execution for the two DiscServer transports.
+//
+// The blocking transport consumes ExecuteLine wholesale (parse, dispatch,
+// run, serialize — one call per request line). The event loop needs the
+// pieces individually so it can thread the single-flight table between
+// them: PlanCompute derives a request's coalescing key *before* any engine
+// work, and RunCompute is what a flight leader executes on a worker
+// thread. Keeping both transports on these functions is what guarantees a
+// coalesced response is byte-identical to the blocking server's answer for
+// the same request.
+
+#ifndef DISC_SERVER_HANDLERS_H_
+#define DISC_SERVER_HANDLERS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "server/protocol.h"
+#include "server/session_manager.h"
+
+namespace disc {
+
+/// Dependencies a verb handler needs, independent of transport.
+struct CommandContext {
+  SessionManager* manager = nullptr;
+  /// ServerOptions::engine_threads, applied to every engine an OPEN builds
+  /// (the knob is the operator's, not the client's: it changes wall time
+  /// only, so it stays out of the wire vocabulary and the pool key).
+  size_t engine_threads = 0;
+};
+
+/// OPEN: decodes, applies the operator thread knob, acquires a lease. On
+/// success installs the lease into `*lease` and returns the OPEN response
+/// line; on failure returns the error line and leaves `*lease` untouched.
+/// The caller is responsible for the already-open precondition.
+std::string ExecuteOpen(const CommandContext& ctx, const Request& request,
+                        EngineLease* lease);
+
+/// A decoded DIVERSIFY or ZOOM plus its single-flight identity.
+struct ComputePlan {
+  Verb verb = Verb::kDiversify;
+  DiversifyRequest diversify;
+  ZoomRequest zoom;
+  /// Canonical coalescing key: pool key + verb + canonical parameters
+  /// (+ the session fingerprint for ZOOM, whose result depends on the
+  /// state the session is in). Equal keys imply interchangeable response
+  /// lines. Empty when the request must not be coalesced: an unpoolable
+  /// engine, a DIVERSIFY this engine can answer from its own solution
+  /// cache (kept local so from_cache stays honest), or a ZOOM with no
+  /// zoomable session to fingerprint.
+  std::string flight_key;
+};
+
+/// Decodes a DIVERSIFY/ZOOM request and derives its flight key against the
+/// session `lease` currently holds. Fails with the decoder's error. The
+/// caller is responsible for the session-open precondition.
+Result<ComputePlan> PlanCompute(const Request& request, EngineLease& lease);
+
+/// What a computation produced: the full response line (success or error)
+/// and whether the engine call succeeded — when true, the engine's session
+/// now encodes the result and ExportSession() is meaningful.
+struct ComputeResult {
+  std::string response;
+  bool ok = false;
+};
+
+/// Runs the planned computation on `engine` and serializes the outcome.
+ComputeResult RunCompute(const ComputePlan& plan, DiscEngine& engine);
+
+/// The complete request path for one line with no coalescing: parse,
+/// check preconditions, dispatch per verb, serialize. Used by the blocking
+/// transport wholesale; the event loop composes the pieces above instead.
+std::string ExecuteLine(const CommandContext& ctx, const std::string& line,
+                        EngineLease* lease);
+
+}  // namespace disc
+
+#endif  // DISC_SERVER_HANDLERS_H_

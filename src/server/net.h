@@ -26,6 +26,10 @@ Result<int> ConnectTcp(const std::string& host, int port);
 /// Closes a socket if it is open; idempotent.
 void CloseSocket(int* fd);
 
+/// Puts a file descriptor into non-blocking mode (O_NONBLOCK). Used by the
+/// event-loop server; the blocking transport below never calls it.
+Status SetNonBlocking(int fd);
+
 /// A buffered line channel over a connected socket. Does NOT own the fd.
 /// ReadLine strips the trailing '\n' (and a '\r' before it); WriteLine
 /// appends the '\n'. Not thread-safe — one channel per connection handler.

@@ -447,6 +447,8 @@ std::string SerializeSnapshot(const EngineSnapshot& snapshot) {
   writer.Field("cached_count_radii",
                static_cast<uint64_t>(snapshot.cached_count_radii));
   writer.Field("cache_hits", static_cast<uint64_t>(snapshot.cache_hits));
+  writer.Field("computations", static_cast<uint64_t>(snapshot.computations));
+  writer.Field("coalesced", static_cast<uint64_t>(snapshot.adopted_sessions));
   writer.Field("sessions_served",
                static_cast<uint64_t>(snapshot.sessions_served));
   writer.Field("node_accesses", snapshot.lifetime_stats.node_accesses);

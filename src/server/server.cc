@@ -1,13 +1,23 @@
+// DiscServer::Start dispatch, the shared Listen() path, and the blocking
+// transport. The event-loop transport lives in event_server.cc.
+
 #include "server/server.h"
 
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <condition_variable>
+#include <deque>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
+#include "server/handlers.h"
 #include "server/net.h"
 #include "server/protocol.h"
 
@@ -17,11 +27,14 @@ Result<std::unique_ptr<DiscServer>> DiscServer::Start(ServerOptions options) {
   if (options.workers == 0) {
     return Status::InvalidArgument("workers must be positive");
   }
-  std::unique_ptr<DiscServer> server(new DiscServer(std::move(options)));
-  DISC_ASSIGN_OR_RETURN(server->listen_fd_,
-                        ListenTcp(server->options_.host,
-                                  server->options_.port));
-  DISC_ASSIGN_OR_RETURN(server->port_, ListenPort(server->listen_fd_));
+  return options.loop == ServeLoop::kBlocking
+             ? internal::StartBlockingServer(std::move(options))
+             : internal::StartEventLoopServer(std::move(options));
+}
+
+Status DiscServer::Listen() {
+  DISC_ASSIGN_OR_RETURN(listen_fd_, ListenTcp(options_.host, options_.port));
+  DISC_ASSIGN_OR_RETURN(port_, ListenPort(listen_fd_));
   // Pre-build the configured hot engines into the idle pool before serving;
   // the builds overlap on a temporary pool instead of serializing on each
   // dataset's first OPEN. Build concurrency is deliberately NOT tied to
@@ -29,165 +42,151 @@ Result<std::unique_ptr<DiscServer>> DiscServer::Start(ServerOptions options) {
   // startup burst, so it always uses the hardware (threads=0) even when
   // the operator wants serial engines. A prewarm failure is a startup
   // error: the operator asked for those datasets by name.
-  if (!server->options_.prewarm.empty()) {
-    std::vector<EngineConfig> prewarm = server->options_.prewarm;
+  if (!options_.prewarm.empty()) {
+    std::vector<EngineConfig> prewarm = options_.prewarm;
     for (EngineConfig& config : prewarm) {
-      config.threads = server->options_.engine_threads;
+      config.threads = options_.engine_threads;
     }
-    DISC_RETURN_NOT_OK(server->manager_.Prewarm(prewarm, /*threads=*/0));
+    DISC_RETURN_NOT_OK(manager_.Prewarm(prewarm, /*threads=*/0));
   }
-  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
-  server->workers_.reserve(server->options_.workers);
-  for (size_t i = 0; i < server->options_.workers; ++i) {
-    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
-  }
-  return server;
+  return Status::OK();
 }
 
-void DiscServer::Shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) return;
-    stopping_ = true;
-    // Unblock the accept loop and every in-flight recv; the fds are closed
-    // by whichever loop owns them once it observes stopping_.
-    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-    for (int fd : active_) ::shutdown(fd, SHUT_RDWR);
-  }
-  queue_cv_.notify_all();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
-  CloseSocket(&listen_fd_);
-  for (int fd : pending_) ::close(fd);  // accepted but never served
-  pending_.clear();
-}
+namespace internal {
+namespace {
 
-void DiscServer::AcceptLoop() {
-  while (true) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+/// The original transport: a blocking accept loop feeds accepted
+/// connections to a fixed pool of worker threads; each worker speaks the
+/// line protocol with one client at a time and holds at most one exclusive
+/// EngineLease for it. No coalescing, no admission control — the accept
+/// backlog is the only queue. Kept as the throughput-bench baseline and
+/// the simplest reference implementation of the protocol.
+class BlockingServer final : public DiscServer {
+ public:
+  explicit BlockingServer(ServerOptions options)
+      : DiscServer(std::move(options)) {}
+
+  ~BlockingServer() override { Shutdown(); }
+
+  Status Run() {
+    DISC_RETURN_NOT_OK(Listen());
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    workers_.reserve(options_.workers);
+    for (size_t i = 0; i < options_.workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+    return Status::OK();
+  }
+
+  void Shutdown() override {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) {
-        if (fd >= 0) ::close(fd);
-        return;
-      }
-      if (fd < 0) continue;  // transient accept error
-      pending_.push_back(fd);
-    }
-    queue_cv_.notify_one();
-  }
-}
-
-void DiscServer::WorkerLoop() {
-  while (true) {
-    int fd = -1;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
       if (stopping_) return;
-      fd = pending_.front();
-      pending_.pop_front();
-      active_.insert(fd);
+      stopping_ = true;
+      // Unblock the accept loop and every in-flight recv; the fds are
+      // closed by whichever loop owns them once it observes stopping_.
+      if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+      for (int fd : active_) ::shutdown(fd, SHUT_RDWR);
     }
-    HandleConnection(fd);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      active_.erase(fd);
+    queue_cv_.notify_all();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
     }
-    ::close(fd);
+    CloseSocket(&listen_fd_);
+    for (int fd : pending_) ::close(fd);  // accepted but never served
+    pending_.clear();
   }
-}
 
-void DiscServer::HandleConnection(int fd) {
-  LineChannel channel(fd);
-  EngineLease lease;  // released (engine pooled) when the connection ends
-  while (true) {
-    Result<std::string> line = channel.ReadLine();
-    if (!line.ok()) return;  // EOF or socket error: implicit CLOSE
-    // Skip blank lines so `printf '...\n\n'`-style drivers are harmless.
-    if (line->find_first_not_of(" \t") == std::string::npos) continue;
-    std::string response;
-    try {
-      response = HandleLine(*line, &lease);
-    } catch (const std::exception& e) {
-      // The library is Status-based and should never throw; this barrier
-      // keeps a stray exception (e.g. bad_alloc under memory pressure)
-      // from escaping the worker thread and terminating the daemon.
-      response = SerializeError(
-          "?", Status::IOError(std::string("internal error: ") + e.what()));
-    }
-    if (!channel.WriteLine(response).ok()) return;
+  ServerStats server_stats() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ServerStats stats = stats_;
+    stats.active_connections = active_.size();
+    return stats;
   }
-}
 
-std::string DiscServer::HandleLine(const std::string& line,
-                                   EngineLease* lease) {
-  Result<Request> request = ParseRequest(line);
-  if (!request.ok()) return SerializeError("?", request.status());
-  const char* cmd = VerbToString(request->verb);
-
-  switch (request->verb) {
-    case Verb::kOpen: {
-      if (lease->valid()) {
-        return SerializeError(
-            cmd, Status::FailedPrecondition(
-                     "a session is already open on this connection; CLOSE "
-                     "it first"));
+ private:
+  void AcceptLoop() {
+    while (true) {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) {
+          if (fd >= 0) ::close(fd);
+          return;
+        }
+        if (fd < 0) continue;  // transient accept error
+        ++stats_.connections_accepted;
+        pending_.push_back(fd);
       }
-      Result<OpenParams> params = DecodeOpen(*request);
-      if (!params.ok()) return SerializeError(cmd, params.status());
-      // The thread knob is the operator's, not the client's: it changes
-      // wall time only (results are byte-identical), so it is applied
-      // uniformly and stays out of the wire vocabulary and the pool key.
-      params->config.threads = options_.engine_threads;
-      Result<EngineLease> acquired = manager_.Acquire(params->config);
-      if (!acquired.ok()) return SerializeError(cmd, acquired.status());
-      *lease = std::move(acquired).value();
-      return SerializeOpen(lease->engine().Snapshot(), params->dataset_text,
-                           lease->reused());
-    }
-    case Verb::kDiversify: {
-      if (!lease->valid()) {
-        return SerializeError(
-            cmd, Status::FailedPrecondition("no session open; OPEN first"));
-      }
-      Result<DiversifyRequest> decoded = DecodeDiversify(*request);
-      if (!decoded.ok()) return SerializeError(cmd, decoded.status());
-      Result<DiversifyResponse> response =
-          lease->engine().Diversify(*decoded);
-      if (!response.ok()) return SerializeError(cmd, response.status());
-      return SerializeDiversifyResponse(Verb::kDiversify, *response);
-    }
-    case Verb::kZoom: {
-      if (!lease->valid()) {
-        return SerializeError(
-            cmd, Status::FailedPrecondition("no session open; OPEN first"));
-      }
-      Result<ZoomRequest> decoded = DecodeZoom(*request);
-      if (!decoded.ok()) return SerializeError(cmd, decoded.status());
-      Result<DiversifyResponse> response = lease->engine().Zoom(*decoded);
-      if (!response.ok()) return SerializeError(cmd, response.status());
-      return SerializeDiversifyResponse(Verb::kZoom, *response);
-    }
-    case Verb::kStats: {
-      if (!lease->valid()) {
-        return SerializeError(
-            cmd, Status::FailedPrecondition("no session open; OPEN first"));
-      }
-      return SerializeSnapshot(lease->engine().Snapshot());
-    }
-    case Verb::kClose: {
-      if (!lease->valid()) {
-        return SerializeError(
-            cmd, Status::FailedPrecondition("no session open"));
-      }
-      lease->Release();
-      return SerializeClose();
+      queue_cv_.notify_one();
     }
   }
-  return SerializeError(cmd, Status::InvalidArgument("unhandled verb"));
+
+  void WorkerLoop() {
+    while (true) {
+      int fd = -1;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_cv_.wait(lock,
+                       [this] { return stopping_ || !pending_.empty(); });
+        if (stopping_) return;
+        fd = pending_.front();
+        pending_.pop_front();
+        active_.insert(fd);
+      }
+      HandleConnection(fd);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        active_.erase(fd);
+      }
+      ::close(fd);
+    }
+  }
+
+  void HandleConnection(int fd) {
+    LineChannel channel(fd);
+    const CommandContext ctx{&manager_, options_.engine_threads};
+    EngineLease lease;  // released (engine pooled) when the connection ends
+    while (true) {
+      Result<std::string> line = channel.ReadLine();
+      if (!line.ok()) return;  // EOF or socket error: implicit CLOSE
+      // Skip blank lines so `printf '...\n\n'`-style drivers are harmless.
+      if (line->find_first_not_of(" \t") == std::string::npos) continue;
+      std::string response;
+      try {
+        response = ExecuteLine(ctx, *line, &lease);
+      } catch (const std::exception& e) {
+        // The library is Status-based and should never throw; this barrier
+        // keeps a stray exception (e.g. bad_alloc under memory pressure)
+        // from escaping the worker thread and terminating the daemon.
+        response = SerializeError(
+            "?", Status::IOError(std::string("internal error: ") + e.what()));
+      }
+      if (!channel.WriteLine(response).ok()) return;
+    }
+  }
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;         // accepted fds awaiting a worker
+  std::unordered_set<int> active_;  // fds currently inside a worker
+  ServerStats stats_;
+  bool stopping_ = false;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<DiscServer>> StartBlockingServer(
+    ServerOptions options) {
+  auto server = std::make_unique<BlockingServer>(std::move(options));
+  DISC_RETURN_NOT_OK(server->Run());
+  return std::unique_ptr<DiscServer>(std::move(server));
 }
+
+}  // namespace internal
 
 }  // namespace disc

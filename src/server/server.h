@@ -1,29 +1,40 @@
 // DiscServer: the long-lived disc_serve daemon core.
 //
-// A blocking accept loop feeds accepted connections to a fixed pool of
-// worker threads; each worker speaks the line protocol (server/protocol.h)
-// with one client at a time and holds at most one exclusive EngineLease
-// (server/session_manager.h) for it. Concurrency model in one sentence:
-// sessions are sharded across engines, an engine is never shared while
-// leased, and the only cross-thread state is the session manager's pool
-// and the accept queue, both mutex-guarded.
+// Two transports share one protocol and one session model:
+//
+//  * kEventLoop (default): a single epoll-driven loop thread owns every
+//    connection (non-blocking sockets, per-connection read/write buffers)
+//    and hands engine work — OPEN builds plus DIVERSIFY/ZOOM
+//    computations — to a fixed pool of compute workers. Identical
+//    concurrent computations are *coalesced* through the session manager's
+//    single-flight table: one leader computes, every follower receives the
+//    byte-identical response line and adopts the leader's session state.
+//    Admission control bounds the work the loop will queue (max_pending /
+//    max_inflight); excess requests are answered with a BUSY error line
+//    instead of growing an unbounded backlog.
+//
+//  * kBlocking: the original accept/worker transport — one worker thread
+//    per live connection, blocking reads, no coalescing. Kept as the
+//    baseline the throughput bench compares against, and as the simplest
+//    possible reference implementation of the protocol.
+//
+// Concurrency model in one sentence: sessions are sharded across engines,
+// an engine is never shared while leased, and all cross-thread state lives
+// in the session manager (pool + single-flight table) or the transport's
+// own mutex-guarded queues.
 //
 // The server runs entirely in background threads: Start() returns once the
 // socket is listening, and Shutdown() (or destruction) stops accepting,
-// unblocks in-flight reads, and joins every thread. Tests run it
-// in-process; disc_serve.cc wraps it in a binary.
+// drains in-flight work, and joins every thread. Tests run it in-process;
+// disc_serve.cc wraps it in a binary.
 
 #ifndef DISC_SERVER_SERVER_H_
 #define DISC_SERVER_SERVER_H_
 
-#include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "engine/config.h"
@@ -33,12 +44,19 @@
 
 namespace disc {
 
+/// Which transport Start() builds.
+enum class ServeLoop {
+  kEventLoop,
+  kBlocking,
+};
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   /// 0 picks an ephemeral port; read it back via port().
   int port = 0;
-  /// Worker threads == maximum concurrent client connections; further
-  /// connections queue in the accept backlog until a worker frees up.
+  /// kEventLoop: compute worker threads (connection count is unbounded by
+  /// threads). kBlocking: worker threads == maximum concurrent client
+  /// connections; further connections queue in the accept backlog.
   size_t workers = 4;
   /// Idle engines kept warm by the session manager (LRU beyond this).
   size_t max_idle_engines = 8;
@@ -52,55 +70,78 @@ struct ServerOptions {
   /// leases a warm engine instead of paying the index build. The builds
   /// run concurrently, so warm-up costs max(build), not sum.
   std::vector<EngineConfig> prewarm;
+  /// Which transport to run.
+  ServeLoop loop = ServeLoop::kEventLoop;
+  /// kEventLoop admission control: compute jobs (OPEN builds and leader
+  /// DIVERSIFY/ZOOM computations) the loop will hold beyond the ones
+  /// currently executing. A request arriving with max_inflight executing
+  /// and max_pending queued is answered with a BUSY error line. Followers
+  /// joining an in-flight computation are exempt — they consume no compute
+  /// slot.
+  size_t max_pending = 64;
+  /// kEventLoop: computations allowed to execute concurrently; 0 means
+  /// `workers` (one per worker thread).
+  size_t max_inflight = 0;
+};
+
+/// Transport-level counters (the session manager has its own stats).
+struct ServerStats {
+  size_t connections_accepted = 0;
+  /// Requests refused by admission control with a BUSY error line.
+  size_t busy_rejections = 0;
+  /// Responses fanned out from another connection's computation (flight
+  /// followers plus memoized-outcome hits).
+  size_t coalesced_responses = 0;
+  size_t active_connections = 0;
 };
 
 class DiscServer {
  public:
-  /// Binds, listens, and spawns the accept loop plus the worker pool.
-  /// Fails with the socket error (e.g. a taken port).
+  /// Binds, listens, prewarms, and spawns the transport chosen by
+  /// `options.loop`. Fails with the socket error (e.g. a taken port).
   static Result<std::unique_ptr<DiscServer>> Start(ServerOptions options);
 
   DiscServer(const DiscServer&) = delete;
   DiscServer& operator=(const DiscServer&) = delete;
 
-  ~DiscServer() { Shutdown(); }
+  virtual ~DiscServer() = default;
 
   /// The bound port (resolves port 0).
   int port() const { return port_; }
 
-  /// Stops accepting, disconnects in-flight clients, joins all threads.
-  /// Idempotent.
-  void Shutdown();
+  /// Stops accepting, drains or disconnects in-flight clients, joins all
+  /// threads. Idempotent.
+  virtual void Shutdown() = 0;
 
   /// Pool observability (used by tests and the daemon's exit log).
   SessionManagerStats manager_stats() const { return manager_.stats(); }
 
- private:
+  /// Transport observability.
+  virtual ServerStats server_stats() const = 0;
+
+ protected:
   explicit DiscServer(ServerOptions options)
       : options_(std::move(options)),
         manager_(options_.max_idle_engines) {}
 
-  void AcceptLoop();
-  void WorkerLoop();
-  void HandleConnection(int fd);
-  /// Processes one command line; returns the response line. May acquire or
-  /// release `*lease` (OPEN / CLOSE).
-  std::string HandleLine(const std::string& line, EngineLease* lease);
+  /// Binds + listens and runs the configured prewarm; shared by both
+  /// transports' Start paths.
+  Status Listen();
 
   ServerOptions options_;
   SessionManager manager_;
 
   int listen_fd_ = -1;
   int port_ = 0;
-  std::thread accept_thread_;
-  std::vector<std::thread> workers_;
-
-  std::mutex mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_;  // accepted fds awaiting a worker
-  std::unordered_set<int> active_;  // fds currently inside a worker
-  bool stopping_ = false;
 };
+
+namespace internal {
+/// Per-transport factories behind DiscServer::Start; exposed so the bench
+/// can force a transport regardless of option defaults.
+Result<std::unique_ptr<DiscServer>> StartBlockingServer(ServerOptions options);
+Result<std::unique_ptr<DiscServer>> StartEventLoopServer(
+    ServerOptions options);
+}  // namespace internal
 
 }  // namespace disc
 

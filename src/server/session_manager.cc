@@ -55,7 +55,7 @@ EngineLease& EngineLease::operator=(EngineLease&& other) noexcept {
 
 void EngineLease::Release() {
   if (engine_ != nullptr && manager_ != nullptr) {
-    manager_->ReturnToPool(std::move(key_), std::move(engine_));
+    manager_->ReleaseLease(std::move(key_), std::move(engine_));
   }
   engine_ = nullptr;
   manager_ = nullptr;
@@ -127,6 +127,67 @@ Status SessionManager::Prewarm(const std::vector<EngineConfig>& configs,
     ReturnToPool(EnginePoolKey(configs[i]), std::move(*built[i]).value());
   }
   return first_error;
+}
+
+FlightJoin SessionManager::JoinFlight(const std::string& key,
+                                      FlightWaiter waiter,
+                                      FlightOutcome* cached) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = results_.begin(); it != results_.end(); ++it) {
+    if (it->key == key) {
+      *cached = it->outcome;
+      results_.splice(results_.begin(), results_, it);  // LRU touch
+      ++stats_.flights_memoized;
+      return FlightJoin::kCached;
+    }
+  }
+  auto [it, inserted] = flights_.try_emplace(key);
+  if (inserted) {
+    ++stats_.flights_led;
+    return FlightJoin::kLeader;
+  }
+  it->second.waiters.push_back(std::move(waiter));
+  ++stats_.flights_coalesced;
+  return FlightJoin::kFollower;
+}
+
+void SessionManager::FinishFlight(const std::string& key,
+                                  FlightOutcome outcome, bool memoize) {
+  std::vector<FlightWaiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      waiters = std::move(it->second.waiters);
+      flights_.erase(it);
+    }
+    if (memoize && max_cached_results_ > 0) {
+      // kCached is only returned for keys with no in-progress flight, so a
+      // duplicate entry cannot arise from racing leaders of the same key —
+      // but be defensive and keep at most one outcome per key.
+      for (auto rit = results_.begin(); rit != results_.end(); ++rit) {
+        if (rit->key == key) {
+          results_.erase(rit);
+          break;
+        }
+      }
+      results_.push_front(CachedResult{key, outcome});
+      if (results_.size() > max_cached_results_) results_.pop_back();
+      stats_.cached_results = results_.size();
+    }
+  }
+  // Waiter callbacks adopt session capsules (O(n) engine work) and write
+  // responses; never run them under the manager lock.
+  for (FlightWaiter& waiter : waiters) waiter(outcome);
+}
+
+void SessionManager::ReleaseLease(std::string key,
+                                  std::unique_ptr<DiscEngine> engine) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.leases_released;
+  }
+  ReturnToPool(std::move(key), std::move(engine));
 }
 
 void SessionManager::ReturnToPool(std::string key,

@@ -26,10 +26,12 @@
 #define DISC_SERVER_SESSION_MANAGER_H_
 
 #include <cstddef>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -89,21 +91,61 @@ class EngineLease {
   bool reused_ = false;
 };
 
+/// The outcome of one coalesced computation: the serialized response line
+/// the leader produced (fanned out to every waiter verbatim, so coalesced
+/// responses are byte-identical to the leader's direct engine call) plus
+/// the leader's exported session state. `capsule` is null when the
+/// computation failed — identical requests get the identical error line,
+/// but there is no session state to adopt.
+struct FlightOutcome {
+  std::string response;
+  std::shared_ptr<DiscEngine::SessionCapsule> capsule;
+};
+
+/// Invoked exactly once per follower, on the leader's thread, after the
+/// computation completes (outside the manager lock — adopting a capsule is
+/// an O(n) engine call).
+using FlightWaiter = std::function<void(const FlightOutcome&)>;
+
+/// What JoinFlight decided for the caller.
+enum class FlightJoin {
+  /// No flight existed: the caller runs the computation and MUST call
+  /// FinishFlight (even on failure), or followers would wait forever.
+  kLeader,
+  /// A flight is in progress; the waiter was registered.
+  kFollower,
+  /// A completed flight's outcome was memoized; it was copied out and the
+  /// waiter dropped.
+  kCached,
+};
+
 /// Counters for observability and tests (a consistent snapshot).
 struct SessionManagerStats {
   size_t leases_acquired = 0;
+  size_t leases_released = 0;
   size_t pool_hits = 0;
   size_t engines_created = 0;
   size_t engines_evicted = 0;
   size_t idle_engines = 0;
+  /// Single-flight table: computations led, waiters attached to an
+  /// in-progress flight, requests served from the memoized-outcome cache,
+  /// and the cache's current size.
+  size_t flights_led = 0;
+  size_t flights_coalesced = 0;
+  size_t flights_memoized = 0;
+  size_t cached_results = 0;
 };
 
 class SessionManager {
  public:
   /// `max_idle_engines` bounds the idle pool (leased engines are not
-  /// counted); 0 disables pooling entirely.
-  explicit SessionManager(size_t max_idle_engines)
-      : max_idle_engines_(max_idle_engines) {}
+  /// counted); 0 disables pooling entirely. `max_cached_results` bounds the
+  /// memoized-outcome cache of completed flights (LRU; 0 disables
+  /// memoization).
+  explicit SessionManager(size_t max_idle_engines,
+                          size_t max_cached_results = 32)
+      : max_idle_engines_(max_idle_engines),
+        max_cached_results_(max_cached_results) {}
 
   /// Leases an engine for `config`: a pooled idle engine with the same key
   /// (restarted via DiscEngine::NewSession) when available, otherwise a
@@ -122,6 +164,23 @@ class SessionManager {
   /// most recently finished.
   Status Prewarm(const std::vector<EngineConfig>& configs, size_t threads);
 
+  /// Single-flight table (the coalescing seam): registers interest in the
+  /// computation identified by `key` (an opaque string covering pool key,
+  /// command, canonical parameters, and — for ZOOM — the session
+  /// fingerprint; equal keys MUST imply byte-identical responses).
+  /// Returns kLeader when the caller should run the computation, kFollower
+  /// when `waiter` was attached to an in-progress flight, or kCached when a
+  /// memoized outcome was copied into `*cached` (waiter dropped).
+  FlightJoin JoinFlight(const std::string& key, FlightWaiter waiter,
+                        FlightOutcome* cached);
+
+  /// Completes the flight `key`: removes the flight and (when `memoize`)
+  /// inserts the outcome into the LRU memo under one lock, then invokes
+  /// every registered waiter outside it. Leaders must call this exactly
+  /// once, on success or failure.
+  void FinishFlight(const std::string& key, FlightOutcome outcome,
+                    bool memoize);
+
   SessionManagerStats stats() const;
 
  private:
@@ -132,15 +191,33 @@ class SessionManager {
     std::unique_ptr<DiscEngine> engine;
   };
 
-  /// Called by EngineLease: returns the engine to the idle pool, evicting
-  /// the least-recently-released engine beyond the cap.
+  /// Called by EngineLease: counts the release and returns the engine to
+  /// the idle pool. Prewarm parks engines via ReturnToPool directly (those
+  /// engines were never leased, so parking them is not a release).
+  void ReleaseLease(std::string key, std::unique_ptr<DiscEngine> engine);
+
+  /// Returns the engine to the idle pool, evicting the least-recently-
+  /// released engine beyond the cap.
   void ReturnToPool(std::string key, std::unique_ptr<DiscEngine> engine);
 
   const size_t max_idle_engines_;
+  const size_t max_cached_results_;
+
+  struct Flight {
+    std::vector<FlightWaiter> waiters;
+  };
+  struct CachedResult {
+    std::string key;
+    FlightOutcome outcome;
+  };
 
   mutable std::mutex mutex_;
   /// Most recently released at the front; evict from the back.
   std::list<IdleEngine> idle_;
+  /// In-progress computations keyed by flight key.
+  std::unordered_map<std::string, Flight> flights_;
+  /// Completed-flight outcomes, most recently finished at the front.
+  std::list<CachedResult> results_;
   SessionManagerStats stats_;
 };
 

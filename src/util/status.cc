@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Corruption";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kBusy:
+      return "Busy";
   }
   return "Unknown";
 }

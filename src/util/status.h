@@ -24,6 +24,10 @@ enum class StatusCode {
   kOutOfRange,
   kCorruption,
   kUnimplemented,
+  /// The operation was refused by admission control (overload); retrying
+  /// after a backoff is expected to succeed. The serving layer maps this to
+  /// the wire-level BUSY error.
+  kBusy,
 };
 
 /// Returns a short human-readable name for a status code,
@@ -58,6 +62,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

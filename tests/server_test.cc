@@ -17,6 +17,7 @@
 #include <unistd.h>
 
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -444,6 +445,131 @@ TEST(ServerConcurrencyTest, ManyShortSessionsChurnThePoolSafely) {
   EXPECT_EQ(stats.leases_acquired, kThreads * kSessionsPerThread);
   EXPECT_GT(stats.pool_hits, 0u);
   EXPECT_LE(stats.idle_engines, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Request coalescing (the single-flight table, ISSUE 6): N concurrent
+// identical requests cost one computation, and every client receives the
+// byte-identical response line.
+// ---------------------------------------------------------------------------
+
+/// Parses an unsigned JSON field out of a response line.
+uint64_t ExtractUint(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << json;
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+TEST(ServerCoalescingTest, ConcurrentIdenticalRequestsComputeOnce) {
+  constexpr size_t kClients = 6;
+  auto server = StartServer(/*workers=*/4, /*max_idle_engines=*/kClients);
+
+  // Reference: the identical sequence against a direct engine.
+  auto engine = DiscEngine::Create(TestConfig());
+  ASSERT_TRUE(engine.ok());
+  DiversifyRequest diversify;
+  diversify.radius = 0.07;
+  auto expected = (*engine)->Diversify(diversify);
+  ASSERT_TRUE(expected.ok());
+  ZoomRequest zoom;
+  zoom.radius = 0.035;
+  auto expected_zoom = (*engine)->Zoom(zoom);
+  ASSERT_TRUE(expected_zoom.ok());
+
+  std::vector<LineClient> clients;
+  for (size_t i = 0; i < kClients; ++i) {
+    clients.push_back(ConnectTo(*server));
+    std::string open = MustRoundtrip(
+        clients.back(), "OPEN dataset=clustered n=400 dim=2 seed=9");
+    ASSERT_NE(open.find("\"ok\":true"), std::string::npos) << open;
+  }
+
+  // Phase 1: N concurrent identical DIVERSIFYs. Whether a client lands in
+  // the in-progress flight or on the memoized outcome, it must receive the
+  // leader's exact bytes — including wall_ms.
+  std::vector<std::string> wire(kClients);
+  {
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < kClients; ++i) {
+      threads.emplace_back(
+          [&, i] { wire[i] = MustRoundtrip(clients[i], "DIVERSIFY r=0.07"); });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  EXPECT_EQ(wire[0].rfind(DeterministicPrefix(Verb::kDiversify, *expected),
+                          0),
+            0u)
+      << wire[0];
+  for (size_t i = 1; i < kClients; ++i) {
+    EXPECT_EQ(wire[i], wire[0]) << "client " << i;
+  }
+
+  // Exactly one engine ran the algorithm; every other session adopted the
+  // leader's capsule (STATS `coalesced`).
+  uint64_t computations = 0;
+  uint64_t coalesced = 0;
+  for (LineClient& client : clients) {
+    std::string stats = MustRoundtrip(client, "STATS");
+    computations += ExtractUint(stats, "computations");
+    coalesced += ExtractUint(stats, "coalesced");
+  }
+  EXPECT_EQ(computations, 1u);
+  EXPECT_EQ(coalesced, kClients - 1);
+
+  // Phase 2: every session now holds the same fingerprint, so N identical
+  // ZOOMs coalesce the same way.
+  {
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < kClients; ++i) {
+      threads.emplace_back(
+          [&, i] { wire[i] = MustRoundtrip(clients[i], "ZOOM to=0.035"); });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  EXPECT_EQ(wire[0].rfind(DeterministicPrefix(Verb::kZoom, *expected_zoom),
+                          0),
+            0u)
+      << wire[0];
+  for (size_t i = 1; i < kClients; ++i) {
+    EXPECT_EQ(wire[i], wire[0]) << "client " << i;
+  }
+
+  computations = 0;
+  coalesced = 0;
+  for (LineClient& client : clients) {
+    std::string stats = MustRoundtrip(client, "STATS");
+    computations += ExtractUint(stats, "computations");
+    coalesced += ExtractUint(stats, "coalesced");
+  }
+  EXPECT_EQ(computations, 2u);
+  EXPECT_EQ(coalesced, 2 * (kClients - 1));
+  EXPECT_EQ(server->server_stats().coalesced_responses, 2 * (kClients - 1));
+
+  SessionManagerStats manager = server->manager_stats();
+  EXPECT_EQ(manager.flights_led, 2u);
+  EXPECT_EQ(manager.flights_coalesced + manager.flights_memoized,
+            2 * (kClients - 1));
+
+  for (LineClient& client : clients) {
+    EXPECT_EQ(MustRoundtrip(client, "CLOSE"),
+              "{\"ok\":true,\"cmd\":\"CLOSE\"}");
+  }
+}
+
+TEST(ServerCoalescingTest, WarmEngineRepeatStaysAnHonestCacheHit) {
+  // A session whose own engine already caches the answer must NOT replay a
+  // coalesced from_cache=false line: the pool-reuse contract (warm repeat
+  // => "from_cache":true, zero node accesses) outranks the memo.
+  auto server = StartServer(/*workers=*/2, /*max_idle_engines=*/2);
+  LineClient client = ConnectTo(*server);
+  MustRoundtrip(client, "OPEN dataset=clustered n=400 dim=2 seed=9");
+  std::string first = MustRoundtrip(client, "DIVERSIFY r=0.09");
+  EXPECT_NE(first.find("\"from_cache\":false"), std::string::npos) << first;
+  std::string repeat = MustRoundtrip(client, "DIVERSIFY r=0.09");
+  EXPECT_NE(repeat.find("\"from_cache\":true"), std::string::npos) << repeat;
+  EXPECT_NE(repeat.find("\"node_accesses\":0"), std::string::npos) << repeat;
 }
 
 TEST(ServerTest, ShutdownDisconnectsClientsAndJoins) {
