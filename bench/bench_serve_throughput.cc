@@ -1,11 +1,16 @@
-// Serving throughput: the transport-matrix benchmark (ISSUE 6).
+// Serving throughput: the transport-matrix benchmark (ISSUE 6; HTTP leg
+// from ISSUE 7).
 //
-// CI runs this binary twice — DISC_SERVE_LOOP=blocking and
-// DISC_SERVE_LOOP=event — and gates three properties across the legs
+// CI runs this binary three times — DISC_SERVE_LOOP=blocking,
+// DISC_SERVE_LOOP=event, and DISC_SERVE_LOOP=http (the event loop's
+// HTTP/1.1 transport: same commands as POST /diversify bodies over
+// keep-alive connections) — and gates across the legs
 // (bench/diff_bench_json.py):
-//   * correctness: `mismatches` must be 0 in both legs — every response a
-//     client received, coalesced or not, is byte-identical (minus the
-//     trailing wall_ms) to a direct DiscEngine call on a replica engine;
+//   * correctness: `mismatches` must be 0 in every leg — every response a
+//     client received, coalesced or not, and whatever the transport, is
+//     byte-identical (minus the trailing wall_ms) to a direct DiscEngine
+//     call on a replica engine (for HTTP, the response *body* is exactly
+//     the protocol line);
 //   * speedup: the event leg must win mean per-request wall time by >= 2x
 //     (`:: req_ms`) — on the identical-request workload the event loop
 //     computes each round once and fans it out, while the blocking
@@ -29,6 +34,7 @@
 #include <atomic>
 #include <latch>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -49,17 +55,69 @@ constexpr size_t kRounds = 6;
 constexpr size_t kN = 2000;
 constexpr uint64_t kSeed = 5;
 
-// The matrix leg this process runs (the transport under test).
-ServeLoop BenchLoop() {
-  static const ServeLoop loop = [] {
+// The matrix leg this process runs. "blocking" and "event" pick the
+// transport loop; "http" runs the event loop but speaks its HTTP/1.1
+// framing from the clients (the server auto-detects per connection).
+struct BenchLeg {
+  ServeLoop loop = ServeLoop::kEventLoop;
+  bool http = false;
+};
+
+BenchLeg BenchLoop() {
+  static const BenchLeg leg = [] {
     const char* env = std::getenv("DISC_SERVE_LOOP");
     if (env != nullptr && std::strcmp(env, "blocking") == 0) {
-      return ServeLoop::kBlocking;
+      return BenchLeg{ServeLoop::kBlocking, false};
     }
-    return ServeLoop::kEventLoop;
+    if (env != nullptr && std::strcmp(env, "http") == 0) {
+      return BenchLeg{ServeLoop::kEventLoop, true};
+    }
+    return BenchLeg{ServeLoop::kEventLoop, false};
   }();
-  return loop;
+  return leg;
 }
+
+// One connection on either framing; Roundtrip("VERB args") always yields
+// the protocol's one-line JSON response, so the replica-prefix check is
+// transport-agnostic. HTTP mode lowercases the verb into the path and
+// ships the args as the POST body, then strips the body's framing '\n'.
+class BenchClient {
+ public:
+  static Result<BenchClient> Connect(const std::string& host, int port,
+                                     bool http) {
+    BenchClient client;
+    client.http_mode_ = http;
+    if (http) {
+      DISC_ASSIGN_OR_RETURN(HttpClient inner, HttpClient::Connect(host, port));
+      client.http_.emplace(std::move(inner));
+    } else {
+      DISC_ASSIGN_OR_RETURN(LineClient inner, LineClient::Connect(host, port));
+      client.line_.emplace(std::move(inner));
+    }
+    return client;
+  }
+
+  Result<std::string> Roundtrip(const std::string& command) {
+    if (!http_mode_) return line_->Roundtrip(command);
+    const size_t space = command.find(' ');
+    std::string verb = command.substr(0, space);
+    for (char& c : verb) {
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    }
+    const std::string args =
+        space == std::string::npos ? "" : command.substr(space + 1);
+    DISC_ASSIGN_OR_RETURN(HttpResponse response,
+                          http_->Post("/" + verb, args));
+    std::string body = std::move(response.body);
+    if (!body.empty() && body.back() == '\n') body.pop_back();
+    return body;
+  }
+
+ private:
+  bool http_mode_ = false;
+  std::optional<LineClient> line_;
+  std::optional<HttpClient> http_;
+};
 
 // The leg is deliberately NOT a table column: the cross-leg diff keys rows
 // by their labels, and both legs must produce the same keys (wall times
@@ -116,9 +174,10 @@ std::vector<RoundSpec> BuildRounds() {
 }
 
 void BM_ServeThroughput(benchmark::State& state) {
+  const BenchLeg leg = BenchLoop();
   ServerOptions options;
   options.port = 0;
-  options.loop = BenchLoop();
+  options.loop = leg.loop;
   // Blocking: one thread per connection, so workers must cover every
   // client. Event loop: a small fixed compute pool is the whole point.
   options.workers =
@@ -135,20 +194,21 @@ void BM_ServeThroughput(benchmark::State& state) {
 
   // Connect + OPEN every client up front (setup, not measured). The OPENs
   // run concurrently; each builds or leases its own engine.
-  std::vector<std::unique_ptr<LineClient>> clients(kClients);
+  std::vector<std::unique_ptr<BenchClient>> clients(kClients);
   std::atomic<size_t> open_failures{0};
   {
     std::vector<std::thread> threads;
     threads.reserve(kClients);
     for (size_t i = 0; i < kClients; ++i) {
       threads.emplace_back([&, i] {
-        auto client = LineClient::Connect("127.0.0.1", server->port());
+        auto client =
+            BenchClient::Connect("127.0.0.1", server->port(), leg.http);
         if (!client.ok()) {
           open_failures.fetch_add(1);
           return;
         }
         clients[i] =
-            std::make_unique<LineClient>(std::move(client).value());
+            std::make_unique<BenchClient>(std::move(client).value());
         char open[96];
         std::snprintf(open, sizeof(open),
                       "OPEN dataset=clustered n=%zu dim=2 seed=%llu", kN,

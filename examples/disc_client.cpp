@@ -14,7 +14,15 @@
 // so pipelines can tell "the data was odd" from "the daemon refused".
 //
 // Usage:
-//   disc_client [--host=127.0.0.1] [--port=4817] [--timing] [--help]
+//   disc_client [--host=127.0.0.1] [--port=4817] [--http] [--timing]
+//               [--help]
+//
+// --http sends the same commands over the event-loop server's HTTP
+// transport instead: each input line "VERB args" becomes a POST /verb
+// with the args as the body, over one keep-alive connection (= one
+// session, exactly like the line protocol). stdout stays the protocol's
+// JSON lines — the HTTP response body is the line protocol's response —
+// so transcripts compare byte-for-byte across transports.
 //
 // --timing prints per-request wall time to stderr ("12.345 ms  <cmd>"),
 // keeping stdout byte-clean for transcript comparison.
@@ -23,6 +31,7 @@
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -34,17 +43,38 @@ namespace {
 using namespace disc;
 
 constexpr const char* kUsage =
-    "usage: disc_client [--host=<ipv4>] [--port=<port>] [--timing] "
-    "[--help]\n"
+    "usage: disc_client [--host=<ipv4>] [--port=<port>] [--http] "
+    "[--timing] [--help]\n"
     "reads protocol lines from stdin; see disc_serve --help for the "
     "command vocabulary\n"
+    "--http: speak the HTTP transport (POST /verb per command) instead "
+    "of the line protocol; stdout is unchanged\n"
     "--timing: per-request wall time on stderr (stdout stays byte-clean)\n";
+
+// "VERB args" -> {"/verb", "args"}: the HTTP transport's request mapping
+// (docs/PROTOCOL.md). The verb is lowercased into the path; the rest of
+// the line rides in the body untouched.
+std::pair<std::string, std::string> SplitHttpCommand(const std::string& line) {
+  const size_t start = line.find_first_not_of(" \t");
+  const size_t end = line.find_first_of(" \t", start);
+  std::string verb = line.substr(
+      start, end == std::string::npos ? std::string::npos : end - start);
+  for (char& c : verb) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  std::string args;
+  if (end != std::string::npos) {
+    const size_t body = line.find_first_not_of(" \t", end);
+    if (body != std::string::npos) args = line.substr(body);
+  }
+  return {"/" + verb, args};
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   auto flags_or =
-      ParseFlagArgs(argc, argv, {"host", "port", "timing", "help"});
+      ParseFlagArgs(argc, argv, {"host", "port", "http", "timing", "help"});
   if (!flags_or.ok()) {
     std::fprintf(stderr, "%s\n%s", flags_or.status().message().c_str(),
                  kUsage);
@@ -57,18 +87,44 @@ int main(int argc, char** argv) {
   }
   const std::string host = FlagOr(flags, "host", "127.0.0.1");
   const bool timing = flags.count("timing") > 0;
+  const bool http = flags.count("http") > 0;
   auto port = FlagInt(flags, "port", 4817);
   if (!port.ok()) {
     std::fprintf(stderr, "%s\n%s", port.status().message().c_str(), kUsage);
     return 2;
   }
 
-  auto client_or = LineClient::Connect(host, *port);
-  if (!client_or.ok()) {
-    std::fprintf(stderr, "error: %s\n", client_or.status().ToString().c_str());
-    return 2;
+  std::optional<LineClient> line_client;
+  std::optional<HttpClient> http_client;
+  if (http) {
+    auto client_or = HttpClient::Connect(host, *port);
+    if (!client_or.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   client_or.status().ToString().c_str());
+      return 2;
+    }
+    http_client.emplace(std::move(client_or).value());
+  } else {
+    auto client_or = LineClient::Connect(host, *port);
+    if (!client_or.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   client_or.status().ToString().c_str());
+      return 2;
+    }
+    line_client.emplace(std::move(client_or).value());
   }
-  LineClient client = std::move(client_or).value();
+
+  // Either transport yields the protocol's one-line JSON response: the
+  // HTTP body IS that line (plus its framing newline, stripped here).
+  auto roundtrip = [&](const std::string& line) -> Result<std::string> {
+    if (!http) return line_client->Roundtrip(line);
+    auto [path, args] = SplitHttpCommand(line);
+    DISC_ASSIGN_OR_RETURN(HttpResponse response,
+                          http_client->Post(path, args));
+    std::string body = std::move(response.body);
+    if (!body.empty() && body.back() == '\n') body.pop_back();
+    return body;
+  };
 
   bool all_ok = true;
   size_t errors = 0;
@@ -76,7 +132,7 @@ int main(int argc, char** argv) {
   for (std::string line; std::getline(std::cin, line);) {
     if (line.find_first_not_of(" \t") == std::string::npos) continue;
     const auto started = std::chrono::steady_clock::now();
-    auto response = client.Roundtrip(line);
+    auto response = roundtrip(line);
     const double wall_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - started)

@@ -137,6 +137,12 @@ Status DiscEngine::AdoptSession(const SessionCapsule& capsule) {
   return Status::OK();
 }
 
+Result<DiversifyResponse> DiscEngine::AdaptFrom(const SessionCapsule& seed,
+                                                const ZoomRequest& request) {
+  DISC_RETURN_NOT_OK(AdoptSession(seed));
+  return Zoom(request);
+}
+
 void DiscEngine::SetSession(const CacheKey& key, size_t solution_size,
                             bool distances_exact) {
   session_.has_solution = true;

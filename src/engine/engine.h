@@ -327,6 +327,21 @@ class DiscEngine {
   /// match this engine's dataset size.
   Status AdoptSession(const SessionCapsule& capsule);
 
+  /// The serving layer's §5.2 radius-adaptation entry point: installs
+  /// `seed` — a capsule exported after a DIVERSIFY over the same dataset —
+  /// and immediately zooms it to `request.radius` through the normal Zoom
+  /// path. Byte-identical (solution, radius, stats) to adopting the seed
+  /// on a cold engine and calling Zoom there: AdoptSession restores the
+  /// exact colors, session descriptor, and distances_exact bit, so the
+  /// zoom — including any §5.2 stale-distance recomputation under
+  /// DistancePolicy::kAuto — does exactly the work it would do anywhere
+  /// else. Counts as an adopted session in Snapshot() (STATS `coalesced`).
+  /// Fails with AdoptSession's or Zoom's error; the session state is then
+  /// whatever the failing step left (callers fall back to a cold
+  /// Diversify, which resets it).
+  Result<DiversifyResponse> AdaptFrom(const SessionCapsule& seed,
+                                      const ZoomRequest& request);
+
   /// True when Diversify(request) would be served from the solution cache
   /// (zero index work). The serving layer checks this before consulting its
   /// single-flight table so warm-engine repeats keep reporting

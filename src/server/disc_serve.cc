@@ -3,7 +3,10 @@
 // Listens on a TCP port and speaks the newline-delimited protocol of
 // server/protocol.h: each connection is one interactive session (OPEN,
 // then DIVERSIFY / ZOOM / STATS, then CLOSE), sharded across pooled
-// DiscEngine instances by server/session_manager.h.
+// DiscEngine instances by server/session_manager.h. The event-loop
+// transport additionally auto-detects HTTP/1.1 per connection — one POST
+// per command (POST /diversify with "r=0.1" as the body), the protocol's
+// JSON line as the response body — see docs/PROTOCOL.md.
 //
 // Usage:
 //   disc_serve [--host=127.0.0.1] [--port=4817] [--workers=4]
@@ -48,8 +51,11 @@ constexpr const char* kUsage =
     "           default n/dim/seed/metric) whose engines are pre-built\n"
     "           concurrently into the idle pool before serving starts.\n"
     "--loop:    transport: 'event' (default) is the epoll event loop with\n"
-    "           request coalescing and admission control; 'blocking' is\n"
-    "           the thread-per-connection baseline.\n"
+    "           request coalescing, admission control, and per-connection\n"
+    "           HTTP/1.1 auto-detection (POST /open, /diversify, /zoom,\n"
+    "           /close; GET or POST /stats; see docs/PROTOCOL.md);\n"
+    "           'blocking' is the thread-per-connection baseline\n"
+    "           (line protocol only).\n"
     "--max-pending:  event loop only: compute requests queued beyond the\n"
     "           executing ones before new requests get a BUSY error.\n"
     "--max-inflight: event loop only: computations executing concurrently\n"
@@ -62,7 +68,9 @@ constexpr const char* kUsage =
     "       [build=insert|bulk]\n"
     "  DIVERSIFY r=<radius> [algo=basic|greedy|greedy-white|lazy-grey|\n"
     "            lazy-white|greedy-c|fast-c] [pruned=<bool>]\n"
-    "            [quality=<bool>]\n"
+    "            [quality=<bool>] [adapt=<bool>]\n"
+    "            (adapt: event loop only — allow serving from a memoized\n"
+    "            solution at another radius via zoom adaptation)\n"
     "  ZOOM to=<radius> [greedy=<bool>] [variant=arbitrary|greedy-a|\n"
     "       greedy-b|greedy-c] [center=<id>] [distances=auto|exact]\n"
     "       [quality=<bool>]\n"

@@ -40,6 +40,27 @@
 //  * write cap: a client that never reads accumulates responses until
 //    kMaxOutBytes, then is torn down.
 //
+// HTTP: the loop also speaks HTTP/1.1 (server/http.h), auto-detected per
+// connection from the first bytes (a method prefix like "POST " selects
+// HTTP; anything else is the line protocol). HTTP is pure framing: each
+// request maps onto one protocol command line that flows through the SAME
+// pending-line queue, handlers, and single-flight table as the line
+// protocol, and each response body is exactly the JSON line (+ newline)
+// the line protocol would emit, wrapped with a status derived from the
+// line itself (BUSY -> 503 + Retry-After). One keep-alive connection is
+// one session; "Connection: close" (or HTTP/1.0) answers and then closes.
+// A malformed request gets a mapped error response and the connection is
+// closed — HTTP framing cannot be resynchronized after garbage.
+//
+// Radius-aware coalescing (§5.2): a DIVERSIFY with adapt=true whose flight
+// leads consults the session manager's radius-aware memo
+// (FindAdaptableSeed) — a memoized DIVERSIFY outcome in the same family
+// (pool key + algorithm + pruning) at a different radius seeds the
+// computation: the leader adopts the seed's capsule and zooms to the
+// requested radius (DiscEngine::AdaptFrom), byte-identical to running that
+// chain cold. Successful cold DisC-family DIVERSIFY outcomes carry their
+// family + radius into the memo so later compatible requests can adapt.
+//
 // Shutdown drains: accepting stops, idle connections close immediately,
 // queued and executing jobs run to completion, their responses are
 // flushed (bounded by kDrainDeadline for clients that will not read), and
@@ -66,6 +87,7 @@
 #include <vector>
 
 #include "server/handlers.h"
+#include "server/http.h"
 #include "server/net.h"
 #include "server/protocol.h"
 #include "server/server.h"
@@ -139,16 +161,37 @@ class EventLoopServer final : public DiscServer {
     stats.busy_rejections = busy_rejections_.load();
     stats.coalesced_responses = coalesced_responses_.load();
     stats.active_connections = active_connections_.load();
+    stats.http_requests = http_requests_.load();
     return stats;
   }
 
  private:
+  /// Which wire framing a connection speaks, decided once from its first
+  /// bytes and fixed for the connection's lifetime.
+  enum class Proto { kUnknown, kLine, kHttp };
+
+  /// One parsed-but-unserved command. For HTTP, `keep_alive` is the
+  /// request's resolved Connection semantics, and `prefailed` marks an
+  /// entry whose `line` already holds the serialized error response (a
+  /// framing or endpoint-mapping failure that never reaches HandleLine).
+  struct Pending {
+    std::string line;
+    bool keep_alive = true;
+    bool prefailed = false;
+  };
+
   struct Conn {
     int fd = -1;
     uint64_t id = 0;
-    std::string in;   // raw bytes awaiting a newline
+    std::string in;   // raw bytes awaiting a newline / HTTP framing
     std::string out;  // serialized responses awaiting the socket
-    std::deque<std::string> lines;
+    std::deque<Pending> lines;
+    Proto proto = Proto::kUnknown;
+    HttpParser http;  // used only once proto == kHttp
+    /// Connection semantics of the request currently being served (set
+    /// when its Pending is popped; stable until the next pop because a
+    /// conn serves one command at a time). Line protocol ignores it.
+    bool cur_keep_alive = true;
     EngineLease lease;
     /// A job or flight waiter for this conn is outstanding; the loop
     /// thread must not touch the lease or destroy the conn.
@@ -287,14 +330,21 @@ class EventLoopServer final : public DiscServer {
     MaybeDestroy(conn);
   }
 
-  /// recv until EAGAIN/EOF/pause, splitting complete lines.
+  /// recv until EAGAIN/EOF/pause, framing complete commands.
   void DrainSocket(Conn* conn) {
+    // Frame leftovers first: HTTP ingestion can stop mid-buffer at the
+    // pipelining cap, and those bytes would otherwise wait for the next
+    // recv that may never come.
+    if (!conn->in.empty() && conn->proto != Proto::kUnknown) {
+      IngestInput(conn);
+      if (conn->dead || conn->read_paused || conn->no_more_input) return;
+    }
     char chunk[4096];
-    while (!conn->dead) {
+    while (!conn->dead && !conn->no_more_input) {
       const ssize_t got = ::recv(conn->fd, chunk, sizeof(chunk), 0);
       if (got > 0) {
         conn->in.append(chunk, static_cast<size_t>(got));
-        SplitLines(conn);
+        IngestInput(conn);
         if (conn->read_paused) return;
         continue;
       }
@@ -311,6 +361,89 @@ class EventLoopServer final : public DiscServer {
     }
   }
 
+  /// Frames whatever the read buffer holds according to the connection's
+  /// protocol, detecting it first if this is the start of the stream.
+  void IngestInput(Conn* conn) {
+    if (conn->proto == Proto::kUnknown) DetectProto(conn);
+    if (conn->proto == Proto::kHttp) {
+      IngestHttp(conn);
+    } else if (conn->proto == Proto::kLine) {
+      SplitLines(conn);
+    }
+    // Still kUnknown: the bytes so far are a proper prefix of an HTTP
+    // method ("POS") — wait for more; the ambiguity resolves within the
+    // longest method token.
+  }
+
+  /// First-bytes protocol detection: an HTTP method + space selects HTTP,
+  /// anything that cannot become one is the line protocol.
+  void DetectProto(Conn* conn) {
+    static constexpr const char* kMethods[] = {
+        "GET ", "POST ", "HEAD ", "PUT ", "DELETE ", "OPTIONS ", "PATCH "};
+    if (conn->in.empty()) return;
+    bool ambiguous = false;
+    for (const char* method : kMethods) {
+      const size_t len = std::char_traits<char>::length(method);
+      const size_t prefix = std::min(conn->in.size(), len);
+      if (conn->in.compare(0, prefix, method, prefix) != 0) continue;
+      if (conn->in.size() >= len) {
+        conn->proto = Proto::kHttp;
+        return;
+      }
+      ambiguous = true;  // e.g. "POS": could still become "POST "
+    }
+    if (!ambiguous) conn->proto = Proto::kLine;
+  }
+
+  /// Consumes complete HTTP requests into the pending queue. Each becomes
+  /// either a protocol command line or a prefailed error entry; a framing
+  /// error queues its error response and stops all further reading (the
+  /// stream cannot be resynchronized).
+  void IngestHttp(Conn* conn) {
+    while (!conn->dead) {
+      HttpRequest request;
+      const HttpParser::Step step = conn->http.Consume(&conn->in, &request);
+      if (conn->http.TakeExpectContinue()) {
+        // Interim response so Expect: 100-continue clients send the body.
+        conn->out += "HTTP/1.1 100 Continue\r\n\r\n";
+        FlushOut(conn);
+        if (conn->dead) return;
+      }
+      switch (step) {
+        case HttpParser::Step::kRequest: {
+          http_requests_.fetch_add(1);
+          Pending pending;
+          pending.keep_alive = request.keep_alive;
+          Result<std::string> line = HttpRequestToCommandLine(request);
+          if (line.ok()) {
+            pending.line = std::move(*line);
+          } else {
+            pending.prefailed = true;
+            pending.line = SerializeError("?", line.status());
+          }
+          conn->lines.push_back(std::move(pending));
+          if (conn->lines.size() >= kMaxQueuedLines) {
+            conn->read_paused = true;
+            return;
+          }
+          continue;
+        }
+        case HttpParser::Step::kError: {
+          Pending pending;
+          pending.prefailed = true;
+          pending.keep_alive = false;
+          pending.line = SerializeError("?", conn->http.error());
+          conn->lines.push_back(std::move(pending));
+          conn->no_more_input = true;  // DrainSocket stops reading
+          conn->in.clear();
+          return;
+        }
+        case HttpParser::Step::kNeedMore:
+          return;
+      }
+    }
+  }
+
   /// Moves complete lines out of the read buffer; tears down on the
   /// no-newline memory cap.
   void SplitLines(Conn* conn) {
@@ -320,7 +453,7 @@ class EventLoopServer final : public DiscServer {
       if (newline == std::string::npos) break;
       std::string line = conn->in.substr(start, newline - start);
       if (!line.empty() && line.back() == '\r') line.pop_back();
-      conn->lines.push_back(std::move(line));
+      conn->lines.push_back(Pending{std::move(line), true, false});
       start = newline + 1;
       if (conn->lines.size() >= kMaxQueuedLines) {
         conn->read_paused = true;
@@ -332,8 +465,16 @@ class EventLoopServer final : public DiscServer {
 
   void ProcessLines(Conn* conn) {
     while (!conn->busy && !conn->dead && !conn->lines.empty()) {
-      std::string line = std::move(conn->lines.front());
+      Pending pending = std::move(conn->lines.front());
       conn->lines.pop_front();
+      conn->cur_keep_alive = pending.keep_alive;
+      if (pending.prefailed) {
+        // The error response was serialized at framing time; it only
+        // waited here so responses stay in request order.
+        Respond(conn, pending.line);
+        continue;
+      }
+      const std::string line = std::move(pending.line);
       // Skip blank lines so `printf '...\n\n'`-style drivers are harmless.
       if (line.find_first_not_of(" \t") == std::string::npos) continue;
       try {
@@ -459,12 +600,27 @@ class EventLoopServer final : public DiscServer {
           // same answer instead of waiting forever.
           conn->busy = false;
           const std::string busy = BusyLine(cmd);
-          manager_.FinishFlight(plan.flight_key,
-                                FlightOutcome{busy, nullptr},
+          FlightOutcome refused;
+          refused.response = busy;
+          manager_.FinishFlight(plan.flight_key, std::move(refused),
                                 /*memoize=*/false);
           busy_rejections_.fetch_add(1);
           Respond(conn, busy);
           return;
+        }
+        if (plan.adapt) {
+          // Radius-aware coalescing (§5.2): a memoized DIVERSIFY in the
+          // same family at a different radius seeds this computation —
+          // the leader will adopt its capsule and zoom instead of
+          // computing cold.
+          FlightOutcome seed;
+          double seed_radius = 0.0;
+          if (manager_.FindAdaptableSeed(plan.adapt_family,
+                                         plan.diversify.radius, &seed,
+                                         &seed_radius)) {
+            plan.seed = std::move(seed.capsule);
+            plan.seed_radius = seed_radius;
+          }
         }
         Job job;
         job.kind = Job::Kind::kLeader;
@@ -569,8 +725,24 @@ class EventLoopServer final : public DiscServer {
   // ---- writing ----
 
   void Respond(Conn* conn, const std::string& line) {
-    conn->out += line;
-    conn->out += '\n';
+    if (conn->proto == Proto::kHttp) {
+      // The body is exactly the protocol line + newline; the status is
+      // derived from the line itself, so HTTP clients see proper codes
+      // (Busy -> 503 with Retry-After) while the JSON stays authoritative.
+      const int status = HttpStatusForProtocolLine(line);
+      conn->out += WriteHttpResponse(status, line + "\n",
+                                     conn->cur_keep_alive,
+                                     status == 503 ? 1 : 0);
+      if (!conn->cur_keep_alive) {
+        // This response ends the connection: drop unserved pipelined
+        // requests and close once the write buffer flushes.
+        conn->no_more_input = true;
+        conn->lines.clear();
+      }
+    } else {
+      conn->out += line;
+      conn->out += '\n';
+    }
     FlushOut(conn);
     if (!conn->dead && conn->out.size() > kMaxOutBytes) Teardown(conn);
   }
@@ -679,6 +851,12 @@ class EventLoopServer final : public DiscServer {
           if (result.ok) {
             outcome.capsule = std::make_shared<DiscEngine::SessionCapsule>(
                 job.engine->ExportSession());
+            if (result.seedable) {
+              // A cold DisC-family DIVERSIFY: its capsule can seed
+              // adapted answers at other radii in this family.
+              outcome.adapt_family = job.plan.adapt_family;
+              outcome.radius = job.plan.diversify.radius;
+            }
           }
           manager_.FinishFlight(job.flight_key, std::move(outcome),
                                 /*memoize=*/result.ok);
@@ -789,6 +967,7 @@ class EventLoopServer final : public DiscServer {
   std::atomic<size_t> busy_rejections_{0};
   std::atomic<size_t> coalesced_responses_{0};
   std::atomic<size_t> active_connections_{0};
+  std::atomic<size_t> http_requests_{0};
 };
 
 }  // namespace

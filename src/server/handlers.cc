@@ -13,7 +13,7 @@ namespace {
 /// flag, so it is normalized out (mirroring the engine's cache key) — the
 /// same request text must never lead two flights.
 std::string DiversifyFlightKey(const std::string& pool_key,
-                               const DiversifyRequest& request) {
+                               const DiversifyRequest& request, bool adapt) {
   if (pool_key.empty()) return "";
   const bool covering = request.algorithm == Algorithm::kGreedyC ||
                         request.algorithm == Algorithm::kFastC;
@@ -25,6 +25,24 @@ std::string DiversifyFlightKey(const std::string& pool_key,
   key += FormatJsonDouble(request.radius);
   key += pruned ? "|p1" : "|p0";
   key += request.compute_quality ? "|q1" : "|q0";
+  // Adapt-eligible requests may be answered with an adapted line
+  // ("adapted":true, different stats); plain requests never may. The two
+  // populations coalesce among themselves but must not share a flight.
+  if (adapt) key += "|a1";
+  return key;
+}
+
+/// The radius-compatibility family for a DIVERSIFY (ComputePlan's
+/// adapt_family): the flight key minus radius, quality, and the adapt
+/// marker. Empty for covering-only algorithms — their solutions are not
+/// zoomable, so they can neither seed nor receive adaptation.
+std::string AdaptFamilyKey(const std::string& pool_key,
+                           const DiversifyRequest& request) {
+  if (pool_key.empty() || !IsDiscFamily(request.algorithm)) return "";
+  std::string key = pool_key;
+  key += "|DF|";
+  key += AlgorithmToString(request.algorithm);
+  key += request.pruned ? "|p1" : "|p0";
   return key;
 }
 
@@ -70,11 +88,18 @@ Result<ComputePlan> PlanCompute(const Request& request, EngineLease& lease) {
   plan.verb = request.verb;
   if (request.verb == Verb::kDiversify) {
     DISC_ASSIGN_OR_RETURN(plan.diversify, DecodeDiversify(request));
+    DISC_ASSIGN_OR_RETURN(plan.adapt, DecodeDiversifyAdapt(request));
     // An engine that can answer from its own solution cache serves the
     // request locally (zero index work, honest from_cache): replaying a
-    // coalesced from_cache=false line would misreport the work done.
+    // coalesced from_cache=false line would misreport the work done — and
+    // a cache hit beats adaptation, so adapt is moot there too.
     if (!lease.engine().HasCachedDiversify(plan.diversify)) {
-      plan.flight_key = DiversifyFlightKey(lease.key(), plan.diversify);
+      plan.adapt_family = AdaptFamilyKey(lease.key(), plan.diversify);
+      if (plan.adapt_family.empty()) plan.adapt = false;
+      plan.flight_key =
+          DiversifyFlightKey(lease.key(), plan.diversify, plan.adapt);
+    } else {
+      plan.adapt = false;
     }
     return plan;
   }
@@ -88,6 +113,25 @@ Result<ComputePlan> PlanCompute(const Request& request, EngineLease& lease) {
 
 ComputeResult RunCompute(const ComputePlan& plan, DiscEngine& engine) {
   ComputeResult result;
+  if (plan.verb == Verb::kDiversify && plan.seed != nullptr) {
+    // §5.2 radius adaptation: adopt the seed capsule and zoom to the
+    // requested radius with the canonical deterministic knobs (greedy,
+    // greedy-a, distances=auto — DecodeZoom's defaults), re-applying this
+    // request's own quality flag. Byte-identical to running the same chain
+    // cold — the engine contract AdaptFrom documents.
+    ZoomRequest zoom;
+    zoom.radius = plan.diversify.radius;
+    zoom.compute_quality = plan.diversify.compute_quality;
+    Result<DiversifyResponse> adapted = engine.AdaptFrom(*plan.seed, zoom);
+    if (adapted.ok()) {
+      result.response = SerializeAdaptedResponse(*adapted, plan.seed_radius);
+      result.ok = true;
+      return result;
+    }
+    // Seed unusable (e.g. it cannot zoom to this radius): fall through to
+    // an honest cold computation — Diversify resets the session state the
+    // failed adoption left behind.
+  }
   Result<DiversifyResponse> response =
       plan.verb == Verb::kDiversify ? engine.Diversify(plan.diversify)
                                     : engine.Zoom(plan.zoom);
@@ -98,6 +142,8 @@ ComputeResult RunCompute(const ComputePlan& plan, DiscEngine& engine) {
   }
   result.response = SerializeDiversifyResponse(plan.verb, *response);
   result.ok = true;
+  result.seedable =
+      plan.verb == Verb::kDiversify && !plan.adapt_family.empty();
   return result;
 }
 

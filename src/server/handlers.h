@@ -13,6 +13,7 @@
 #define DISC_SERVER_HANDLERS_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "server/protocol.h"
@@ -47,8 +48,25 @@ struct ComputePlan {
   /// lines. Empty when the request must not be coalesced: an unpoolable
   /// engine, a DIVERSIFY this engine can answer from its own solution
   /// cache (kept local so from_cache stays honest), or a ZOOM with no
-  /// zoomable session to fingerprint.
+  /// zoomable session to fingerprint. Requests that allow adaptation get a
+  /// distinct key suffix — an adapted response line differs from a cold
+  /// one, so the two populations must never share a flight.
   std::string flight_key;
+  /// True when the client allowed §5.2 radius adaptation (DIVERSIFY
+  /// adapt=true) and this request is eligible (coalescable, DisC-family).
+  bool adapt = false;
+  /// The request's radius-compatibility family: flight key minus radius
+  /// (pool key + algorithm + pruning; quality excluded — it changes the
+  /// response line but not the session state a seed capsule carries, and
+  /// RunCompute re-applies the request's own quality flag). Non-empty for
+  /// every coalescable DisC-family DIVERSIFY — it marks the outcome as a
+  /// future adaptation seed even when this client did not ask to adapt.
+  std::string adapt_family;
+  /// Filled by the event loop when the session manager holds an adaptable
+  /// outcome: RunCompute then adopts the capsule and zooms to the request
+  /// radius (DiscEngine::AdaptFrom) instead of computing cold.
+  std::shared_ptr<DiscEngine::SessionCapsule> seed;
+  double seed_radius = 0.0;
 };
 
 /// Decodes a DIVERSIFY/ZOOM request and derives its flight key against the
@@ -62,6 +80,10 @@ Result<ComputePlan> PlanCompute(const Request& request, EngineLease& lease);
 struct ComputeResult {
   std::string response;
   bool ok = false;
+  /// True when the result is a successful *cold* DIVERSIFY of a zoomable
+  /// DisC-family solution: the exported capsule may seed radius adaptation
+  /// (the flight's outcome should carry the plan's adapt_family).
+  bool seedable = false;
 };
 
 /// Runs the planned computation on `engine` and serializes the outcome.

@@ -1,0 +1,406 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <string_view>
+
+namespace disc {
+
+namespace {
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::string Lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool IsMethodChar(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c == '-';
+}
+
+/// Case-insensitive "does the comma-separated header value contain this
+/// token" — Connection values can legitimately be lists.
+bool HasToken(std::string_view value, std::string_view token) {
+  const std::string lowered = Lower(value);
+  size_t start = 0;
+  while (start <= lowered.size()) {
+    size_t comma = lowered.find(',', start);
+    if (comma == std::string_view::npos) comma = lowered.size();
+    if (Trim(std::string_view(lowered).substr(start, comma - start)) ==
+        token) {
+      return true;
+    }
+    start = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+HttpParser::Step HttpParser::Fail(Status status) {
+  state_ = State::kFailed;
+  error_ = std::move(status);
+  return Step::kError;
+}
+
+bool HttpParser::TakeExpectContinue() {
+  const bool value = expect_continue_;
+  expect_continue_ = false;
+  return value;
+}
+
+HttpParser::Step HttpParser::Emit(HttpRequest* request) {
+  *request = std::move(current_);
+  current_ = HttpRequest();
+  state_ = State::kHead;
+  body_remaining_ = 0;
+  chunked_ = false;
+  expect_continue_ = false;  // the body arrived; no interim response owed
+  return Step::kRequest;
+}
+
+Status HttpParser::ParseHead(const std::string& head) {
+  // Request line: METHOD SP request-target SP HTTP-version.
+  size_t line_end = head.find('\n');
+  std::string_view request_line(head.data(),
+                                line_end == std::string::npos ? head.size()
+                                                              : line_end);
+  if (!request_line.empty() && request_line.back() == '\r') {
+    request_line.remove_suffix(1);
+  }
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1 || sp2 + 1 >= request_line.size()) {
+    return Status::InvalidArgument("malformed HTTP request line");
+  }
+  const std::string_view method = request_line.substr(0, sp1);
+  const std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (!std::all_of(method.begin(), method.end(), IsMethodChar)) {
+    return Status::InvalidArgument("malformed HTTP method");
+  }
+  bool http11 = false;
+  if (version == "HTTP/1.1") {
+    http11 = true;
+  } else if (version != "HTTP/1.0") {
+    return Status::InvalidArgument("unsupported HTTP version (want 1.0/1.1)");
+  }
+  current_.method = std::string(method);
+  current_.target = std::string(target);
+  current_.keep_alive = http11;
+
+  // Headers. Only the four the transport needs are interpreted; everything
+  // else is ignored.
+  bool have_content_length = false;
+  size_t content_length = 0;
+  size_t pos = line_end == std::string::npos ? head.size() : line_end + 1;
+  while (pos < head.size()) {
+    size_t eol = head.find('\n', pos);
+    if (eol == std::string::npos) eol = head.size();
+    std::string_view line(head.data() + pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument("malformed HTTP header line");
+    }
+    const std::string name = Lower(Trim(line.substr(0, colon)));
+    const std::string_view value = Trim(line.substr(colon + 1));
+    if (name == "content-length") {
+      size_t parsed = 0;
+      const auto [end, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), parsed);
+      if (ec != std::errc() || end != value.data() + value.size()) {
+        return Status::InvalidArgument("malformed Content-Length");
+      }
+      if (have_content_length && parsed != content_length) {
+        return Status::InvalidArgument("conflicting Content-Length headers");
+      }
+      have_content_length = true;
+      content_length = parsed;
+    } else if (name == "transfer-encoding") {
+      if (Lower(value) != "chunked") {
+        return Status::Unimplemented("unsupported Transfer-Encoding: " +
+                                     std::string(value));
+      }
+      chunked_ = true;
+    } else if (name == "connection") {
+      if (HasToken(value, "close")) {
+        current_.keep_alive = false;
+      } else if (HasToken(value, "keep-alive")) {
+        current_.keep_alive = true;
+      }
+    } else if (name == "expect") {
+      if (Lower(value) != "100-continue") {
+        return Status::InvalidArgument("unsupported Expect header");
+      }
+      expect_continue_ = true;
+    }
+  }
+  if (chunked_ && have_content_length) {
+    return Status::InvalidArgument(
+        "both Transfer-Encoding and Content-Length present");
+  }
+  if (have_content_length && content_length > kMaxHttpBodyBytes) {
+    return Status::InvalidArgument("request body exceeds limit");
+  }
+  if (chunked_) {
+    state_ = State::kChunkSize;
+  } else if (content_length > 0) {
+    state_ = State::kBody;
+    body_remaining_ = content_length;
+  } else {
+    state_ = State::kHead;  // complete; Consume emits
+    body_remaining_ = 0;
+  }
+  return Status::OK();
+}
+
+HttpParser::Step HttpParser::Consume(std::string* buffer,
+                                     HttpRequest* request) {
+  while (true) {
+    switch (state_) {
+      case State::kFailed:
+        return Step::kError;
+
+      case State::kHead: {
+        // Tolerate blank line(s) between pipelined requests (RFC 9112 §2.2).
+        while (!buffer->empty() &&
+               (buffer->front() == '\r' || buffer->front() == '\n')) {
+          if (buffer->front() == '\r' &&
+              (buffer->size() < 2 || (*buffer)[1] != '\n')) {
+            if (buffer->size() < 2) return Step::kNeedMore;
+            return Fail(Status::InvalidArgument("stray CR before request"));
+          }
+          buffer->erase(0, buffer->front() == '\r' ? 2 : 1);
+        }
+        if (buffer->empty()) return Step::kNeedMore;
+        // Head ends at the first blank line, CRLF or bare-LF style.
+        const size_t lf_lf = buffer->find("\n\n");
+        const size_t lf_crlf = buffer->find("\n\r\n");
+        size_t term_pos = 0;
+        size_t term_len = 0;
+        if (lf_crlf != std::string::npos &&
+            (lf_lf == std::string::npos || lf_crlf < lf_lf)) {
+          term_pos = lf_crlf;
+          term_len = 3;
+        } else if (lf_lf != std::string::npos) {
+          term_pos = lf_lf;
+          term_len = 2;
+        } else {
+          if (buffer->size() > kMaxHttpHeadBytes) {
+            return Fail(Status::InvalidArgument("HTTP head exceeds limit"));
+          }
+          return Step::kNeedMore;
+        }
+        if (term_pos + 1 > kMaxHttpHeadBytes) {
+          return Fail(Status::InvalidArgument("HTTP head exceeds limit"));
+        }
+        const std::string head = buffer->substr(0, term_pos + 1);
+        buffer->erase(0, term_pos + term_len);
+        Status status = ParseHead(head);
+        if (!status.ok()) return Fail(std::move(status));
+        if (state_ == State::kHead) return Emit(request);  // no body
+        break;  // fall through to body states with the remaining buffer
+      }
+
+      case State::kBody: {
+        const size_t take = std::min(body_remaining_, buffer->size());
+        current_.body.append(*buffer, 0, take);
+        buffer->erase(0, take);
+        body_remaining_ -= take;
+        if (body_remaining_ > 0) return Step::kNeedMore;
+        return Emit(request);
+      }
+
+      case State::kChunkSize: {
+        const size_t eol = buffer->find('\n');
+        if (eol == std::string::npos) {
+          if (buffer->size() > 32) {
+            return Fail(Status::InvalidArgument("malformed chunk size"));
+          }
+          return Step::kNeedMore;
+        }
+        std::string_view line(buffer->data(), eol);
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+        // Chunk extensions (";...") are ignored per RFC 9112 §7.1.1.
+        const size_t semi = line.find(';');
+        if (semi != std::string_view::npos) line = line.substr(0, semi);
+        line = Trim(line);
+        size_t size = 0;
+        const auto [end, ec] = std::from_chars(
+            line.data(), line.data() + line.size(), size, /*base=*/16);
+        if (line.empty() || ec != std::errc() ||
+            end != line.data() + line.size()) {
+          return Fail(Status::InvalidArgument("malformed chunk size"));
+        }
+        if (size > kMaxHttpBodyBytes ||
+            current_.body.size() + size > kMaxHttpBodyBytes) {
+          return Fail(Status::InvalidArgument("request body exceeds limit"));
+        }
+        buffer->erase(0, eol + 1);
+        if (size == 0) {
+          state_ = State::kChunkTrailer;
+        } else {
+          state_ = State::kChunkData;
+          body_remaining_ = size;
+        }
+        break;
+      }
+
+      case State::kChunkData: {
+        const size_t take = std::min(body_remaining_, buffer->size());
+        current_.body.append(*buffer, 0, take);
+        buffer->erase(0, take);
+        body_remaining_ -= take;
+        if (body_remaining_ > 0) return Step::kNeedMore;
+        state_ = State::kChunkDataEnd;
+        break;
+      }
+
+      case State::kChunkDataEnd: {
+        // The CRLF that closes every chunk's data.
+        if (buffer->empty()) return Step::kNeedMore;
+        if (buffer->front() == '\n') {
+          buffer->erase(0, 1);
+        } else if (buffer->front() == '\r') {
+          if (buffer->size() < 2) return Step::kNeedMore;
+          if ((*buffer)[1] != '\n') {
+            return Fail(Status::InvalidArgument("malformed chunk delimiter"));
+          }
+          buffer->erase(0, 2);
+        } else {
+          return Fail(Status::InvalidArgument("malformed chunk delimiter"));
+        }
+        state_ = State::kChunkSize;
+        break;
+      }
+
+      case State::kChunkTrailer: {
+        // Trailer fields are read and discarded; a blank line ends them.
+        const size_t eol = buffer->find('\n');
+        if (eol == std::string::npos) {
+          if (buffer->size() > kMaxHttpHeadBytes) {
+            return Fail(Status::InvalidArgument("HTTP trailer exceeds limit"));
+          }
+          return Step::kNeedMore;
+        }
+        std::string_view line(buffer->data(), eol);
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+        const bool blank = line.empty();
+        buffer->erase(0, eol + 1);
+        if (blank) return Emit(request);
+        break;
+      }
+    }
+  }
+}
+
+const char* HttpReasonPhrase(int status_code) {
+  switch (status_code) {
+    case 100: return "Continue";
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Content Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+std::string WriteHttpResponse(int status_code, const std::string& body,
+                              bool keep_alive, int retry_after_seconds) {
+  std::string response;
+  response.reserve(body.size() + 128);
+  response += "HTTP/1.1 ";
+  response += std::to_string(status_code);
+  response += ' ';
+  response += HttpReasonPhrase(status_code);
+  response += "\r\nContent-Type: application/json\r\nContent-Length: ";
+  response += std::to_string(body.size());
+  response += "\r\n";
+  if (retry_after_seconds > 0) {
+    response += "Retry-After: ";
+    response += std::to_string(retry_after_seconds);
+    response += "\r\n";
+  }
+  response += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                         : "Connection: close\r\n\r\n";
+  response += body;
+  return response;
+}
+
+int HttpStatusForProtocolLine(const std::string& line) {
+  if (line.rfind("{\"ok\":true", 0) == 0) return 200;
+  static constexpr std::string_view kMarker = "\"code\":\"";
+  const size_t start = line.find(kMarker);
+  if (start == std::string::npos) return 500;
+  const size_t code_start = start + kMarker.size();
+  const size_t code_end = line.find('"', code_start);
+  if (code_end == std::string::npos) return 500;
+  const std::string_view code(line.data() + code_start, code_end - code_start);
+  if (code == "Busy") return 503;
+  if (code == "InvalidArgument") return 400;
+  if (code == "NotFound") return 404;
+  if (code == "FailedPrecondition") return 409;
+  if (code == "Unimplemented") return 501;
+  return 500;
+}
+
+Result<std::string> HttpRequestToCommandLine(const HttpRequest& request) {
+  std::string_view verb;
+  if (request.target == "/open") {
+    verb = "OPEN";
+  } else if (request.target == "/diversify") {
+    verb = "DIVERSIFY";
+  } else if (request.target == "/zoom") {
+    verb = "ZOOM";
+  } else if (request.target == "/stats") {
+    verb = "STATS";
+  } else if (request.target == "/close") {
+    verb = "CLOSE";
+  } else {
+    return Status::NotFound(
+        "no such endpoint (want /open /diversify /zoom /stats /close): " +
+        request.target);
+  }
+  const bool method_ok =
+      request.method == "POST" ||
+      (request.method == "GET" && request.target == "/stats");
+  if (!method_ok) {
+    return Status::InvalidArgument("endpoint " + request.target +
+                                   " requires POST");
+  }
+  std::string line(verb);
+  std::string args(Trim(request.body));
+  if (!args.empty()) {
+    std::replace_if(
+        args.begin(), args.end(),
+        [](char c) { return c == '\n' || c == '\r' || c == '\t'; }, ' ');
+    line += ' ';
+    line += args;
+  }
+  return line;
+}
+
+}  // namespace disc

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -157,6 +158,132 @@ LineClient& LineClient::operator=(LineClient&& other) noexcept {
 Result<std::string> LineClient::Roundtrip(const std::string& line) {
   DISC_RETURN_NOT_OK(SendLine(line));
   return RecvLine();
+}
+
+Result<HttpClient> HttpClient::Connect(const std::string& host, int port) {
+  DISC_ASSIGN_OR_RETURN(int fd, ConnectTcp(host, port));
+  return HttpClient(fd);
+}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    CloseSocket(&fd_);
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<HttpResponse> HttpClient::Post(const std::string& path,
+                                      const std::string& body,
+                                      const std::string& extra_headers) {
+  std::string request = "POST " + path +
+                        " HTTP/1.1\r\nHost: disc\r\nContent-Type: "
+                        "text/plain\r\nContent-Length: " +
+                        std::to_string(body.size()) + "\r\n" + extra_headers +
+                        "\r\n" + body;
+  return Roundtrip(request);
+}
+
+Result<HttpResponse> HttpClient::Get(const std::string& path) {
+  return Roundtrip("GET " + path + " HTTP/1.1\r\nHost: disc\r\n\r\n");
+}
+
+Result<HttpResponse> HttpClient::Roundtrip(const std::string& request_text) {
+  size_t sent = 0;
+  while (sent < request_text.size()) {
+    const ssize_t wrote = ::send(fd_, request_text.data() + sent,
+                                 request_text.size() - sent, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(wrote);
+  }
+
+  constexpr size_t kMaxResponseBytes = 8 << 20;
+  HttpResponse response;
+  // Head: everything through the blank line.
+  size_t head_end = std::string::npos;
+  size_t term_len = 0;
+  while (true) {
+    head_end = buffer_.find("\r\n\r\n");
+    term_len = 4;
+    if (head_end == std::string::npos) {
+      head_end = buffer_.find("\n\n");
+      term_len = 2;
+    }
+    if (head_end != std::string::npos) break;
+    if (buffer_.size() > kMaxResponseBytes) {
+      return Status::IOError("HTTP response head exceeds limit");
+    }
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got == 0) return Status::NotFound("connection closed by peer");
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    buffer_.append(chunk, static_cast<size_t>(got));
+  }
+  response.head = buffer_.substr(0, head_end);
+  buffer_.erase(0, head_end + term_len);
+
+  // Status line: "HTTP/1.1 200 OK".
+  const size_t sp = response.head.find(' ');
+  if (sp == std::string::npos ||
+      response.head.rfind("HTTP/1.", 0) != 0) {
+    return Status::IOError("malformed HTTP status line");
+  }
+  response.status = std::atoi(response.head.c_str() + sp + 1);
+
+  // Content-Length (the daemon always sends one; 100 Continue interims —
+  // which have no body — are skipped).
+  if (response.status == 100) return Roundtrip("");
+  size_t content_length = 0;
+  bool have_length = false;
+  size_t pos = response.head.find('\n');
+  while (pos != std::string::npos && pos + 1 < response.head.size()) {
+    size_t eol = response.head.find('\n', pos + 1);
+    std::string line = response.head.substr(
+        pos + 1,
+        (eol == std::string::npos ? response.head.size() : eol) - pos - 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = line.substr(0, colon);
+      for (char& c : name) {
+        if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+      }
+      if (name == "content-length") {
+        content_length =
+            static_cast<size_t>(std::atoll(line.c_str() + colon + 1));
+        have_length = true;
+      }
+    }
+    pos = eol;
+  }
+  if (!have_length) {
+    return Status::IOError("HTTP response without Content-Length");
+  }
+  if (content_length > kMaxResponseBytes) {
+    return Status::IOError("HTTP response body exceeds limit");
+  }
+
+  while (buffer_.size() < content_length) {
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got == 0) return Status::NotFound("connection closed mid-body");
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    buffer_.append(chunk, static_cast<size_t>(got));
+  }
+  response.body = buffer_.substr(0, content_length);
+  buffer_.erase(0, content_length);
+  return response;
 }
 
 }  // namespace disc

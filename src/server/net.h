@@ -79,6 +79,52 @@ class LineClient {
   LineChannel channel_;
 };
 
+/// One parsed HTTP response. `head` is the raw status line + headers
+/// (tests inspect e.g. Retry-After); `body` is the exact payload — for
+/// disc_serve, the protocol JSON line plus its trailing newline.
+struct HttpResponse {
+  int status = 0;
+  std::string head;
+  std::string body;
+};
+
+/// A minimal blocking HTTP/1.1 client for the event loop's HTTP transport:
+/// one keep-alive connection (= one disc_serve session), sequential
+/// round-trips, Content-Length responses only (all the daemon sends).
+/// Used by disc_client --http, the serve bench's HTTP leg, and tests.
+/// Move-only; closes on destruction.
+class HttpClient {
+ public:
+  static Result<HttpClient> Connect(const std::string& host, int port);
+
+  HttpClient(HttpClient&& other) noexcept
+      : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    other.fd_ = -1;
+  }
+  HttpClient& operator=(HttpClient&& other) noexcept;
+  ~HttpClient() { CloseSocket(&fd_); }
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// POSTs `body` to `path` and reads the full response. `extra_headers`,
+  /// when non-empty, is spliced into the request head verbatim (each line
+  /// must end with \r\n) — tests use it for Connection: close and friends.
+  Result<HttpResponse> Post(const std::string& path, const std::string& body,
+                            const std::string& extra_headers = "");
+
+  /// GET (the read-only /stats endpoint accepts it).
+  Result<HttpResponse> Get(const std::string& path);
+
+ private:
+  explicit HttpClient(int fd) : fd_(fd) {}
+
+  Result<HttpResponse> Roundtrip(const std::string& request_text);
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
 }  // namespace disc
 
 #endif  // DISC_SERVER_NET_H_

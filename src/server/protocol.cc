@@ -33,7 +33,7 @@ constexpr VerbInfo kVerbs[] = {
      "dataset"},
     {Verb::kDiversify,
      "DIVERSIFY",
-     {"r", "algo", "pruned", "quality", nullptr},
+     {"r", "algo", "pruned", "quality", "adapt", nullptr},
      "r"},
     {Verb::kZoom,
      "ZOOM",
@@ -225,6 +225,13 @@ Result<DiversifyRequest> DecodeDiversify(const Request& request) {
   return decoded;
 }
 
+Result<bool> DecodeDiversifyAdapt(const Request& request) {
+  if (const std::string* text = FindArg(request, "adapt")) {
+    return ParseBoolArg("adapt", *text);
+  }
+  return false;
+}
+
 Result<ZoomRequest> DecodeZoom(const Request& request) {
   ZoomRequest decoded;
   DISC_ASSIGN_OR_RETURN(decoded.radius,
@@ -384,15 +391,22 @@ void AppendQuality(JsonWriter* writer, const QualityMetrics& quality) {
 
 }  // namespace
 
-std::string SerializeDiversifyResponse(Verb verb,
-                                       const DiversifyResponse& response,
-                                       bool include_wall_ms) {
+namespace {
+
+std::string SerializeDiversifyLike(Verb verb,
+                                   const DiversifyResponse& response,
+                                   bool include_wall_ms,
+                                   const double* seed_radius) {
   JsonWriter writer;
   writer.Field("ok", true);
   writer.Field("cmd", VerbToString(verb));
   writer.Field("size", static_cast<uint64_t>(response.solution.size()));
   writer.Field("radius", response.radius);
   writer.Field("from_cache", response.from_cache);
+  if (seed_radius != nullptr) {
+    writer.Field("adapted", true);
+    writer.Field("seed_radius", *seed_radius);
+  }
   writer.Field("node_accesses", response.stats.node_accesses);
   writer.Field("range_queries", response.stats.range_queries);
   writer.Field("distance_computations", response.stats.distance_computations);
@@ -402,6 +416,21 @@ std::string SerializeDiversifyResponse(Verb verb,
   // and a direct engine call (the one machine-dependent field).
   if (include_wall_ms) writer.Field("wall_ms", response.wall_ms);
   return writer.Finish();
+}
+
+}  // namespace
+
+std::string SerializeDiversifyResponse(Verb verb,
+                                       const DiversifyResponse& response,
+                                       bool include_wall_ms) {
+  return SerializeDiversifyLike(verb, response, include_wall_ms, nullptr);
+}
+
+std::string SerializeAdaptedResponse(const DiversifyResponse& response,
+                                     double seed_radius,
+                                     bool include_wall_ms) {
+  return SerializeDiversifyLike(Verb::kDiversify, response, include_wall_ms,
+                                &seed_radius);
 }
 
 std::string SerializeOpen(const EngineSnapshot& snapshot,

@@ -88,6 +88,15 @@ Result<OpenParams> DecodeOpen(const Request& request);
 /// quality to false.
 Result<DiversifyRequest> DecodeDiversify(const Request& request);
 
+/// DIVERSIFY adapt= (default false): whether the serving layer may answer
+/// this request by *adapting* a compatible memoized outcome at a different
+/// radius (the paper's §5.2 zoom path) instead of computing cold. Not part
+/// of DiversifyRequest — the engine never sees it; the serving planner
+/// (server/handlers.h) decodes it separately. Purely an allowance: with no
+/// compatible outcome available the request computes cold, and the
+/// blocking transport always computes cold.
+Result<bool> DecodeDiversifyAdapt(const Request& request);
+
 /// ZOOM -> ZoomRequest. greedy defaults to true, variant to greedy-a
 /// (kGreedyMostRed), distances to auto; center switches to local zooming.
 Result<ZoomRequest> DecodeZoom(const Request& request);
@@ -128,6 +137,17 @@ std::string SerializeSolution(const std::vector<ObjectId>& solution);
 std::string SerializeDiversifyResponse(Verb verb,
                                        const DiversifyResponse& response,
                                        bool include_wall_ms = true);
+
+/// The success line for a DIVERSIFY served through §5.2 radius adaptation:
+/// identical to SerializeDiversifyResponse(kDiversify, ...) except that
+/// "adapted":true and "seed_radius":<r of the memoized seed> follow
+/// from_cache, telling the client which cached radius the answer was
+/// adapted from. Everything after those two fields — solution, stats —
+/// is byte-identical to adopting the seed cold and zooming (the contract
+/// tests pin).
+std::string SerializeAdaptedResponse(const DiversifyResponse& response,
+                                     double seed_radius,
+                                     bool include_wall_ms = true);
 
 /// The success line for OPEN: dataset/metric/index echo plus whether the
 /// lease reused a pooled engine (warm caches).

@@ -9,9 +9,14 @@
 //    concurrent computations are *coalesced* through the session manager's
 //    single-flight table: one leader computes, every follower receives the
 //    byte-identical response line and adopts the leader's session state.
-//    Admission control bounds the work the loop will queue (max_pending /
-//    max_inflight); excess requests are answered with a BUSY error line
-//    instead of growing an unbounded backlog.
+//    DIVERSIFY adapt=true widens this radius-aware: a memoized compatible
+//    outcome at another radius seeds the answer through the engine's §5.2
+//    zoom adaptation (docs/PROTOCOL.md). Admission control bounds the work
+//    the loop will queue (max_pending / max_inflight); excess requests are
+//    answered with a BUSY error line instead of growing an unbounded
+//    backlog. The loop also speaks HTTP/1.1 (server/http.h), auto-detected
+//    per connection: one POST per command, same JSON per response body,
+//    BUSY as 503 + Retry-After.
 //
 //  * kBlocking: the original accept/worker transport — one worker thread
 //    per live connection, blocking reads, no coalescing. Kept as the
@@ -93,6 +98,9 @@ struct ServerStats {
   /// followers plus memoized-outcome hits).
   size_t coalesced_responses = 0;
   size_t active_connections = 0;
+  /// Requests framed over the HTTP transport (event loop only; the
+  /// blocking transport is line-protocol only).
+  size_t http_requests = 0;
 };
 
 class DiscServer {

@@ -1,6 +1,7 @@
 #include "server/session_manager.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <optional>
 #include <string>
@@ -179,6 +180,31 @@ void SessionManager::FinishFlight(const std::string& key,
   // Waiter callbacks adopt session capsules (O(n) engine work) and write
   // responses; never run them under the manager lock.
   for (FlightWaiter& waiter : waiters) waiter(outcome);
+}
+
+bool SessionManager::FindAdaptableSeed(const std::string& family,
+                                       double radius, FlightOutcome* seed,
+                                       double* seed_radius) {
+  if (family.empty()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto best = results_.end();
+  for (auto it = results_.begin(); it != results_.end(); ++it) {
+    if (it->outcome.adapt_family != family) continue;
+    if (it->outcome.capsule == nullptr) continue;
+    if (it->outcome.radius == radius) continue;
+    // Strict < keeps the first (most recently finished) match on ties.
+    if (best == results_.end() ||
+        std::abs(it->outcome.radius - radius) <
+            std::abs(best->outcome.radius - radius)) {
+      best = it;
+    }
+  }
+  if (best == results_.end()) return false;
+  *seed = best->outcome;
+  *seed_radius = best->outcome.radius;
+  results_.splice(results_.begin(), results_, best);
+  ++stats_.flights_adapted;
+  return true;
 }
 
 void SessionManager::ReleaseLease(std::string key,

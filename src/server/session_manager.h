@@ -100,6 +100,17 @@ class EngineLease {
 struct FlightOutcome {
   std::string response;
   std::shared_ptr<DiscEngine::SessionCapsule> capsule;
+  /// Radius-aware memoization metadata (§5.2 serving-side adaptation):
+  /// when `adapt_family` is non-empty, this outcome is a successful *pure*
+  /// DIVERSIFY (no zoom applied) of a zoomable DisC-family solution, and
+  /// its capsule may seed an adapted answer for a request in the same
+  /// family at a *different* radius. The family string covers pool key,
+  /// algorithm, and pruning — everything but the radius — so two outcomes
+  /// in one family differ only by the radius recorded here. Left empty for
+  /// errors, ZOOM outcomes, adapted outcomes, and covering-only
+  /// algorithms.
+  std::string adapt_family;
+  double radius = 0.0;
 };
 
 /// Invoked exactly once per follower, on the leader's thread, after the
@@ -134,6 +145,9 @@ struct SessionManagerStats {
   size_t flights_coalesced = 0;
   size_t flights_memoized = 0;
   size_t cached_results = 0;
+  /// Requests served by adapting a memoized outcome at a different radius
+  /// (FindAdaptableSeed hits).
+  size_t flights_adapted = 0;
 };
 
 class SessionManager {
@@ -180,6 +194,17 @@ class SessionManager {
   /// once, on success or failure.
   void FinishFlight(const std::string& key, FlightOutcome outcome,
                     bool memoize);
+
+  /// Radius-aware memo lookup (the §5.2 widening of coalescing beyond
+  /// byte-identical keys): finds the memoized outcome in `family` whose
+  /// radius is closest to `radius` — but never equal; equal-radius reuse is
+  /// the exact single-flight/memo path — preferring the most recently
+  /// finished on ties. On a hit, copies the outcome into `*seed`, reports
+  /// its radius in `*seed_radius`, touches the LRU entry, and counts
+  /// `flights_adapted`. The caller adopts the seed's capsule and runs the
+  /// engine's zoom adaptation toward its own radius (DiscEngine::AdaptFrom).
+  bool FindAdaptableSeed(const std::string& family, double radius,
+                         FlightOutcome* seed, double* seed_radius);
 
   SessionManagerStats stats() const;
 

@@ -1,0 +1,464 @@
+// Deterministic fuzz and edge-case tests for the HTTP/1.1 framing layer
+// (ISSUE 7): the incremental request parser must tolerate any split of a
+// valid byte stream (one recv boundary per byte if need be) and must
+// answer random or adversarially mutated input — garbage request lines,
+// oversized heads and bodies, malformed chunked framing, pipelined junk —
+// with kError, never a crash, hang, or out-of-bounds access. The suite
+// runs under ASan/UBSan and TSan in CI.
+//
+// Like protocol_fuzz_test.cc, the generator is a fixed-seed LCG so every
+// run fuzzes the same corpus: failures reproduce by re-running, and the
+// iteration index pins the input.
+
+#include "server/http.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace disc {
+namespace {
+
+/// Minimal deterministic generator (numerical-recipes LCG).
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 33;
+  }
+
+  /// Uniform in [0, bound).
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  char AnyByte() { return static_cast<char>(Below(256)); }
+
+ private:
+  uint64_t state_;
+};
+
+/// A printable summary of a fuzz input for failure messages.
+std::string Summarize(const std::string& input) {
+  std::string out;
+  for (size_t i = 0; i < input.size() && i < 200; ++i) {
+    const unsigned char byte = static_cast<unsigned char>(input[i]);
+    if (byte >= 32 && byte < 127) {
+      out += static_cast<char>(byte);
+    } else {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\x%02x", byte);
+      out += buffer;
+    }
+  }
+  if (input.size() > 200) out += "...";
+  return out;
+}
+
+/// Feeds `text` to a fresh parser in random-sized chunks (1..37 bytes, the
+/// way a socket might deliver them) and collects every parsed request.
+/// Sets *errored when the parser entered its terminal error state.
+std::vector<HttpRequest> ParseInChunks(const std::string& text, Lcg* rng,
+                                       bool* errored) {
+  HttpParser parser;
+  std::string buffer;
+  std::vector<HttpRequest> requests;
+  *errored = false;
+  size_t at = 0;
+  while (at < text.size()) {
+    const size_t take =
+        1 + rng->Below(std::min<uint64_t>(text.size() - at, 37));
+    buffer.append(text, at, take);
+    at += take;
+    while (true) {
+      HttpRequest request;
+      const HttpParser::Step step = parser.Consume(&buffer, &request);
+      if (step == HttpParser::Step::kRequest) {
+        requests.push_back(std::move(request));
+        continue;
+      }
+      if (step == HttpParser::Step::kError) {
+        EXPECT_FALSE(parser.error().ok());
+        EXPECT_FALSE(parser.error().message().empty());
+        *errored = true;
+        return requests;
+      }
+      break;  // kNeedMore: feed the next chunk
+    }
+  }
+  return requests;
+}
+
+/// One valid wire request and the parse it must produce.
+struct Sample {
+  std::string text;
+  HttpRequest expected;
+};
+
+std::vector<Sample> ValidCorpus() {
+  auto make = [](std::string method, std::string target, bool keep_alive,
+                 std::string body) {
+    HttpRequest request;
+    request.method = std::move(method);
+    request.target = std::move(target);
+    request.keep_alive = keep_alive;
+    request.body = std::move(body);
+    return request;
+  };
+  std::vector<Sample> corpus;
+  corpus.push_back(
+      {"POST /open HTTP/1.1\r\nHost: disc\r\nContent-Length: 5\r\n\r\nn=400",
+       make("POST", "/open", true, "n=400")});
+  corpus.push_back({"GET /stats HTTP/1.1\r\nHost: disc\r\n\r\n",
+                    make("GET", "/stats", true, "")});
+  // HTTP/1.0 defaults to close; Connection can override either way.
+  corpus.push_back({"POST /close HTTP/1.0\r\nContent-Length: 0\r\n\r\n",
+                    make("POST", "/close", false, "")});
+  corpus.push_back(
+      {"GET /stats HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+       make("GET", "/stats", true, "")});
+  corpus.push_back(
+      {"POST /diversify HTTP/1.1\r\nConnection: close\r\n"
+       "Content-Length: 6\r\n\r\nr=0.05",
+       make("POST", "/diversify", false, "r=0.05")});
+  // Connection value lists and header-name case are both tolerated.
+  corpus.push_back(
+      {"POST /stats HTTP/1.1\r\ncOnNeCtIoN: foo, Close\r\n"
+       "CONTENT-LENGTH: 0\r\n\r\n",
+       make("POST", "/stats", false, "")});
+  // Chunked bodies reassemble, extensions ignored, trailers discarded.
+  corpus.push_back(
+      {"POST /zoom HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+       "4\r\nto=0\r\n4\r\n.025\r\n0\r\n\r\n",
+       make("POST", "/zoom", true, "to=0.025")});
+  corpus.push_back(
+      {"POST /diversify HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+       "6;ext=x\r\nr=0.05\r\n0\r\nX-Trailer: ignored\r\n\r\n",
+       make("POST", "/diversify", true, "r=0.05")});
+  // Bare-LF line endings are accepted everywhere CRLF is.
+  corpus.push_back({"POST /open HTTP/1.1\nContent-Length: 5\n\nn=100",
+                    make("POST", "/open", true, "n=100")});
+  return corpus;
+}
+
+void ExpectSameRequest(const HttpRequest& got, const HttpRequest& want,
+                       const std::string& context) {
+  EXPECT_EQ(got.method, want.method) << context;
+  EXPECT_EQ(got.target, want.target) << context;
+  EXPECT_EQ(got.keep_alive, want.keep_alive) << context;
+  EXPECT_EQ(got.body, want.body) << context;
+}
+
+// ---------------------------------------------------------------------------
+// Valid streams: split-invariance and pipelining
+// ---------------------------------------------------------------------------
+
+TEST(HttpFuzzTest, ValidRequestsParseIdenticallyUnderAnySplit) {
+  const std::vector<Sample> corpus = ValidCorpus();
+  Lcg rng(0x5eed1001);
+  for (size_t i = 0; i < 3000; ++i) {
+    // A pipeline of 1..3 requests on one connection, possibly separated by
+    // the blank lines RFC 9112 tolerates between them.
+    std::vector<const Sample*> picked;
+    std::string stream;
+    const size_t count = 1 + rng.Below(3);
+    for (size_t k = 0; k < count; ++k) {
+      const Sample& sample = corpus[rng.Below(corpus.size())];
+      picked.push_back(&sample);
+      stream += sample.text;
+      if (rng.Below(4) == 0) stream += "\r\n";
+    }
+    bool errored = false;
+    const std::vector<HttpRequest> requests =
+        ParseInChunks(stream, &rng, &errored);
+    ASSERT_FALSE(errored) << "iteration " << i << ": " << Summarize(stream);
+    ASSERT_EQ(requests.size(), picked.size())
+        << "iteration " << i << ": " << Summarize(stream);
+    for (size_t k = 0; k < requests.size(); ++k) {
+      ExpectSameRequest(requests[k], picked[k]->expected,
+                        "iteration " + std::to_string(i) + " request " +
+                            std::to_string(k));
+    }
+  }
+}
+
+TEST(HttpFuzzTest, ManyChunksReassembleByteForByte) {
+  // A chunked body delivered as dozens of tiny chunks with randomized
+  // sizes must reassemble to exactly the original bytes.
+  Lcg rng(0x5eed1002);
+  for (size_t i = 0; i < 200; ++i) {
+    std::string body;
+    const size_t body_len = 1 + rng.Below(600);
+    for (size_t b = 0; b < body_len; ++b) {
+      body += static_cast<char>('a' + rng.Below(26));
+    }
+    std::string wire =
+        "POST /diversify HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+    size_t at = 0;
+    while (at < body.size()) {
+      const size_t take =
+          1 + rng.Below(std::min<uint64_t>(body.size() - at, 50));
+      char size_line[16];
+      std::snprintf(size_line, sizeof(size_line), "%zx\r\n", take);
+      wire += size_line;
+      wire.append(body, at, take);
+      wire += "\r\n";
+      at += take;
+    }
+    wire += "0\r\n\r\n";
+    bool errored = false;
+    const std::vector<HttpRequest> requests =
+        ParseInChunks(wire, &rng, &errored);
+    ASSERT_FALSE(errored) << "iteration " << i;
+    ASSERT_EQ(requests.size(), 1u) << "iteration " << i;
+    EXPECT_EQ(requests[0].body, body) << "iteration " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hard limits
+// ---------------------------------------------------------------------------
+
+TEST(HttpFuzzTest, OversizedHeadIsRejectedBeforeBuffering) {
+  HttpParser parser;
+  std::string buffer = "POST /open HTTP/1.1\r\n";
+  // Pad headers past the cap without ever sending the blank line.
+  while (buffer.size() <= kMaxHttpHeadBytes + 4096) {
+    buffer += "X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n";
+  }
+  HttpRequest request;
+  EXPECT_EQ(parser.Consume(&buffer, &request), HttpParser::Step::kError);
+  EXPECT_FALSE(parser.error().ok());
+}
+
+TEST(HttpFuzzTest, OversizedContentLengthIsRejectedAtTheHead) {
+  // The declared size alone must trip the limit — the parser may not wait
+  // for (or buffer) a body it will never accept.
+  HttpParser parser;
+  std::string buffer = "POST /open HTTP/1.1\r\nContent-Length: " +
+                       std::to_string(kMaxHttpBodyBytes + 1) + "\r\n\r\n";
+  HttpRequest request;
+  EXPECT_EQ(parser.Consume(&buffer, &request), HttpParser::Step::kError);
+}
+
+TEST(HttpFuzzTest, OversizedChunkedBodyIsRejectedAtTheChunkSize) {
+  HttpParser parser;
+  char size_line[32];
+  std::snprintf(size_line, sizeof(size_line), "%zx\r\n",
+                kMaxHttpBodyBytes + 1);
+  std::string buffer =
+      "POST /open HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n" +
+      std::string(size_line);
+  HttpRequest request;
+  EXPECT_EQ(parser.Consume(&buffer, &request), HttpParser::Step::kError);
+}
+
+TEST(HttpFuzzTest, ChunkedPlusContentLengthIsRejected) {
+  // Request smuggling's favorite ambiguity: declaring both framings is an
+  // error, not a choice (RFC 9112 §6.1).
+  HttpParser parser;
+  std::string buffer =
+      "POST /open HTTP/1.1\r\nContent-Length: 5\r\n"
+      "Transfer-Encoding: chunked\r\n\r\n";
+  HttpRequest request;
+  EXPECT_EQ(parser.Consume(&buffer, &request), HttpParser::Step::kError);
+}
+
+// ---------------------------------------------------------------------------
+// Error-state and Expect semantics
+// ---------------------------------------------------------------------------
+
+TEST(HttpFuzzTest, ParserStaysFailedAfterAnError) {
+  HttpParser parser;
+  std::string buffer = "NOT A REQUEST\r\n\r\n";
+  HttpRequest request;
+  ASSERT_EQ(parser.Consume(&buffer, &request), HttpParser::Step::kError);
+  // A perfectly valid request afterwards changes nothing: the stream is
+  // unsynchronizable once framing broke.
+  buffer = "GET /stats HTTP/1.1\r\n\r\n";
+  EXPECT_EQ(parser.Consume(&buffer, &request), HttpParser::Step::kError);
+}
+
+TEST(HttpFuzzTest, ExpectContinueIsSurfacedOncePerRequest) {
+  HttpParser parser;
+  std::string buffer =
+      "POST /open HTTP/1.1\r\nExpect: 100-continue\r\n"
+      "Content-Length: 5\r\n\r\n";
+  HttpRequest request;
+  ASSERT_EQ(parser.Consume(&buffer, &request), HttpParser::Step::kNeedMore);
+  EXPECT_TRUE(parser.TakeExpectContinue());
+  EXPECT_FALSE(parser.TakeExpectContinue());  // take-once semantics
+  buffer += "n=400";
+  ASSERT_EQ(parser.Consume(&buffer, &request), HttpParser::Step::kRequest);
+  EXPECT_EQ(request.body, "n=400");
+  // The flag does not leak into the next request.
+  EXPECT_FALSE(parser.TakeExpectContinue());
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial inputs
+// ---------------------------------------------------------------------------
+
+TEST(HttpFuzzTest, RandomBytesNeverCrashTheParser) {
+  Lcg rng(0x5eed1003);
+  for (size_t i = 0; i < 10000; ++i) {
+    std::string stream(rng.Below(200), '\0');
+    for (char& byte : stream) byte = rng.AnyByte();
+    bool errored = false;
+    (void)ParseInChunks(stream, &rng, &errored);
+    // Any outcome but a crash is fine; most inputs error immediately.
+  }
+}
+
+TEST(HttpFuzzTest, MutatedValidRequestsNeverCrashTheParser) {
+  const std::vector<Sample> corpus = ValidCorpus();
+  Lcg rng(0x5eed1004);
+  for (size_t i = 0; i < 10000; ++i) {
+    std::string stream = corpus[rng.Below(corpus.size())].text;
+    const size_t mutations = 1 + rng.Below(4);
+    for (size_t m = 0; m < mutations; ++m) {
+      switch (rng.Below(5)) {
+        case 0:  // truncate anywhere, possibly mid-header
+          if (!stream.empty()) stream.resize(rng.Below(stream.size() + 1));
+          break;
+        case 1:  // flip one byte to anything, NUL included
+          if (!stream.empty()) {
+            stream[rng.Below(stream.size())] = rng.AnyByte();
+          }
+          break;
+        case 2: {  // insert junk mid-stream
+          static const char kBurst[] = "\r\n\x00\xff: \r;0\n";
+          stream.insert(rng.Below(stream.size() + 1), kBurst,
+                        sizeof(kBurst) - 1);
+          break;
+        }
+        case 3:  // duplicate a random slice (repeated headers, glued heads)
+          if (!stream.empty()) {
+            const size_t from = rng.Below(stream.size());
+            const size_t count = rng.Below(stream.size() - from) + 1;
+            stream.insert(rng.Below(stream.size() + 1),
+                          stream.substr(from, count));
+          }
+          break;
+        case 4:  // splice a second request on the same stream
+          stream += corpus[rng.Below(corpus.size())].text;
+          break;
+      }
+    }
+    bool errored = false;
+    (void)ParseInChunks(stream, &rng, &errored);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The request -> command mapping and response framing helpers
+// ---------------------------------------------------------------------------
+
+TEST(HttpFuzzTest, CommandMappingNeverCrashesOnArbitraryRequests) {
+  Lcg rng(0x5eed1005);
+  const std::vector<std::string> targets = {
+      "/open", "/diversify", "/zoom", "/stats", "/close", "/", "/nope", ""};
+  const std::vector<std::string> methods = {"GET",     "POST", "PUT",
+                                            "OPTIONS", "zZz",  ""};
+  for (size_t i = 0; i < 5000; ++i) {
+    HttpRequest request;
+    request.method = methods[rng.Below(methods.size())];
+    request.target = targets[rng.Below(targets.size())];
+    request.body.resize(rng.Below(80));
+    for (char& byte : request.body) byte = rng.AnyByte();
+    auto line = HttpRequestToCommandLine(request);
+    if (!line.ok()) continue;
+    // A mapped command is a single line: the framing bytes were scrubbed.
+    EXPECT_EQ(line->find('\n'), std::string::npos) << Summarize(*line);
+    EXPECT_EQ(line->find('\r'), std::string::npos) << Summarize(*line);
+  }
+}
+
+TEST(HttpFuzzTest, CommandMappingPinsEndpointsAndMethods) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/diversify";
+  request.body = " r=0.05\nadapt=true\t ";
+  auto line = HttpRequestToCommandLine(request);
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(*line, "DIVERSIFY r=0.05 adapt=true");
+
+  request.target = "/stats";
+  request.method = "GET";
+  request.body.clear();
+  line = HttpRequestToCommandLine(request);
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(*line, "STATS");
+
+  request.target = "/open";  // GET on a mutating endpoint
+  EXPECT_EQ(HttpRequestToCommandLine(request).status().code(),
+            StatusCode::kInvalidArgument);
+  request.method = "POST";
+  request.target = "/missing";
+  EXPECT_EQ(HttpRequestToCommandLine(request).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(HttpFuzzTest, StatusMappingNeverCrashesAndPinsTheTable) {
+  EXPECT_EQ(HttpStatusForProtocolLine("{\"ok\":true,\"cmd\":\"STATS\"}"),
+            200);
+  EXPECT_EQ(HttpStatusForProtocolLine(
+                "{\"ok\":false,\"cmd\":\"?\",\"code\":\"Busy\"}"),
+            503);
+  EXPECT_EQ(HttpStatusForProtocolLine(
+                "{\"ok\":false,\"code\":\"InvalidArgument\"}"),
+            400);
+  EXPECT_EQ(HttpStatusForProtocolLine("{\"ok\":false,\"code\":\"NotFound\"}"),
+            404);
+  EXPECT_EQ(HttpStatusForProtocolLine(
+                "{\"ok\":false,\"code\":\"FailedPrecondition\"}"),
+            409);
+  EXPECT_EQ(
+      HttpStatusForProtocolLine("{\"ok\":false,\"code\":\"Unimplemented\"}"),
+      501);
+  EXPECT_EQ(HttpStatusForProtocolLine("{\"ok\":false,\"code\":\"IOError\"}"),
+            500);
+  EXPECT_EQ(HttpStatusForProtocolLine("not json at all"), 500);
+
+  Lcg rng(0x5eed1006);
+  for (size_t i = 0; i < 5000; ++i) {
+    std::string line(rng.Below(120), '\0');
+    for (char& byte : line) byte = rng.AnyByte();
+    const int status = HttpStatusForProtocolLine(line);
+    EXPECT_TRUE(status == 200 || status == 400 || status == 404 ||
+                status == 409 || status == 500 || status == 501 ||
+                status == 503)
+        << status << " for " << Summarize(line);
+  }
+}
+
+TEST(HttpFuzzTest, ResponseWriterFramesExactly) {
+  const std::string body = "{\"ok\":true}\n";
+  const std::string ok = WriteHttpResponse(200, body, /*keep_alive=*/true);
+  EXPECT_EQ(ok.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << ok;
+  EXPECT_NE(ok.find("Content-Length: " + std::to_string(body.size())),
+            std::string::npos)
+      << ok;
+  EXPECT_NE(ok.find("Connection: keep-alive\r\n\r\n"), std::string::npos)
+      << ok;
+  EXPECT_EQ(ok.find("Retry-After"), std::string::npos) << ok;
+  EXPECT_EQ(ok.substr(ok.size() - body.size()), body);
+
+  const std::string busy = WriteHttpResponse(503, body, /*keep_alive=*/false,
+                                             /*retry_after_seconds=*/1);
+  EXPECT_EQ(busy.rfind("HTTP/1.1 503 Service Unavailable\r\n", 0), 0u)
+      << busy;
+  EXPECT_NE(busy.find("Retry-After: 1\r\n"), std::string::npos) << busy;
+  EXPECT_NE(busy.find("Connection: close\r\n\r\n"), std::string::npos)
+      << busy;
+}
+
+}  // namespace
+}  // namespace disc

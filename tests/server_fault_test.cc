@@ -4,9 +4,12 @@
 // Scenarios (ISSUE 6): a slow-loris client dribbling bytes, a client that
 // disconnects mid-request, a client that never reads its responses, an
 // overload burst answered with BUSY instead of an unbounded backlog, and a
-// shutdown that still delivers the in-flight response. After every
-// scenario the session manager's lease counters must balance — a crashed
-// or dropped connection may not strand an engine outside the pool.
+// shutdown that still delivers the in-flight response. ISSUE 7 adds the
+// HTTP-transport legs: a slow loris trickling header bytes and a client
+// that vanishes mid-body (Content-Length promised, a fraction delivered).
+// After every scenario the session manager's lease counters must balance —
+// a crashed or dropped connection may not strand an engine outside the
+// pool.
 
 #include <sys/socket.h>
 #include <unistd.h>
@@ -231,6 +234,126 @@ TEST(ServerFaultTest, GarbageBytesGetAnErrorLineNotACrash) {
   auto close = channel.ReadLine();
   ASSERT_TRUE(close.ok());
   CloseSocket(&fd);
+  ExpectNoLeakedLeases(*server);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP transport faults (the same loop, different framing)
+// ---------------------------------------------------------------------------
+
+/// Blocking reads until `needle` shows up in the accumulated bytes (or the
+/// peer closes / errors); returns everything read.
+std::string RecvUntil(int fd, const std::string& needle) {
+  std::string got;
+  char chunk[4096];
+  while (got.find(needle) == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    got.append(chunk, static_cast<size_t>(n));
+  }
+  return got;
+}
+
+TEST(ServerFaultTest, HttpSlowLorisDoesNotStallOtherSessions) {
+  auto server = StartFaultServer(ServerOptions{});
+
+  // The loris trickles an HTTP POST — method, then header bytes — never
+  // completing the request.
+  auto loris_fd = ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(loris_fd.ok()) << loris_fd.status().ToString();
+  const std::string body = "dataset=clustered n=300 dim=2 seed=9";
+  const std::string request =
+      "POST /open HTTP/1.1\r\nHost: disc\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n" + body;
+  const size_t half = request.size() / 2;
+  SendAll(*loris_fd, request.substr(0, 6));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  SendAll(*loris_fd, request.substr(6, half - 6));
+
+  // Meanwhile a well-behaved HTTP client gets full service on the same
+  // loop thread.
+  {
+    auto client = HttpClient::Connect("127.0.0.1", server->port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    auto open =
+        client->Post("/open", "dataset=clustered n=300 dim=2 seed=9");
+    ASSERT_TRUE(open.ok()) << open.status().ToString();
+    EXPECT_EQ(open->status, 200) << open->body;
+    auto wire = client->Post("/diversify", "r=0.08");
+    ASSERT_TRUE(wire.ok());
+    EXPECT_EQ(wire->status, 200) << wire->body;
+    auto close = client->Post("/close", "");
+    ASSERT_TRUE(close.ok());
+  }
+
+  // The loris eventually completes its request and is served normally.
+  SendAll(*loris_fd, request.substr(half));
+  std::string response = RecvUntil(*loris_fd, "\"ok\":true");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"cmd\":\"OPEN\""), std::string::npos)
+      << response;
+  int fd = *loris_fd;
+  CloseSocket(&fd);
+
+  ExpectNoLeakedLeases(*server);
+}
+
+TEST(ServerFaultTest, HttpMidBodyDisconnectReleasesTheLease) {
+  auto server = StartFaultServer(ServerOptions{});
+  {
+    auto fd_or = ConnectTcp("127.0.0.1", server->port());
+    ASSERT_TRUE(fd_or.ok()) << fd_or.status().ToString();
+    int fd = *fd_or;
+    const std::string body = "dataset=clustered n=800 dim=2 seed=13";
+    SendAll(fd,
+            "POST /open HTTP/1.1\r\nHost: disc\r\nContent-Length: " +
+                std::to_string(body.size()) + "\r\n\r\n" + body);
+    std::string open = RecvUntil(fd, "\"ok\":true");
+    ASSERT_NE(open.find("200 OK"), std::string::npos) << open;
+
+    // Promise a 100-byte body, deliver 10 bytes, vanish.
+    SendAll(fd,
+            "POST /diversify HTTP/1.1\r\nHost: disc\r\n"
+            "Content-Length: 100\r\n\r\nr=0.05 tru");
+    CloseSocket(&fd);
+  }
+
+  // The half-delivered request is never dispatched; the dead connection is
+  // destroyed and its engine returns to the pool.
+  ExpectNoLeakedLeases(*server);
+
+  // The daemon is unharmed: a fresh HTTP session works end to end.
+  auto after = HttpClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  auto open = after->Post("/open", "dataset=clustered n=800 dim=2 seed=13");
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  EXPECT_EQ(open->status, 200) << open->body;
+  auto wire = after->Post("/diversify", "r=0.05");
+  ASSERT_TRUE(wire.ok());
+  EXPECT_EQ(wire->status, 200) << wire->body;
+  auto close = after->Post("/close", "");
+  ASSERT_TRUE(close.ok());
+  ExpectNoLeakedLeases(*server);
+}
+
+TEST(ServerFaultTest, HttpGarbageGetsA400AndTheConnectionCloses) {
+  auto server = StartFaultServer(ServerOptions{});
+  auto fd_or = ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(fd_or.ok()) << fd_or.status().ToString();
+  int fd = *fd_or;
+
+  // An HTTP-looking prefix (so the connection detects as HTTP) followed by
+  // a malformed request line: the framing error is unrecoverable, so the
+  // server answers 400 and closes.
+  SendAll(fd, "GET garbage\r\n\r\n");
+  std::string response = RecvUntil(fd, "\r\n\r\n");
+  EXPECT_NE(response.find("400 Bad Request"), std::string::npos) << response;
+  EXPECT_NE(response.find("Connection: close"), std::string::npos)
+      << response;
+  // EOF follows (the server tore the connection down).
+  std::string rest = RecvUntil(fd, "\xff never-matches");
+  CloseSocket(&fd);
+
   ExpectNoLeakedLeases(*server);
 }
 

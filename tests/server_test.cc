@@ -16,10 +16,12 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <latch>
 #include <memory>
 #include <string>
 #include <thread>
@@ -64,6 +66,14 @@ std::string MustRoundtrip(LineClient& client, const std::string& line) {
 std::string DeterministicPrefix(Verb verb, const DiversifyResponse& response) {
   std::string line =
       SerializeDiversifyResponse(verb, response, /*include_wall_ms=*/false);
+  return line.substr(0, line.size() - 1);  // drop the closing brace
+}
+
+/// Same, for a DIVERSIFY served through §5.2 radius adaptation.
+std::string AdaptedPrefix(const DiversifyResponse& response,
+                          double seed_radius) {
+  std::string line = SerializeAdaptedResponse(response, seed_radius,
+                                              /*include_wall_ms=*/false);
   return line.substr(0, line.size() - 1);  // drop the closing brace
 }
 
@@ -572,6 +582,276 @@ TEST(ServerCoalescingTest, WarmEngineRepeatStaysAnHonestCacheHit) {
   EXPECT_NE(repeat.find("\"node_accesses\":0"), std::string::npos) << repeat;
 }
 
+// ---------------------------------------------------------------------------
+// Radius-aware coalescing (ISSUE 7): DIVERSIFY adapt=true may be served
+// from a memoized solution at another radius through the engine's §5.2
+// zoom adaptation — and the adapted answer must be byte-identical to the
+// same adopt-then-zoom chain run cold on a replica engine.
+// ---------------------------------------------------------------------------
+
+TEST(ServerAdaptTest, AdaptedRequestMatchesColdComputationByteForByte) {
+  auto server = StartServer();
+
+  // Replica chain: Diversify at the seed radius, then Zoom to the target.
+  // The server's adapted answer adopts the memoized capsule and runs the
+  // identical zoom, so every byte up to wall_ms must match.
+  auto engine = DiscEngine::Create(TestConfig());
+  ASSERT_TRUE(engine.ok());
+  DiversifyRequest seed_request;
+  seed_request.radius = 0.06;
+  ASSERT_TRUE((*engine)->Diversify(seed_request).ok());
+  ZoomRequest adapt_zoom;
+  adapt_zoom.radius = 0.05;
+  auto expected = (*engine)->Zoom(adapt_zoom);
+  ASSERT_TRUE(expected.ok());
+
+  // Session A computes (and thereby memoizes) the seed solution at r=0.06.
+  LineClient seeder = ConnectTo(*server);
+  MustRoundtrip(seeder, "OPEN dataset=clustered n=400 dim=2 seed=9");
+  std::string seeded = MustRoundtrip(seeder, "DIVERSIFY r=0.06");
+  ASSERT_NE(seeded.find("\"ok\":true"), std::string::npos) << seeded;
+
+  // Session B asks for a *different* radius with adapt=true: not an
+  // identical flight key, yet served from A's memoized outcome.
+  LineClient client = ConnectTo(*server);
+  MustRoundtrip(client, "OPEN dataset=clustered n=400 dim=2 seed=9");
+  std::string adapted = MustRoundtrip(client, "DIVERSIFY r=0.05 adapt=true");
+  EXPECT_EQ(adapted.rfind(AdaptedPrefix(*expected, 0.06), 0), 0u) << adapted;
+  EXPECT_NE(adapted.find("\"adapted\":true,\"seed_radius\":0.06"),
+            std::string::npos)
+      << adapted;
+  EXPECT_EQ(server->manager_stats().flights_adapted, 1u);
+
+  // The adapted session's engine state is the replica's state: a follow-up
+  // ZOOM continues the chain byte-for-byte.
+  ZoomRequest followup;
+  followup.radius = 0.03;
+  auto expected_followup = (*engine)->Zoom(followup);
+  ASSERT_TRUE(expected_followup.ok());
+  std::string wire_zoom = MustRoundtrip(client, "ZOOM to=0.03");
+  EXPECT_EQ(wire_zoom.rfind(
+                DeterministicPrefix(Verb::kZoom, *expected_followup), 0),
+            0u)
+      << wire_zoom;
+
+  MustRoundtrip(seeder, "CLOSE");
+  MustRoundtrip(client, "CLOSE");
+}
+
+TEST(ServerAdaptTest, AdaptWithoutCompatibleSeedComputesCold) {
+  auto server = StartServer();
+
+  auto engine = DiscEngine::Create(TestConfig());
+  ASSERT_TRUE(engine.ok());
+  DiversifyRequest request;
+  request.radius = 0.05;
+  auto expected = (*engine)->Diversify(request);
+  ASSERT_TRUE(expected.ok());
+
+  // Nothing is memoized yet: adapt is advisory, so the request computes
+  // cold and the response carries no adapted fields (it is byte-identical
+  // to a plain DIVERSIFY).
+  LineClient client = ConnectTo(*server);
+  MustRoundtrip(client, "OPEN dataset=clustered n=400 dim=2 seed=9");
+  std::string wire = MustRoundtrip(client, "DIVERSIFY r=0.05 adapt=true");
+  EXPECT_EQ(wire.rfind(DeterministicPrefix(Verb::kDiversify, *expected), 0),
+            0u)
+      << wire;
+  EXPECT_EQ(wire.find("\"adapted\""), std::string::npos) << wire;
+  EXPECT_EQ(server->manager_stats().flights_adapted, 0u);
+  MustRoundtrip(client, "CLOSE");
+}
+
+// ---------------------------------------------------------------------------
+// The HTTP/1.1 transport (ISSUE 7): same commands, same JSON bodies, one
+// POST per command over a keep-alive connection (= one session).
+// ---------------------------------------------------------------------------
+
+HttpClient HttpConnectTo(const DiscServer& server) {
+  auto client = HttpClient::Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(client).value();
+}
+
+TEST(ServerHttpTest, HttpSessionMatchesDirectEngineByteForByte) {
+  auto server = StartServer();
+
+  auto engine = DiscEngine::Create(TestConfig());
+  ASSERT_TRUE(engine.ok());
+  DiversifyRequest diversify;
+  diversify.radius = 0.1;
+  auto expected = (*engine)->Diversify(diversify);
+  ASSERT_TRUE(expected.ok());
+  ZoomRequest zoom;
+  zoom.radius = 0.05;
+  auto expected_zoom = (*engine)->Zoom(zoom);
+  ASSERT_TRUE(expected_zoom.ok());
+
+  HttpClient client = HttpConnectTo(*server);
+  auto open = client.Post("/open", "dataset=clustered n=400 dim=2 seed=9");
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  EXPECT_EQ(open->status, 200);
+  EXPECT_NE(open->body.find("\"ok\":true"), std::string::npos) << open->body;
+  EXPECT_NE(open->body.find("\"cmd\":\"OPEN\""), std::string::npos)
+      << open->body;
+
+  // The response body is exactly the protocol line plus its framing '\n',
+  // so the replica-prefix comparison is the same as the line transport's.
+  auto wire = client.Post("/diversify", "r=0.1");
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_EQ(wire->status, 200);
+  EXPECT_EQ(
+      wire->body.rfind(DeterministicPrefix(Verb::kDiversify, *expected), 0),
+      0u)
+      << wire->body;
+  ASSERT_FALSE(wire->body.empty());
+  EXPECT_EQ(wire->body.back(), '\n');
+
+  auto wire_zoom = client.Post("/zoom", "to=0.05");
+  ASSERT_TRUE(wire_zoom.ok());
+  EXPECT_EQ(wire_zoom->body.rfind(
+                DeterministicPrefix(Verb::kZoom, *expected_zoom), 0),
+            0u)
+      << wire_zoom->body;
+
+  // /stats is read-only and additionally accepts GET.
+  auto stats = client.Get("/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->status, 200);
+  EXPECT_NE(stats->body.find("\"has_solution\":true"), std::string::npos)
+      << stats->body;
+
+  auto close = client.Post("/close", "");
+  ASSERT_TRUE(close.ok());
+  EXPECT_EQ(close->body, "{\"ok\":true,\"cmd\":\"CLOSE\"}\n");
+  EXPECT_EQ(server->server_stats().http_requests, 5u);
+
+  // Protocol detection is per connection: a line-protocol client works on
+  // the same server, unchanged.
+  LineClient line_client = ConnectTo(*server);
+  std::string line_open =
+      MustRoundtrip(line_client, "OPEN dataset=clustered n=400 dim=2 seed=9");
+  EXPECT_NE(line_open.find("\"ok\":true"), std::string::npos) << line_open;
+  MustRoundtrip(line_client, "CLOSE");
+}
+
+TEST(ServerHttpTest, ErrorCodesMapToHttpStatuses) {
+  auto server = StartServer();
+  HttpClient client = HttpConnectTo(*server);
+
+  // FailedPrecondition (no session yet) -> 409.
+  auto early = client.Post("/diversify", "r=0.1");
+  ASSERT_TRUE(early.ok());
+  EXPECT_EQ(early->status, 409);
+  EXPECT_NE(early->body.find("\"code\":\"FailedPrecondition\""),
+            std::string::npos)
+      << early->body;
+
+  // Unknown endpoint -> 404, still a protocol error line in the body.
+  auto nope = client.Post("/nope", "");
+  ASSERT_TRUE(nope.ok());
+  EXPECT_EQ(nope->status, 404);
+  EXPECT_NE(nope->body.find("\"ok\":false"), std::string::npos) << nope->body;
+
+  // GET on a mutating endpoint -> 400 InvalidArgument.
+  auto get = client.Get("/diversify");
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(get->status, 400);
+  EXPECT_NE(get->body.find("requires POST"), std::string::npos) << get->body;
+
+  // Command-level argument errors -> 400.
+  auto bad = client.Post("/open", "dataset=nope");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->status, 400);
+  EXPECT_NE(bad->body.find("\"code\":\"InvalidArgument\""), std::string::npos)
+      << bad->body;
+
+  // Errors are per request, not connection state: the same keep-alive
+  // connection opens a session afterwards.
+  auto open = client.Post("/open", "dataset=uniform n=100 dim=2 seed=1");
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(open->status, 200);
+  auto close = client.Post("/close", "");
+  ASSERT_TRUE(close.ok());
+  EXPECT_EQ(close->status, 200);
+}
+
+TEST(ServerHttpTest, BusyRejectionIsA503WithRetryAfter) {
+  ServerOptions options;
+  options.port = 0;
+  options.workers = 1;
+  options.max_inflight = 1;
+  options.max_pending = 0;  // one computation in the system, zero queued
+  auto server_or = DiscServer::Start(std::move(options));
+  ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+  auto server = std::move(server_or).value();
+
+  constexpr int kClients = 4;
+  std::vector<HttpClient> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(HttpConnectTo(*server));
+    auto open =
+        clients.back().Post("/open", "dataset=clustered n=1500 dim=2 seed=21");
+    ASSERT_TRUE(open.ok()) << open.status().ToString();
+    ASSERT_EQ(open->status, 200) << open->body;
+  }
+
+  // Bursts of concurrent distinct-radius requests (nothing coalesces).
+  // With a budget of one job, an overlapping burst must refuse the excess
+  // with 503 + Retry-After; retry rounds guard against an unlucky burst
+  // that happened to serialize.
+  std::atomic<int> ok_count{0};
+  std::atomic<int> busy_count{0};
+  std::atomic<int> bad_count{0};
+  for (int round = 0; round < 8 && busy_count.load() == 0; ++round) {
+    std::latch start(kClients);
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      threads.emplace_back([&, i, round] {
+        char body[32];
+        std::snprintf(body, sizeof(body), "r=%.4f",
+                      0.03 + 0.002 * i + 0.0001 * round);
+        start.arrive_and_wait();
+        auto response = clients[i].Post("/diversify", body);
+        if (!response.ok()) {
+          bad_count.fetch_add(1);
+          return;
+        }
+        if (response->status == 200) {
+          ok_count.fetch_add(1);
+        } else if (response->status == 503) {
+          busy_count.fetch_add(1);
+          EXPECT_NE(response->body.find("\"code\":\"Busy\""),
+                    std::string::npos)
+              << response->body;
+          EXPECT_NE(response->head.find("Retry-After: 1"), std::string::npos)
+              << response->head;
+        } else {
+          bad_count.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  EXPECT_EQ(bad_count.load(), 0);
+  EXPECT_GE(ok_count.load(), 1) << "no burst admitted any computation";
+  EXPECT_GE(busy_count.load(), 1) << "no burst produced a 503";
+  EXPECT_GE(server->server_stats().busy_rejections, 1u);
+
+  // 503 is per request: the connections still compute afterwards.
+  for (int i = 0; i < kClients; ++i) {
+    char body[32];
+    std::snprintf(body, sizeof(body), "r=%.4f", 0.05 + 0.002 * i);
+    auto response = clients[i].Post("/diversify", body);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status, 200) << response->body;
+    auto close = clients[i].Post("/close", "");
+    ASSERT_TRUE(close.ok());
+  }
+}
+
 TEST(ServerTest, ShutdownDisconnectsClientsAndJoins) {
   auto server = StartServer();
   LineClient client = ConnectTo(*server);
@@ -657,6 +937,44 @@ TEST(DaemonSmokeTest, TranscriptThroughDiscClient) {
       << output;
   EXPECT_NE(output.find("\"cmd\":\"CLOSE\""), std::string::npos) << output;
   // Five commands, five responses, all ok.
+  size_t ok_count = 0;
+  for (size_t pos = output.find("\"ok\":true"); pos != std::string::npos;
+       pos = output.find("\"ok\":true", pos + 1)) {
+    ++ok_count;
+  }
+  EXPECT_EQ(ok_count, 5u) << output;
+}
+
+TEST(DaemonSmokeTest, HttpTranscriptThroughDiscClient) {
+  Daemon daemon = SpawnDaemon();
+  ASSERT_GT(daemon.pid, 0);
+  ASSERT_GT(daemon.port, 0);
+
+  // The same transcript as the line-protocol smoke test, sent with --http:
+  // stdout must be the identical protocol JSON lines.
+  std::string cmd =
+      std::string("printf 'OPEN dataset=clustered n=300 dim=2 seed=5\\n"
+                  "DIVERSIFY r=0.1\\nZOOM to=0.05\\nSTATS\\nCLOSE\\n' | ") +
+      DISC_CLIENT_PATH + " --http --port=" + std::to_string(daemon.port) +
+      " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[512];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    output += buffer;
+  }
+  int exit_code = pclose(pipe);
+  StopDaemon(daemon);
+
+  EXPECT_EQ(WEXITSTATUS(exit_code), 0) << output;
+  EXPECT_NE(output.find("\"cmd\":\"OPEN\""), std::string::npos) << output;
+  EXPECT_NE(output.find("\"cmd\":\"DIVERSIFY\""), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("\"cmd\":\"ZOOM\""), std::string::npos) << output;
+  EXPECT_NE(output.find("\"has_solution\":true"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("\"cmd\":\"CLOSE\""), std::string::npos) << output;
   size_t ok_count = 0;
   for (size_t pos = output.find("\"ok\":true"); pos != std::string::npos;
        pos = output.find("\"ok\":true", pos + 1)) {

@@ -1,0 +1,328 @@
+#!/usr/bin/env python3
+"""Replay documented daemon transcripts against a freshly built disc_serve.
+
+Scans README.md and docs/PROTOCOL.md for marked transcript pairs:
+
+    <!-- transcript: line -->        (or: http)
+    ```sh                            the commands block
+    ...
+    ```
+    <!-- transcript-output -->
+    ```json                          the expected responses, one per line
+    ...
+    ```
+
+Command extraction:
+  * line transcripts: a `printf '...' | ./build/disc_client` pipeline (the
+    quoted printf body holds one command per line), or a plain fenced block
+    with one command per line.
+  * http transcripts: one `curl` invocation per line; the URL's path and
+    the `-d '...'` body map onto the protocol exactly as the server does
+    (POST with -d, GET without). Non-curl lines (daemon startup) are
+    ignored. All requests in one transcript ride ONE keep-alive
+    connection, i.e. one session.
+
+Each transcript gets a FRESH daemon (engine-pool state such as `reused`
+and `sessions_served` must match a cold start). Matching is exact bytes
+except: `"wall_ms":<number>` is wildcarded on both sides, and a literal
+`...` in an expected line matches anything (abridged arrays). For http
+transcripts the received status code must also match the PROTOCOL.md
+mapping table derived from the body.
+
+  --update   rewrite each expected-output block in place with the actual
+             daemon responses (wall_ms and previously-abridged spans kept
+             abridged), instead of failing on mismatch.
+
+Run from the repo root; needs only the Python stdlib and a built daemon
+(default ./build/disc_serve, override with --daemon=).
+"""
+
+import argparse
+import re
+import shlex
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+DOC_FILES = ["README.md", "docs/PROTOCOL.md"]
+MARKER_RE = re.compile(r"<!--\s*transcript:\s*(line|http)\s*-->")
+OUTPUT_MARKER_RE = re.compile(r"<!--\s*transcript-output\s*-->")
+FENCE_RE = re.compile(r"^```")
+WALL_MS_RE = re.compile(r'"wall_ms":[0-9][0-9.eE+-]*')
+BANNER_RE = re.compile(r"disc_serve listening on ([0-9.]+):([0-9]+)")
+
+# PROTOCOL.md section 4: HTTP status derived from the response body.
+STATUS_FOR_CODE = {
+    "Busy": 503,
+    "InvalidArgument": 400,
+    "NotFound": 404,
+    "FailedPrecondition": 409,
+    "Unimplemented": 501,
+}
+
+
+def expected_status(body_line):
+    if '"ok":true' in body_line:
+        return 200
+    match = re.search(r'"code":"([A-Za-z]+)"', body_line)
+    if match:
+        return STATUS_FOR_CODE.get(match.group(1), 500)
+    return 500
+
+
+class Transcript:
+    def __init__(self, path, kind, command_lines, output_start, output_end,
+                 expected):
+        self.path = path          # source doc
+        self.kind = kind          # "line" | "http"
+        self.command_lines = command_lines
+        self.output_start = output_start  # doc line index of first expected
+        self.output_end = output_end      # one past last expected
+        self.expected = expected          # list of expected response lines
+
+
+def parse_docs(root, files):
+    """Yields Transcript objects for every marked pair in the given docs."""
+    transcripts = []
+    for rel in files:
+        path = root / rel
+        if not path.exists():
+            continue
+        lines = path.read_text().splitlines()
+        i = 0
+        while i < len(lines):
+            marker = MARKER_RE.search(lines[i])
+            if not marker:
+                i += 1
+                continue
+            kind = marker.group(1)
+            block, _, i = read_fenced_block(lines, i + 1, path)
+            while i < len(lines) and not lines[i].strip():
+                i += 1
+            if i >= len(lines) or not OUTPUT_MARKER_RE.search(lines[i]):
+                sys.exit(f"{path}:{i + 1}: expected <!-- transcript-output -->"
+                         f" after the {kind} transcript block")
+            expected, start, i = read_fenced_block(lines, i + 1, path)
+            transcripts.append(
+                Transcript(path, kind, block, start, start + len(expected),
+                           expected))
+    return transcripts
+
+
+def read_fenced_block(lines, i, path):
+    """Returns (content lines, content start index, index past the fence)."""
+    while i < len(lines) and not FENCE_RE.match(lines[i]):
+        if lines[i].strip():
+            sys.exit(f"{path}:{i + 1}: expected a fenced block after a "
+                     "transcript marker")
+        i += 1
+    if i >= len(lines):
+        sys.exit(f"{path}: unterminated transcript block")
+    i += 1
+    start = i
+    block = []
+    while i < len(lines) and not FENCE_RE.match(lines[i]):
+        block.append(lines[i])
+        i += 1
+    if i >= len(lines):
+        sys.exit(f"{path}: unterminated fenced block")
+    return block, start, i + 1
+
+
+def extract_line_commands(block):
+    text = "\n".join(block)
+    match = re.search(r"printf '(.*?)'", text, re.DOTALL)
+    if match:
+        return [line for line in match.group(1).split("\n") if line.strip()]
+    return [line for line in block if line.strip()
+            and not line.lstrip().startswith(("#", "./", "$"))]
+
+
+def extract_http_requests(block):
+    """[(method, path, body)] from curl lines (backslash-joined first)."""
+    joined, pending = [], ""
+    for line in block:
+        if line.rstrip().endswith("\\"):
+            pending += line.rstrip()[:-1] + " "
+            continue
+        joined.append(pending + line)
+        pending = ""
+    requests = []
+    for line in joined:
+        if "curl" not in line:
+            continue
+        tokens = shlex.split(line)
+        url, body = None, None
+        j = 0
+        while j < len(tokens):
+            token = tokens[j]
+            if token.startswith("http://"):
+                url = token
+            elif token in ("-d", "--data", "--data-raw"):
+                j += 1
+                body = tokens[j]
+            j += 1
+        if url is None:
+            sys.exit(f"unparseable curl line in transcript: {line}")
+        path = "/" + url.split("//", 1)[1].split("/", 1)[1]
+        method = "POST" if body is not None else "GET"
+        requests.append((method, path, body or ""))
+    return requests
+
+
+def start_daemon(daemon_path):
+    proc = subprocess.Popen(
+        [str(daemon_path), "--port=0"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+    banner = proc.stdout.readline()
+    match = BANNER_RE.search(banner)
+    if not match:
+        proc.kill()
+        sys.exit(f"daemon did not print its listening banner: {banner!r}")
+    return proc, match.group(1), int(match.group(2))
+
+
+def recv_line(sock, buffered):
+    while b"\n" not in buffered:
+        chunk = sock.recv(65536)
+        if not chunk:
+            sys.exit("daemon closed the connection mid-transcript")
+        buffered += chunk
+    line, _, rest = buffered.partition(b"\n")
+    return line.decode(), rest
+
+
+def run_line_transcript(host, port, commands):
+    responses = []
+    with socket.create_connection((host, port), timeout=30) as sock:
+        buffered = b""
+        for command in commands:
+            sock.sendall(command.encode() + b"\n")
+            line, buffered = recv_line(sock, buffered)
+            responses.append((None, line))
+    return responses
+
+
+def run_http_transcript(host, port, requests):
+    responses = []
+    with socket.create_connection((host, port), timeout=30) as sock:
+        reader = sock.makefile("rb")
+        for method, path, body in requests:
+            payload = body.encode()
+            head = (f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+                    f"Content-Length: {len(payload)}\r\n\r\n")
+            sock.sendall(head.encode() + payload)
+            status, body_text = read_http_response(reader)
+            responses.append((status, body_text.rstrip("\n")))
+    return responses
+
+
+def read_http_response(reader):
+    status_line = reader.readline().decode()
+    status = int(status_line.split(" ", 2)[1])
+    length = None
+    while True:
+        header = reader.readline().decode()
+        if header in ("\r\n", "\n", ""):
+            break
+        name, _, value = header.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    if status == 100:  # interim response: real one follows
+        return read_http_response(reader)
+    if length is None:
+        sys.exit(f"response without Content-Length: {status_line!r}")
+    return status, reader.read(length).decode()
+
+
+def normalize(line):
+    return WALL_MS_RE.sub('"wall_ms":#', line)
+
+
+def matches(expected, actual):
+    pattern = re.escape(normalize(expected.strip())).replace(
+        re.escape("..."), ".*")
+    return re.fullmatch(pattern, normalize(actual)) is not None
+
+
+def abridge(actual, expected):
+    """--update: keep the doc's wall_ms/`...` abridgements where they still
+    match the fresh output; otherwise take the actual line verbatim."""
+    if expected is not None and matches(expected, actual):
+        return expected
+    return WALL_MS_RE.sub('"wall_ms":0', actual)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--daemon", default="build/disc_serve")
+    parser.add_argument("--root", default=".")
+    parser.add_argument("--update", action="store_true")
+    args = parser.parse_args()
+    root = Path(args.root).resolve()
+    daemon = (root / args.daemon).resolve()
+    if not daemon.exists():
+        sys.exit(f"daemon binary not found: {daemon} (build it first)")
+
+    transcripts = parse_docs(root, DOC_FILES)
+    if not transcripts:
+        sys.exit("no marked transcripts found — the docs lost their markers?")
+
+    failures = 0
+    updates = {}  # path -> [(start, end, new_lines)]
+    for transcript in transcripts:
+        proc, host, port = start_daemon(daemon)
+        try:
+            if transcript.kind == "line":
+                commands = extract_line_commands(transcript.command_lines)
+                responses = run_line_transcript(host, port, commands)
+            else:
+                requests = extract_http_requests(transcript.command_lines)
+                responses = run_http_transcript(host, port, requests)
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+        where = f"{transcript.path.relative_to(root)}:{transcript.output_start}"
+        if len(responses) != len(transcript.expected):
+            print(f"FAIL {where}: {len(transcript.expected)} expected "
+                  f"lines, {len(responses)} responses", file=sys.stderr)
+            failures += 1
+            continue
+        new_lines = []
+        for k, (status, actual) in enumerate(responses):
+            expected = transcript.expected[k]
+            new_lines.append(abridge(actual, expected))
+            if not matches(expected, actual):
+                if not args.update:
+                    print(f"FAIL {where} response {k + 1}:\n"
+                          f"  expected: {expected.strip()}\n"
+                          f"  actual:   {actual}", file=sys.stderr)
+                    failures += 1
+            if status is not None and status != expected_status(actual):
+                print(f"FAIL {where} response {k + 1}: HTTP status {status} "
+                      f"but the body maps to {expected_status(actual)}",
+                      file=sys.stderr)
+                failures += 1
+        if args.update and new_lines != transcript.expected:
+            updates.setdefault(transcript.path, []).append(
+                (transcript.output_start, transcript.output_end, new_lines))
+        print(f"ok   {where}: {len(responses)} responses "
+              f"({transcript.kind})")
+
+    for path, edits in updates.items():
+        lines = path.read_text().splitlines()
+        for start, end, new_lines in sorted(edits, reverse=True):
+            lines[start:end] = new_lines
+        path.write_text("\n".join(lines) + "\n")
+        print(f"updated {path.relative_to(root)}")
+
+    if failures:
+        sys.exit(f"{failures} transcript mismatch(es)")
+    print(f"all {len(transcripts)} transcripts verified")
+
+
+if __name__ == "__main__":
+    main()
