@@ -11,6 +11,7 @@
 //            [--algorithm=basic|greedy|greedy-white|lazy-grey|lazy-white|
 //                         greedy-c|fast-c]
 //            [--build=insert|bulk] [--threads=0] [--radius=0.05]
+//            [--neighbor-backend=exact|grid|lsh|sharded|lsh-sharded]
 //            [--zoom-to=<r'>] [--out=<points.csv>] [--help]
 //
 // Examples:
@@ -41,12 +42,19 @@ constexpr const char* kUsage =
     "                [--algorithm=basic|greedy|greedy-white|lazy-grey|"
     "lazy-white|greedy-c|fast-c]\n"
     "                [--build=insert|bulk] [--threads=<count>]\n"
+    "                [--neighbor-backend=exact|grid|lsh|sharded|"
+    "lsh-sharded]\n"
     "                [--radius=<r>] [--zoom-to=<r'>] [--out=<points.csv>]\n"
     "                [--help]\n"
     "\n"
     "--threads: worker threads for the engine's parallel passes (0 = one\n"
     "           per hardware thread, 1 = serial; results are byte-identical\n"
-    "           either way).\n";
+    "           either way).\n"
+    "--neighbor-backend: the neighbor engine computing N_r(p). 'exact'\n"
+    "           (default) is the M-tree session engine; the others run in\n"
+    "           graph mode (algorithms basic/greedy/greedy-c only, no\n"
+    "           --zoom-to) — 'lsh' and 'lsh-sharded' are approximate and\n"
+    "           open million-point workloads.\n";
 
 [[noreturn]] void Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
@@ -65,8 +73,9 @@ T FlagValueOrDie(const Result<T>& result) {
 int main(int argc, char** argv) {
   // The full flag vocabulary; anything else is rejected with the usage text.
   auto flags_or = ParseFlagArgs(
-      argc, argv, {"dataset", "n", "dim", "seed", "metric", "algorithm",
-                   "build", "threads", "radius", "zoom-to", "out", "help"});
+      argc, argv,
+      {"dataset", "n", "dim", "seed", "metric", "algorithm", "build",
+       "threads", "neighbor-backend", "radius", "zoom-to", "out", "help"});
   if (!flags_or.ok()) {
     std::fprintf(stderr, "%s\n%s", flags_or.status().message().c_str(),
                  kUsage);
@@ -102,6 +111,18 @@ int main(int argc, char** argv) {
     Fail("unknown build strategy '" + build + "' (want insert or bulk)");
   }
   config.threads = FlagValueOrDie(FlagUint(flags, "threads", 0));
+
+  if (flags.count("neighbor-backend")) {
+    auto backend = ParseNeighborBackendKind(flags["neighbor-backend"]);
+    if (!backend.ok()) {
+      // An unknown backend is a usage error (exit 2 + usage text), the
+      // same contract as an unknown flag — never a silent default.
+      std::fprintf(stderr, "%s\n%s", backend.status().message().c_str(),
+                   kUsage);
+      return 2;
+    }
+    config.neighbor.kind = *backend;
+  }
 
   // ---- engine ----
   auto engine_or = DiscEngine::Create(std::move(config));

@@ -19,6 +19,7 @@
 #include "data/dataset.h"
 #include "metric/metric.h"
 #include "mtree/mtree.h"
+#include "neighbor/backend.h"
 #include "util/status.h"
 
 namespace disc {
@@ -118,6 +119,14 @@ struct EngineConfig {
   /// every value — threads only change wall time — so this knob is *not*
   /// part of an engine's pooling identity (server/session_manager.h).
   size_t threads = 0;
+  /// Which neighbor engine computes N_r(p) (neighbor/backend.h). kExact
+  /// keeps the historical M-tree session engine byte-for-byte; every other
+  /// kind runs the engine in graph mode — algorithms execute on the
+  /// neighborhood graph the backend builds, zooming is unavailable, and for
+  /// the LSH kinds solutions are approximate. Unlike `threads`, this IS part
+  /// of the pooling identity: approximate solutions must never be served
+  /// from an exact engine's memo or vice versa.
+  NeighborBackendOptions neighbor;
 };
 
 }  // namespace disc

@@ -6,11 +6,14 @@
 #include <cmath>
 #include <cstddef>
 #include <memory>
+#include <numeric>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/reference.h"
 #include "eval/quality.h"
+#include "graph/neighborhood.h"
 #include "graph/properties.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
@@ -38,12 +41,13 @@ std::string CanonicalDouble(double value) {
 }  // namespace
 
 DiscEngine::DiscEngine(Dataset dataset, std::unique_ptr<DistanceMetric> metric,
-                       MTreeOptions tree_options, size_t threads)
+                       MTreeOptions tree_options, size_t threads,
+                       NeighborBackendOptions backend_options)
     : dataset_(std::move(dataset)),
       metric_(std::move(metric)),
-      threads_(threads == 0 ? DefaultThreads() : threads) {
-  tree_ = std::make_unique<MTree>(dataset_, *metric_, tree_options);
-}
+      tree_options_(tree_options),
+      backend_options_(backend_options),
+      threads_(threads == 0 ? DefaultThreads() : threads) {}
 
 DiscEngine::~DiscEngine() = default;
 
@@ -61,10 +65,34 @@ ThreadPool* DiscEngine::pool() {
 Result<std::unique_ptr<DiscEngine>> DiscEngine::Create(EngineConfig config) {
   DISC_ASSIGN_OR_RETURN(Dataset dataset,
                         ResolveDataset(std::move(config.dataset)));
+  if (config.neighbor.kind == NeighborBackendKind::kExact &&
+      config.neighbor.max_exact_points > 0 &&
+      dataset.size() > config.neighbor.max_exact_points) {
+    return Status::InvalidArgument(
+        "dataset of " + std::to_string(dataset.size()) +
+        " points is above the exact-backend cap of " +
+        std::to_string(config.neighbor.max_exact_points) +
+        "; use the sharded, lsh, or lsh-sharded neighbor backend");
+  }
   std::unique_ptr<DiscEngine> engine(
       new DiscEngine(std::move(dataset), MakeMetric(config.metric),
-                     config.tree, config.threads));
-  DISC_RETURN_NOT_OK(engine->tree_->Build());
+                     config.tree, config.threads, config.neighbor));
+  if (config.neighbor.kind == NeighborBackendKind::kExact) {
+    // The historical session engine: algorithms run against tree colors,
+    // zooming works. Byte-identical to every release before backends existed.
+    engine->tree_ =
+        std::make_unique<MTree>(engine->dataset_, *engine->metric_,
+                                config.tree);
+    DISC_RETURN_NOT_OK(engine->tree_->Build());
+  } else {
+    // Graph mode: the backend computes N_r(p); no tree is ever built (for
+    // the sharded/LSH kinds the whole point is that one global index would
+    // not fit or not scale).
+    DISC_ASSIGN_OR_RETURN(
+        engine->backend_,
+        CreateNeighborBackend(engine->dataset_, *engine->metric_,
+                              config.neighbor, engine->pool()));
+  }
   return engine;
 }
 
@@ -110,7 +138,9 @@ std::string DiscEngine::SessionFingerprint() const {
 
 DiscEngine::SessionCapsule DiscEngine::ExportSession() const {
   SessionCapsule capsule;
-  capsule.state = tree_->SaveColorState();
+  // Graph-mode engines have no colors; the capsule then carries only the
+  // session descriptor and the cached response.
+  if (tree_ != nullptr) capsule.state = tree_->SaveColorState();
   capsule.session = session_;
   if (session_.cache_key_valid) {
     if (const CacheEntry* entry = FindCached(session_.cache_key)) {
@@ -123,7 +153,14 @@ DiscEngine::SessionCapsule DiscEngine::ExportSession() const {
 }
 
 Status DiscEngine::AdoptSession(const SessionCapsule& capsule) {
-  DISC_RETURN_NOT_OK(tree_->RestoreColorState(capsule.state));
+  if (tree_ != nullptr) {
+    DISC_RETURN_NOT_OK(tree_->RestoreColorState(capsule.state));
+  } else if (!capsule.state.colors.empty()) {
+    // Pool keys segregate backends, so this only fires on caller error.
+    return Status::InvalidArgument(
+        "capsule carries tree color state but this engine runs the '" +
+        std::string(backend_->name()) + "' neighbor backend in graph mode");
+  }
   session_ = capsule.session;
   if (capsule.has_cache_entry) {
     CacheEntry entry;
@@ -203,6 +240,7 @@ QualityMetrics DiscEngine::ComputeQuality(
 Result<DiversifyResponse> DiscEngine::Diversify(
     const DiversifyRequest& request) {
   DISC_RETURN_NOT_OK(ValidateRadius(request.radius));
+  if (backend_ != nullptr) return DiversifyViaBackend(request);
   const bool disc_family = IsDiscFamily(request.algorithm);
   const CacheKey key{request.algorithm, request.radius,
                      EffectivePruned(request)};
@@ -260,6 +298,102 @@ Result<DiversifyResponse> DiscEngine::Diversify(
   entry.response = response;
   entry.state = tree_->SaveColorState();
   entry.distances_exact = distances_exact;
+  InsertCache(std::move(entry));
+  return response;
+}
+
+Result<const NeighborhoodGraph*> DiscEngine::GraphForRadius(double radius) {
+  if (graph_cache_ != nullptr && graph_cache_radius_ == radius) {
+    return static_cast<const NeighborhoodGraph*>(graph_cache_.get());
+  }
+  DISC_ASSIGN_OR_RETURN(NeighborhoodGraph graph,
+                        NeighborhoodGraph::FromBackend(*backend_, radius,
+                                                       pool()));
+  graph_cache_ = std::make_unique<NeighborhoodGraph>(std::move(graph));
+  graph_cache_radius_ = radius;
+  return static_cast<const NeighborhoodGraph*>(graph_cache_.get());
+}
+
+void DiscEngine::BlockZoomForGraphMode() {
+  session_.zoomable = false;
+  session_.zoom_blocker =
+      std::string("the '") + backend_->name() +
+      "' neighbor backend runs algorithms on the neighborhood graph and "
+      "leaves no tree color state; zooming requires the exact engine";
+}
+
+Result<DiversifyResponse> DiscEngine::DiversifyViaBackend(
+    const DiversifyRequest& request) {
+  const bool disc_family = IsDiscFamily(request.algorithm);
+  const CacheKey key{request.algorithm, request.radius,
+                     EffectivePruned(request)};
+
+  if (CacheEntry* entry = FindCached(key)) {
+    Stopwatch watch;
+    ++cache_hits_;
+    // Graph-mode entries carry no ColorState — there are no colors to
+    // restore; the response alone is the whole session outcome.
+    if (request.compute_quality && !entry->response.quality.has_value()) {
+      entry->response.quality =
+          ComputeQuality(entry->response.solution, request.radius,
+                         /*covering_only=*/!disc_family);
+    }
+    SetSession(key, entry->response.solution.size(),
+               /*distances_exact=*/false);
+    BlockZoomForGraphMode();
+    DiversifyResponse response = entry->response;
+    response.from_cache = true;
+    response.stats = AccessStats{};
+    response.wall_ms = watch.ElapsedMillis();
+    if (!request.compute_quality) response.quality.reset();
+    return response;
+  }
+
+  Stopwatch watch;
+  const AccessStats before = backend_->stats();
+  DISC_ASSIGN_OR_RETURN(const NeighborhoodGraph* graph,
+                        GraphForRadius(request.radius));
+  std::vector<ObjectId> solution;
+  switch (request.algorithm) {
+    case Algorithm::kBasic: {
+      // Candidates in id order (graph mode has no leaf chain to mirror);
+      // any fixed order yields a valid maximal independent set.
+      std::vector<ObjectId> order(dataset_.size());
+      std::iota(order.begin(), order.end(), ObjectId{0});
+      solution = ReferenceBasicDisc(*graph, order);
+      break;
+    }
+    case Algorithm::kGreedy:
+      solution = ReferenceGreedyDisc(*graph);
+      break;
+    case Algorithm::kGreedyC:
+      solution = ReferenceGreedyC(*graph);
+      break;
+    default:
+      return Status::Unimplemented(
+          std::string("algorithm '") + AlgorithmToString(request.algorithm) +
+          "' is index-bound; the '" + backend_->name() +
+          "' neighbor backend serves the graph-mode algorithms only "
+          "(basic, greedy, greedy-c)");
+  }
+  ++computations_;
+
+  DiversifyResponse response;
+  response.solution = std::move(solution);
+  response.stats = backend_->stats() - before;
+  response.wall_ms = watch.ElapsedMillis();
+  response.radius = request.radius;
+  if (request.compute_quality) {
+    response.quality = ComputeQuality(response.solution, request.radius,
+                                      /*covering_only=*/!disc_family);
+  }
+
+  SetSession(key, response.solution.size(), /*distances_exact=*/false);
+  BlockZoomForGraphMode();
+  CacheEntry entry;
+  entry.key = key;
+  entry.response = response;
+  entry.distances_exact = false;
   InsertCache(std::move(entry));
   return response;
 }
@@ -373,6 +507,12 @@ Result<DiversifyResponse> DiscEngine::Zoom(const ZoomRequest& request) {
 
 Result<DiversifyResponse> DiscEngine::WeightedDiversify(
     const WeightedRequest& request) {
+  if (backend_ != nullptr) {
+    return Status::FailedPrecondition(
+        std::string("weighted DisC runs on the exact engine only; this "
+                    "engine uses the '") +
+        backend_->name() + "' neighbor backend");
+  }
   Stopwatch watch;
   DISC_ASSIGN_OR_RETURN(
       std::vector<ObjectId> solution,
@@ -392,6 +532,12 @@ Result<DiversifyResponse> DiscEngine::WeightedDiversify(
 
 Result<DiversifyResponse> DiscEngine::MultiRadiusDiversify(
     const MultiRadiusRequest& request) {
+  if (backend_ != nullptr) {
+    return Status::FailedPrecondition(
+        std::string("multi-radius DisC runs on the exact engine only; this "
+                    "engine uses the '") +
+        backend_->name() + "' neighbor backend");
+  }
   Stopwatch watch;
   DISC_ASSIGN_OR_RETURN(
       std::vector<double> radii,
@@ -419,9 +565,10 @@ EngineSnapshot DiscEngine::Snapshot() const {
   snapshot.dataset_size = dataset_.size();
   snapshot.dim = dataset_.dim();
   snapshot.metric = metric_->kind();
-  snapshot.build_strategy = tree_->options().build.strategy;
-  snapshot.tree_nodes = tree_->num_nodes();
-  snapshot.tree_height = tree_->height();
+  snapshot.build_strategy = tree_options_.build.strategy;
+  snapshot.backend = backend_options_.kind;
+  snapshot.tree_nodes = tree_ != nullptr ? tree_->num_nodes() : 0;
+  snapshot.tree_height = tree_ != nullptr ? tree_->height() : 0;
   snapshot.has_solution = session_.has_solution;
   snapshot.zoomable = session_.zoomable;
   snapshot.zoom_blocker = session_.zoom_blocker;
@@ -436,18 +583,19 @@ EngineSnapshot DiscEngine::Snapshot() const {
   snapshot.adopted_sessions = adopted_sessions_;
   snapshot.threads = threads_;
   snapshot.sessions_served = sessions_served_;
-  snapshot.lifetime_stats = tree_->stats();
+  snapshot.lifetime_stats =
+      tree_ != nullptr ? tree_->stats() : backend_->stats();
   return snapshot;
 }
 
 void DiscEngine::Reset() {
-  tree_->ResetColors();
+  if (tree_ != nullptr) tree_->ResetColors();
   session_ = SessionState{};
   cache_.clear();
 }
 
 void DiscEngine::NewSession() {
-  tree_->ResetColors();
+  if (tree_ != nullptr) tree_->ResetColors();
   session_ = SessionState{};
   ++sessions_served_;
 }

@@ -54,7 +54,8 @@
 
 namespace disc {
 
-class ThreadPool;  // util/parallel.h
+class ThreadPool;          // util/parallel.h
+class NeighborhoodGraph;   // graph/neighborhood.h
 
 /// Solution-quality numbers computed on demand (request.compute_quality),
 /// directly from the dataset — they cost distance computations but no index
@@ -157,6 +158,11 @@ struct EngineSnapshot {
   size_t dim = 0;
   MetricKind metric = MetricKind::kEuclidean;
   BuildStrategy build_strategy = BuildStrategy::kInsertAtATime;
+  /// Which neighbor engine computes N_r(p) (EngineConfig::neighbor). kExact
+  /// is the historical tree-backed session engine; anything else means the
+  /// engine runs in graph mode (tree_nodes/tree_height are 0, zoomable is
+  /// always false).
+  NeighborBackendKind backend = NeighborBackendKind::kExact;
   size_t tree_nodes = 0;
   size_t tree_height = 0;
   /// Tree colors encode a solution (i.e. some Diversify succeeded).
@@ -254,7 +260,8 @@ class DiscEngine {
 
  private:
   DiscEngine(Dataset dataset, std::unique_ptr<DistanceMetric> metric,
-             MTreeOptions tree_options, size_t threads);
+             MTreeOptions tree_options, size_t threads,
+             NeighborBackendOptions backend_options);
 
   struct CacheKey {
     Algorithm algorithm;
@@ -372,6 +379,22 @@ class DiscEngine {
   /// threads_ == 1 — every pass then takes its original serial path.
   ThreadPool* pool();
 
+  /// The non-exact-backend Diversify path: algorithms run on the
+  /// neighborhood graph the backend builds (core/reference.h) instead of on
+  /// tree colors. Serves the same solution cache (entries hold no
+  /// ColorState) and leaves the session non-zoomable.
+  Result<DiversifyResponse> DiversifyViaBackend(
+      const DiversifyRequest& request);
+
+  /// The backend-built G_{P,r} for `radius`, cached one radius at a time
+  /// (the graph is the dominant memory cost; the solution cache covers
+  /// radius revisits).
+  Result<const NeighborhoodGraph*> GraphForRadius(double radius);
+
+  /// Marks the just-set session non-zoomable: graph-mode runs leave no tree
+  /// color state for the adaptive operations to read.
+  void BlockZoomForGraphMode();
+
   CacheEntry* FindCached(const CacheKey& key);
   const CacheEntry* FindCached(const CacheKey& key) const;
   void InsertCache(CacheEntry entry);
@@ -384,7 +407,16 @@ class DiscEngine {
 
   Dataset dataset_;
   std::unique_ptr<DistanceMetric> metric_;
+  /// Index knobs (kept for Snapshot even when no tree exists).
+  MTreeOptions tree_options_;
+  /// The session index. Null in graph mode (backend_ set instead) — exactly
+  /// one of tree_ / backend_ is non-null after Create.
   std::unique_ptr<MTree> tree_;
+  NeighborBackendOptions backend_options_;
+  std::unique_ptr<NeighborBackend> backend_;
+  /// One-radius graph cache for DiversifyViaBackend.
+  std::unique_ptr<NeighborhoodGraph> graph_cache_;
+  double graph_cache_radius_ = -1.0;
   /// Resolved worker count (EngineConfig::threads, 0 -> hardware).
   size_t threads_ = 1;
   /// Backing storage for pool(); lazily created. The engine remains

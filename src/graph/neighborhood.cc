@@ -1,32 +1,15 @@
 #include "graph/neighborhood.h"
 
 #include <algorithm>
-#include <cmath>
 #include <cstddef>
-#include <cstdint>
-#include <unordered_map>
+#include <cstdio>
 #include <utility>
 #include <vector>
 
+#include "neighbor/adjacency.h"
 #include "util/parallel.h"
 
 namespace disc {
-
-namespace {
-
-// The grid accelerator requires that dist(p, q) <= r implies every coordinate
-// difference is <= r. True for Euclidean / Manhattan / Chebyshev, not for
-// Hamming (codes are unordered categories).
-bool GridCompatible(const DistanceMetric& metric, size_t dim, size_t n) {
-  if (metric.kind() == MetricKind::kHamming) return false;
-  // The grid pays off for large low-dimensional inputs; cell enumeration is
-  // 3^dim per point, so cap the dimensionality.
-  return dim >= 1 && dim <= 3 && n >= 256;
-}
-
-using EdgeList = std::vector<std::pair<ObjectId, ObjectId>>;
-
-}  // namespace
 
 NeighborhoodGraph::NeighborhoodGraph(const Dataset& dataset,
                                      const DistanceMetric& metric,
@@ -34,9 +17,11 @@ NeighborhoodGraph::NeighborhoodGraph(const Dataset& dataset,
     : radius_(radius), adjacency_(dataset.size()) {
   if (dataset.size() <= 1) return;
   if (GridCompatible(metric, dataset.dim(), dataset.size()) && radius > 0) {
-    BuildWithGrid(dataset, metric, pool);
+    num_edges_ =
+        BuildAdjacencyWithGrid(dataset, metric, radius, pool, &adjacency_);
   } else {
-    BuildBruteForce(dataset, metric, pool);
+    num_edges_ =
+        BuildAdjacencyBruteForce(dataset, metric, radius, pool, &adjacency_);
   }
   for (auto& list : adjacency_) std::sort(list.begin(), list.end());
 }
@@ -47,135 +32,32 @@ NeighborhoodGraph::NeighborhoodGraph(const MTree& tree, double radius,
   BuildFromTree(tree, pool);
 }
 
-void NeighborhoodGraph::MergeEdges(const EdgeList& edges) {
-  for (const auto& [i, j] : edges) {
-    adjacency_[i].push_back(j);
-    adjacency_[j].push_back(i);
-    ++num_edges_;
+Result<NeighborhoodGraph> NeighborhoodGraph::Build(
+    const Dataset& dataset, const DistanceMetric& metric, double radius,
+    ThreadPool* pool, size_t max_brute_force_points) {
+  const size_t n = dataset.size();
+  const bool grid = GridCompatible(metric, dataset.dim(), n) && radius > 0;
+  if (!grid && max_brute_force_points > 0 && n > max_brute_force_points) {
+    return Status::InvalidArgument(
+        "neighborhood graph over " + std::to_string(n) + " points (" +
+        metric.name() + " metric, dim " + std::to_string(dataset.dim()) +
+        ") would fall back to the O(n^2) scan, above the cap of " +
+        std::to_string(max_brute_force_points) +
+        "; use an approximate neighbor backend (lsh, lsh-sharded)");
   }
+  std::fprintf(stderr,
+               "NeighborhoodGraph: strategy=%s n=%zu dim=%zu radius=%g\n",
+               grid ? "grid" : "brute-force", n, dataset.dim(), radius);
+  return NeighborhoodGraph(dataset, metric, radius, pool);
 }
 
-void NeighborhoodGraph::BuildBruteForce(const Dataset& dataset,
-                                        const DistanceMetric& metric,
-                                        ThreadPool* pool) {
-  const size_t n = dataset.size();
-  if (pool == nullptr || pool->threads() <= 1) {
-    // One distance computation per unordered pair: j starts above i and the
-    // edge is recorded at both endpoints (the regression test in
-    // tests/neighborhood_test.cc pins the call count to n(n-1)/2).
-    for (ObjectId i = 0; i < n; ++i) {
-      for (ObjectId j = i + 1; j < n; ++j) {
-        if (metric.Distance(dataset.point(i), dataset.point(j)) <= radius_) {
-          adjacency_[i].push_back(j);
-          adjacency_[j].push_back(i);
-          ++num_edges_;
-        }
-      }
-    }
-    return;
-  }
-
-  // Chunks of rows collect (i, j) pairs into private buffers; merging in
-  // ascending chunk order reproduces the serial (i asc, j asc) edge
-  // sequence exactly, so the graph is byte-identical for any thread count.
-  const size_t grain = RecommendedGrain(n, pool->threads());
-  ParallelOrderedReduce<EdgeList>(
-      pool, 0, n, grain,
-      [&](size_t chunk_begin, size_t chunk_end) {
-        EdgeList edges;
-        for (size_t i = chunk_begin; i < chunk_end; ++i) {
-          const Point& p = dataset.point(i);
-          for (size_t j = i + 1; j < n; ++j) {
-            if (metric.Distance(p, dataset.point(j)) <= radius_) {
-              edges.emplace_back(static_cast<ObjectId>(i),
-                                 static_cast<ObjectId>(j));
-            }
-          }
-        }
-        return edges;
-      },
-      [&](EdgeList& edges) { MergeEdges(edges); });
-}
-
-void NeighborhoodGraph::BuildWithGrid(const Dataset& dataset,
-                                      const DistanceMetric& metric,
-                                      ThreadPool* pool) {
-  const size_t n = dataset.size();
-  const size_t dim = dataset.dim();
-
-  // Hash points into cells of side r; any neighbor pair lies in the same or
-  // an adjacent cell along every axis.
-  auto cell_key = [&](const Point& p) {
-    // Pack up to 3 cell coordinates (21 bits each, offset to stay positive).
-    uint64_t key = 0;
-    for (size_t d = 0; d < dim; ++d) {
-      int64_t c = static_cast<int64_t>(std::floor(p[d] / radius_)) + (1 << 20);
-      key = (key << 21) | static_cast<uint64_t>(c & ((1 << 21) - 1));
-    }
-    return key;
-  };
-
-  std::unordered_map<uint64_t, std::vector<ObjectId>> cells;
-  cells.reserve(n);
-  for (ObjectId i = 0; i < n; ++i) {
-    cells[cell_key(dataset.point(i))].push_back(i);
-  }
-
-  // Enumerate each point's 3^dim neighboring cells; the cell map is shared
-  // read-only once populated. One distance computation per unordered
-  // candidate pair (the j <= i skip dedupes the two enumerations that see
-  // the pair).
-  const size_t num_offsets = static_cast<size_t>(std::pow(3.0, dim));
-  auto scan_rows = [&](size_t row_begin, size_t row_end, auto&& emit) {
-    std::vector<int64_t> base(dim);
-    for (size_t i = row_begin; i < row_end; ++i) {
-      const Point& p = dataset.point(i);
-      for (size_t d = 0; d < dim; ++d) {
-        base[d] = static_cast<int64_t>(std::floor(p[d] / radius_));
-      }
-      for (size_t mask = 0; mask < num_offsets; ++mask) {
-        uint64_t key = 0;
-        size_t rem = mask;
-        for (size_t d = 0; d < dim; ++d) {
-          int64_t delta = static_cast<int64_t>(rem % 3) - 1;
-          rem /= 3;
-          int64_t c = base[d] + delta + (1 << 20);
-          key = (key << 21) | static_cast<uint64_t>(c & ((1 << 21) - 1));
-        }
-        auto it = cells.find(key);
-        if (it == cells.end()) continue;
-        for (ObjectId j : it->second) {
-          if (j <= i) continue;  // each unordered pair once
-          if (metric.Distance(p, dataset.point(j)) <= radius_) {
-            emit(static_cast<ObjectId>(i), j);
-          }
-        }
-      }
-    }
-  };
-
-  if (pool == nullptr || pool->threads() <= 1) {
-    // Serial: stream edges straight into the adjacency lists (no O(E)
-    // staging buffer).
-    scan_rows(0, n, [&](ObjectId i, ObjectId j) {
-      adjacency_[i].push_back(j);
-      adjacency_[j].push_back(i);
-      ++num_edges_;
-    });
-    return;
-  }
-
-  const size_t grain = RecommendedGrain(n, pool->threads());
-  ParallelOrderedReduce<EdgeList>(
-      pool, 0, n, grain,
-      [&](size_t chunk_begin, size_t chunk_end) {
-        EdgeList edges;
-        scan_rows(chunk_begin, chunk_end, [&](ObjectId i, ObjectId j) {
-          edges.emplace_back(i, j);
-        });
-        return edges;
-      },
-      [&](EdgeList& edges) { MergeEdges(edges); });
+Result<NeighborhoodGraph> NeighborhoodGraph::FromBackend(
+    const NeighborBackend& backend, double radius, ThreadPool* pool) {
+  AdjacencyLists adjacency;
+  size_t num_edges = 0;
+  DISC_RETURN_NOT_OK(
+      backend.BuildNeighborhoods(radius, pool, &adjacency, &num_edges));
+  return NeighborhoodGraph(radius, std::move(adjacency), num_edges);
 }
 
 void NeighborhoodGraph::BuildFromTree(const MTree& tree, ThreadPool* pool) {

@@ -6,23 +6,31 @@
 // brute-force reference algorithms, and backs the structural verifiers.
 //
 // Construction is the r-neighborhood computation that dominates every DisC
-// pass (N_r(p) for all p, §4–§6), so all three build paths accept an
-// optional util/parallel.h thread pool: the object range is partitioned
-// into chunks, each chunk collects edges (or adjacency rows) into private
-// buffers, and the buffers are merged on the calling thread in ascending
-// chunk order — the resulting graph is byte-identical to the serial build
-// for every thread count. A null pool (or a one-thread pool) runs the
-// original serial loops.
+// pass (N_r(p) for all p, §4–§6). The direct constructor delegates to the
+// shared adjacency builders in neighbor/adjacency.h (grid accelerator or
+// exact O(n^2) scan); the tree constructor issues one index range query per
+// object; and FromBackend builds the graph through any pluggable
+// NeighborBackend (neighbor/backend.h), which is how approximate (LSH) and
+// sharded engines plug into everything defined on this graph. All paths
+// accept an optional util/parallel.h thread pool: the object range is
+// partitioned into chunks, each chunk collects edges (or adjacency rows)
+// into private buffers, and the buffers are merged on the calling thread in
+// ascending chunk order — the resulting graph is byte-identical to the
+// serial build for every thread count. A null pool (or a one-thread pool)
+// runs the original serial loops.
 
 #ifndef DISC_GRAPH_NEIGHBORHOOD_H_
 #define DISC_GRAPH_NEIGHBORHOOD_H_
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "data/dataset.h"
 #include "metric/metric.h"
 #include "mtree/mtree.h"
+#include "neighbor/backend.h"
+#include "util/status.h"
 
 namespace disc {
 
@@ -50,6 +58,27 @@ class NeighborhoodGraph {
   explicit NeighborhoodGraph(const MTree& tree, double radius,
                              ThreadPool* pool = nullptr);
 
+  /// The guarded front door the daemon path uses instead of the direct
+  /// constructor: logs the chosen strategy (grid vs brute force) to stderr,
+  /// and — when the grid does not apply and max_brute_force_points > 0 —
+  /// refuses datasets above that cap with InvalidArgument rather than
+  /// letting the silent O(n^2) fallback exhaust memory.
+  static Result<NeighborhoodGraph> Build(const Dataset& dataset,
+                                         const DistanceMetric& metric,
+                                         double radius,
+                                         ThreadPool* pool = nullptr,
+                                         size_t max_brute_force_points = 0);
+
+  /// Builds the graph through a pluggable neighbor backend
+  /// (neighbor/backend.h). Exact backends produce exactly the graph the
+  /// constructors above produce; approximate backends produce a subgraph
+  /// (every reported edge is distance-verified, some true edges may be
+  /// missing — the recall the CI quality gate measures). Accounting goes to
+  /// the backend's stats().
+  static Result<NeighborhoodGraph> FromBackend(const NeighborBackend& backend,
+                                               double radius,
+                                               ThreadPool* pool = nullptr);
+
   size_t num_vertices() const { return adjacency_.size(); }
   size_t num_edges() const { return num_edges_; }
   double radius() const { return radius_; }
@@ -68,17 +97,17 @@ class NeighborhoodGraph {
   bool HasEdge(ObjectId a, ObjectId b) const;
 
  private:
-  void BuildBruteForce(const Dataset& dataset, const DistanceMetric& metric,
-                       ThreadPool* pool);
-  void BuildWithGrid(const Dataset& dataset, const DistanceMetric& metric,
-                     ThreadPool* pool);
+  /// Adopts an already-built adjacency structure (FromBackend).
+  NeighborhoodGraph(double radius, AdjacencyLists adjacency, size_t num_edges)
+      : radius_(radius),
+        num_edges_(num_edges),
+        adjacency_(std::move(adjacency)) {}
+
   void BuildFromTree(const MTree& tree, ThreadPool* pool);
-  /// Appends (i, j) pairs (i < j) to both endpoints' adjacency lists.
-  void MergeEdges(const std::vector<std::pair<ObjectId, ObjectId>>& edges);
 
   double radius_;
   size_t num_edges_ = 0;
-  std::vector<std::vector<ObjectId>> adjacency_;
+  AdjacencyLists adjacency_;
 };
 
 }  // namespace disc

@@ -1,0 +1,188 @@
+#include "neighbor/adjacency.h"
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace disc {
+
+namespace {
+
+using EdgeList = std::vector<std::pair<ObjectId, ObjectId>>;
+
+// Appends (i, j) pairs (i < j) to both endpoints' adjacency lists.
+size_t MergeEdges(const EdgeList& edges, AdjacencyLists* adjacency) {
+  for (const auto& [i, j] : edges) {
+    (*adjacency)[i].push_back(j);
+    (*adjacency)[j].push_back(i);
+  }
+  return edges.size();
+}
+
+}  // namespace
+
+bool GridCompatible(const DistanceMetric& metric, size_t dim, size_t n) {
+  if (metric.kind() == MetricKind::kHamming) return false;
+  // The grid pays off for large low-dimensional inputs; cell enumeration is
+  // 3^dim per point, so cap the dimensionality.
+  return dim >= 1 && dim <= 3 && n >= 256;
+}
+
+uint64_t PackGridCell(const int64_t* cell, size_t dim) {
+  // Pack up to 3 cell coordinates (21 bits each, offset to stay positive).
+  uint64_t key = 0;
+  for (size_t d = 0; d < dim; ++d) {
+    int64_t c = cell[d] + (1 << 20);
+    key = (key << 21) | static_cast<uint64_t>(c & ((1 << 21) - 1));
+  }
+  return key;
+}
+
+size_t BuildAdjacencyBruteForce(const Dataset& dataset,
+                                const DistanceMetric& metric, double radius,
+                                ThreadPool* pool, AdjacencyLists* adjacency) {
+  const size_t n = dataset.size();
+  size_t num_edges = 0;
+  if (pool == nullptr || pool->threads() <= 1) {
+    // One distance computation per unordered pair: j starts above i and the
+    // edge is recorded at both endpoints (the regression test in
+    // tests/neighborhood_test.cc pins the call count to n(n-1)/2).
+    for (ObjectId i = 0; i < n; ++i) {
+      for (ObjectId j = i + 1; j < n; ++j) {
+        if (metric.Distance(dataset.point(i), dataset.point(j)) <= radius) {
+          (*adjacency)[i].push_back(j);
+          (*adjacency)[j].push_back(i);
+          ++num_edges;
+        }
+      }
+    }
+    return num_edges;
+  }
+
+  // Chunks of rows collect (i, j) pairs into private buffers; merging in
+  // ascending chunk order reproduces the serial (i asc, j asc) edge
+  // sequence exactly, so the graph is byte-identical for any thread count.
+  const size_t grain = RecommendedGrain(n, pool->threads());
+  ParallelOrderedReduce<EdgeList>(
+      pool, 0, n, grain,
+      [&](size_t chunk_begin, size_t chunk_end) {
+        EdgeList edges;
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          const Point& p = dataset.point(i);
+          for (size_t j = i + 1; j < n; ++j) {
+            if (metric.Distance(p, dataset.point(j)) <= radius) {
+              edges.emplace_back(static_cast<ObjectId>(i),
+                                 static_cast<ObjectId>(j));
+            }
+          }
+        }
+        return edges;
+      },
+      [&](EdgeList& edges) { num_edges += MergeEdges(edges, adjacency); });
+  return num_edges;
+}
+
+size_t BuildAdjacencyWithGrid(const Dataset& dataset,
+                              const DistanceMetric& metric, double radius,
+                              ThreadPool* pool, AdjacencyLists* adjacency,
+                              uint64_t* distance_computations) {
+  const size_t n = dataset.size();
+  const size_t dim = dataset.dim();
+  size_t num_edges = 0;
+  uint64_t distance_calls = 0;
+
+  // Hash points into cells of side r; any neighbor pair lies in the same or
+  // an adjacent cell along every axis.
+  std::vector<int64_t> scratch(dim);
+  auto cell_key = [&](const Point& p) {
+    for (size_t d = 0; d < dim; ++d) {
+      scratch[d] = static_cast<int64_t>(std::floor(p[d] / radius));
+    }
+    return PackGridCell(scratch.data(), dim);
+  };
+
+  std::unordered_map<uint64_t, std::vector<ObjectId>> cells;
+  cells.reserve(n);
+  for (ObjectId i = 0; i < n; ++i) {
+    cells[cell_key(dataset.point(i))].push_back(i);
+  }
+
+  // Enumerate each point's 3^dim neighboring cells; the cell map is shared
+  // read-only once populated. One distance computation per unordered
+  // candidate pair (the j <= i skip dedupes the two enumerations that see
+  // the pair). `count` accumulates the candidate-pair count per chunk, so
+  // the reported distance-computation total is thread-count independent.
+  const size_t num_offsets = static_cast<size_t>(std::pow(3.0, dim));
+  auto scan_rows = [&](size_t row_begin, size_t row_end, uint64_t* count,
+                       auto&& emit) {
+    std::vector<int64_t> base(dim);
+    std::vector<int64_t> probe(dim);
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const Point& p = dataset.point(i);
+      for (size_t d = 0; d < dim; ++d) {
+        base[d] = static_cast<int64_t>(std::floor(p[d] / radius));
+      }
+      for (size_t mask = 0; mask < num_offsets; ++mask) {
+        size_t rem = mask;
+        for (size_t d = 0; d < dim; ++d) {
+          probe[d] = base[d] + static_cast<int64_t>(rem % 3) - 1;
+          rem /= 3;
+        }
+        auto it = cells.find(PackGridCell(probe.data(), dim));
+        if (it == cells.end()) continue;
+        for (ObjectId j : it->second) {
+          if (j <= i) continue;  // each unordered pair once
+          ++*count;
+          if (metric.Distance(p, dataset.point(j)) <= radius) {
+            emit(static_cast<ObjectId>(i), j);
+          }
+        }
+      }
+    }
+  };
+
+  if (pool == nullptr || pool->threads() <= 1) {
+    // Serial: stream edges straight into the adjacency lists (no O(E)
+    // staging buffer).
+    scan_rows(0, n, &distance_calls, [&](ObjectId i, ObjectId j) {
+      (*adjacency)[i].push_back(j);
+      (*adjacency)[j].push_back(i);
+      ++num_edges;
+    });
+    if (distance_computations != nullptr) {
+      *distance_computations = distance_calls;
+    }
+    return num_edges;
+  }
+
+  struct ChunkEdges {
+    EdgeList edges;
+    uint64_t distance_calls = 0;
+  };
+  const size_t grain = RecommendedGrain(n, pool->threads());
+  ParallelOrderedReduce<ChunkEdges>(
+      pool, 0, n, grain,
+      [&](size_t chunk_begin, size_t chunk_end) {
+        ChunkEdges chunk;
+        scan_rows(chunk_begin, chunk_end, &chunk.distance_calls,
+                  [&](ObjectId i, ObjectId j) {
+                    chunk.edges.emplace_back(i, j);
+                  });
+        return chunk;
+      },
+      [&](ChunkEdges& chunk) {
+        num_edges += MergeEdges(chunk.edges, adjacency);
+        distance_calls += chunk.distance_calls;
+      });
+  if (distance_computations != nullptr) {
+    *distance_computations = distance_calls;
+  }
+  return num_edges;
+}
+
+}  // namespace disc

@@ -1,0 +1,85 @@
+// LshBackend: multi-probe locality-sensitive hashing over Minkowski metrics.
+//
+// The approximation layer the paper's NP-hardness result (§3) motivates:
+// the exact r-neighborhood computation is what binds time and memory past a
+// few tens of thousands of points, so this backend trades bounded recall
+// for near-linear builds. The scheme is the classic p-stable one (Datar et
+// al. 2004) with multi-probe extensions (Lv et al. 2007):
+//
+//   * Per table t of `tables`: `hashes` random Gaussian directions a_i and
+//     offsets b_i in [0, w); h_i(x) = floor((a_i . x + b_i) / w) with bucket
+//     width w = width_factor * r. A point's bucket is the tuple of its
+//     `hashes` slot indexes, mixed into one 64-bit key.
+//   * A query probes its home bucket plus `probes` perturbed buckets
+//     (single-projection +/-1 shifts in fixed order), collects candidates
+//     across all tables, and verifies each with an EXACT metric distance.
+//
+// Verification makes reported sets a subset of the true N_r(p) — no false
+// positives, so "recall against the exact oracle" is the one quality number
+// (measured in src/eval/neighbor_eval.h, gated in CI). Everything is
+// deterministic: directions and offsets come from util/Random seeded by
+// LshOptions::seed, so equal seeds yield equal graphs on every platform.
+//
+// The per-radius hash index is built lazily on first use (bucket width
+// depends on r), immutable afterwards; concurrent queries are safe.
+// Accounting: one range query per query, one node access per probed bucket,
+// one distance computation per verified candidate.
+
+#ifndef DISC_NEIGHBOR_LSH_BACKEND_H_
+#define DISC_NEIGHBOR_LSH_BACKEND_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "neighbor/backend.h"
+
+namespace disc {
+
+class LshBackend final : public NeighborBackend {
+ public:
+  LshBackend(const Dataset& dataset, const DistanceMetric& metric,
+             LshOptions options)
+      : NeighborBackend(dataset, metric), options_(options) {}
+
+  NeighborBackendKind kind() const override { return NeighborBackendKind::kLsh; }
+
+  const LshOptions& options() const { return options_; }
+
+  /// Default fan-out build, except the radius index is built once up front
+  /// so workers never contend on the lazy-construction lock.
+  Status BuildNeighborhoods(double radius, ThreadPool* pool,
+                            AdjacencyLists* adjacency,
+                            size_t* num_edges) const override;
+
+ protected:
+  void DoRangeQuery(const Point& center, ObjectId exclude, double radius,
+                    std::vector<ObjectId>* out,
+                    AccessStats* sink) const override;
+
+ private:
+  struct Table {
+    /// hashes x dim Gaussian projection directions, then hashes offsets.
+    std::vector<std::vector<double>> directions;
+    std::vector<double> offsets;
+    std::unordered_map<uint64_t, std::vector<ObjectId>> buckets;
+  };
+  struct Index {
+    double width = 0;
+    std::vector<Table> tables;
+  };
+
+  /// Returns the index for this radius, building it on first use. The
+  /// returned object is immutable; the shared mutex guards only the map.
+  const Index& EnsureIndex(double radius) const;
+
+  const LshOptions options_;
+  mutable std::shared_mutex mutex_;
+  mutable std::map<double, std::unique_ptr<Index>> indexes_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_NEIGHBOR_LSH_BACKEND_H_

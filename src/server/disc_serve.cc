@@ -12,7 +12,9 @@
 //   disc_serve [--host=127.0.0.1] [--port=4817] [--workers=4]
 //              [--max-engines=8] [--threads=0] [--prewarm=<ds>[,<ds>...]]
 //              [--loop=event|blocking] [--max-pending=64]
-//              [--max-inflight=0] [--help]
+//              [--max-inflight=0]
+//              [--neighbor-backend=exact|grid|lsh|sharded|lsh-sharded]
+//              [--max-exact-points=262144] [--help]
 //
 // --port=0 picks an ephemeral port. The daemon prints exactly one line
 //   disc_serve listening on <host>:<port>
@@ -42,8 +44,20 @@ constexpr const char* kUsage =
     "                  [--max-engines=<count>] [--threads=<count>]\n"
     "                  [--prewarm=<dataset>[,<dataset>...]]\n"
     "                  [--loop=event|blocking] [--max-pending=<count>]\n"
-    "                  [--max-inflight=<count>] [--help]\n"
+    "                  [--max-inflight=<count>]\n"
+    "                  [--neighbor-backend=exact|grid|lsh|sharded|"
+    "lsh-sharded]\n"
+    "                  [--max-exact-points=<count>] [--help]\n"
     "\n"
+    "--neighbor-backend: default neighbor engine for OPENs that carry no\n"
+    "           backend= key. 'exact' (default) is the historical M-tree\n"
+    "           session engine; the others run in graph mode (no ZOOM) —\n"
+    "           'lsh' / 'lsh-sharded' are approximate and open\n"
+    "           million-point workloads.\n"
+    "--max-exact-points: refuse exact-family OPENs (exact, grid without\n"
+    "           its accelerator) above this many points instead of risking\n"
+    "           an O(n^2) scan (0 = unlimited; default 262144). The\n"
+    "           sharded/lsh backends are exempt.\n"
     "--threads: engine worker threads for parallel read-only passes\n"
     "           (0 = one per hardware thread, 1 = serial; results are\n"
     "           byte-identical either way).\n"
@@ -66,6 +80,7 @@ constexpr const char* kUsage =
     "       [n=<count>] [dim=<dims>] [seed=<seed>]\n"
     "       [metric=euclidean|manhattan|chebyshev|hamming]\n"
     "       [build=insert|bulk]\n"
+    "       [backend=exact|grid|lsh|sharded|lsh-sharded]\n"
     "  DIVERSIFY r=<radius> [algo=basic|greedy|greedy-white|lazy-grey|\n"
     "            lazy-white|greedy-c|fast-c] [pruned=<bool>]\n"
     "            [quality=<bool>] [adapt=<bool>]\n"
@@ -88,7 +103,8 @@ int main(int argc, char** argv) {
   auto flags_or = ParseFlagArgs(
       argc, argv,
       {"host", "port", "workers", "max-engines", "threads", "prewarm",
-       "loop", "max-pending", "max-inflight", "help"});
+       "loop", "max-pending", "max-inflight", "neighbor-backend",
+       "max-exact-points", "help"});
   if (!flags_or.ok()) {
     std::fprintf(stderr, "%s\n%s", flags_or.status().message().c_str(),
                  kUsage);
@@ -108,9 +124,12 @@ int main(int argc, char** argv) {
   auto threads = FlagUint(flags, "threads", options.engine_threads);
   auto max_pending = FlagUint(flags, "max-pending", options.max_pending);
   auto max_inflight = FlagUint(flags, "max-inflight", options.max_inflight);
+  auto max_exact = FlagUint(flags, "max-exact-points",
+                            options.max_exact_points);
   for (const Status& status :
        {port.status(), workers.status(), max_engines.status(),
-        threads.status(), max_pending.status(), max_inflight.status()}) {
+        threads.status(), max_pending.status(), max_inflight.status(),
+        max_exact.status()}) {
     if (!status.ok()) Fail(status.ToString());
   }
   options.host = FlagOr(flags, "host", options.host);
@@ -120,6 +139,16 @@ int main(int argc, char** argv) {
   options.engine_threads = *threads;
   options.max_pending = *max_pending;
   options.max_inflight = *max_inflight;
+  options.max_exact_points = *max_exact;
+  if (flags.count("neighbor-backend")) {
+    auto backend = ParseNeighborBackendKind(flags.at("neighbor-backend"));
+    if (!backend.ok()) {
+      std::fprintf(stderr, "%s\n%s", backend.status().message().c_str(),
+                   kUsage);
+      return 2;
+    }
+    options.default_backend = *backend;
+  }
   const std::string loop = FlagOr(flags, "loop", "event");
   if (loop == "event") {
     options.loop = ServeLoop::kEventLoop;

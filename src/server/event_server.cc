@@ -827,7 +827,9 @@ class EventLoopServer final : public DiscServer {
   }
 
   void ExecuteJob(Job& job) {
-    const CommandContext ctx{&manager_, options_.engine_threads};
+    const CommandContext ctx{&manager_, options_.engine_threads,
+                             options_.default_backend,
+                             options_.max_exact_points};
     Completion completion;
     completion.conn_id = job.conn_id;
     completion.counts = job.kind != Job::Kind::kAdopt;

@@ -76,6 +76,10 @@ std::string ExecuteOpen(const CommandContext& ctx, const Request& request,
   Result<OpenParams> params = DecodeOpen(request);
   if (!params.ok()) return SerializeError(cmd, params.status());
   params->config.threads = ctx.engine_threads;
+  if (!params->backend_specified) {
+    params->config.neighbor.kind = ctx.default_backend;
+  }
+  params->config.neighbor.max_exact_points = ctx.max_exact_points;
   Result<EngineLease> acquired = ctx.manager->Acquire(params->config);
   if (!acquired.ok()) return SerializeError(cmd, acquired.status());
   *lease = std::move(acquired).value();
@@ -95,6 +99,12 @@ Result<ComputePlan> PlanCompute(const Request& request, EngineLease& lease) {
     // a cache hit beats adaptation, so adapt is moot there too.
     if (!lease.engine().HasCachedDiversify(plan.diversify)) {
       plan.adapt_family = AdaptFamilyKey(lease.key(), plan.diversify);
+      // Graph-mode engines (any non-exact backend) hold no tree color
+      // state, so their outcomes can neither seed nor receive §5.2 radius
+      // adaptation; they still coalesce by exact flight key.
+      if (lease.engine().Snapshot().backend != NeighborBackendKind::kExact) {
+        plan.adapt_family.clear();
+      }
       if (plan.adapt_family.empty()) plan.adapt = false;
       plan.flight_key =
           DiversifyFlightKey(lease.key(), plan.diversify, plan.adapt);

@@ -28,6 +28,15 @@ struct CommandContext {
   /// (the knob is the operator's, not the client's: it changes wall time
   /// only, so it stays out of the wire vocabulary and the pool key).
   size_t engine_threads = 0;
+  /// ServerOptions::default_backend: the neighbor backend applied when the
+  /// client's OPEN carries no backend= key. Unlike engine_threads this
+  /// changes results, so it IS in the wire vocabulary and the pool key.
+  NeighborBackendKind default_backend = NeighborBackendKind::kExact;
+  /// ServerOptions::max_exact_points, stamped onto every OPEN-built config:
+  /// exact-family backends over larger datasets are refused with
+  /// InvalidArgument instead of risking an O(n^2) scan or an oversized
+  /// index taking the daemon down. 0 = unlimited.
+  size_t max_exact_points = 0;
 };
 
 /// OPEN: decodes, applies the operator thread knob, acquires a lease. On

@@ -29,7 +29,7 @@ struct VerbInfo {
 constexpr VerbInfo kVerbs[] = {
     {Verb::kOpen,
      "OPEN",
-     {"dataset", "metric", "build", "n", "dim", "seed", nullptr},
+     {"dataset", "metric", "build", "n", "dim", "seed", "backend", nullptr},
      "dataset"},
     {Verb::kDiversify,
      "DIVERSIFY",
@@ -204,6 +204,12 @@ Result<OpenParams> DecodeOpen(const Request& request) {
       return Status::InvalidArgument("unknown build strategy '" + *text +
                                      "' (want insert or bulk)");
     }
+  }
+
+  if (const std::string* text = FindArg(request, "backend")) {
+    DISC_ASSIGN_OR_RETURN(params.config.neighbor.kind,
+                          ParseNeighborBackendKind(*text));
+    params.backend_specified = true;
   }
   return params;
 }
@@ -443,6 +449,11 @@ std::string SerializeOpen(const EngineSnapshot& snapshot,
   writer.Field("dim", static_cast<uint64_t>(snapshot.dim));
   writer.Field("metric", MetricKindToString(snapshot.metric));
   writer.Field("build", BuildStrategyToString(snapshot.build_strategy));
+  // Emitted only off the default so every pre-backend transcript stays
+  // byte-identical.
+  if (snapshot.backend != NeighborBackendKind::kExact) {
+    writer.Field("backend", NeighborBackendKindToString(snapshot.backend));
+  }
   writer.Field("reused", reused);
   writer.Field("sessions_served",
                static_cast<uint64_t>(snapshot.sessions_served));
@@ -457,6 +468,9 @@ std::string SerializeSnapshot(const EngineSnapshot& snapshot) {
   writer.Field("dim", static_cast<uint64_t>(snapshot.dim));
   writer.Field("metric", MetricKindToString(snapshot.metric));
   writer.Field("build", BuildStrategyToString(snapshot.build_strategy));
+  if (snapshot.backend != NeighborBackendKind::kExact) {
+    writer.Field("backend", NeighborBackendKindToString(snapshot.backend));
+  }
   writer.Field("tree_nodes", static_cast<uint64_t>(snapshot.tree_nodes));
   writer.Field("tree_height", static_cast<uint64_t>(snapshot.tree_height));
   writer.Field("has_solution", snapshot.has_solution);

@@ -71,6 +71,10 @@ Result<Request> ParseRequest(const std::string& line);
 struct OpenParams {
   EngineConfig config;
   std::string dataset_text;
+  /// True when the client sent backend= explicitly. When false the serving
+  /// layer applies its operator default (disc_serve --neighbor-backend=)
+  /// before acquiring the lease.
+  bool backend_specified = false;
 };
 
 /// OPEN's default generator knobs, shared by DecodeOpen and by disc_serve's

@@ -46,6 +46,12 @@ Status DiscServer::Listen() {
     std::vector<EngineConfig> prewarm = options_.prewarm;
     for (EngineConfig& config : prewarm) {
       config.threads = options_.engine_threads;
+      // Same backend defaulting as ExecuteOpen, or the prewarmed pool key
+      // would never match a default-argument OPEN.
+      if (config.neighbor.kind == NeighborBackendKind::kExact) {
+        config.neighbor.kind = options_.default_backend;
+      }
+      config.neighbor.max_exact_points = options_.max_exact_points;
     }
     DISC_RETURN_NOT_OK(manager_.Prewarm(prewarm, /*threads=*/0));
   }
@@ -146,7 +152,9 @@ class BlockingServer final : public DiscServer {
 
   void HandleConnection(int fd) {
     LineChannel channel(fd);
-    const CommandContext ctx{&manager_, options_.engine_threads};
+    const CommandContext ctx{&manager_, options_.engine_threads,
+                             options_.default_backend,
+                             options_.max_exact_points};
     EngineLease lease;  // released (engine pooled) when the connection ends
     while (true) {
       Result<std::string> line = channel.ReadLine();

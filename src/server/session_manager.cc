@@ -37,6 +37,14 @@ std::string EnginePoolKey(const EngineConfig& config) {
   key += MetricKindToString(config.metric);
   key += "|";
   key += BuildStrategyToString(config.tree.build.strategy);
+  // The backend is part of the identity only off the default, so every
+  // pre-backend pool key is unchanged. Approximate engines must never be
+  // matched with exact ones (their memoized solutions differ), hence the
+  // full knob-carrying cache key, not just the kind name.
+  if (config.neighbor.kind != NeighborBackendKind::kExact) {
+    key += "|";
+    key += NeighborBackendCacheKey(config.neighbor);
+  }
   return key;
 }
 
@@ -67,7 +75,6 @@ Result<EngineLease> SessionManager::Acquire(const EngineConfig& config) {
   std::unique_ptr<DiscEngine> pooled;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.leases_acquired;
     for (auto it = idle_.begin(); !key.empty() && it != idle_.end(); ++it) {
       if (it->key == key) {
         pooled = std::move(it->engine);
@@ -77,6 +84,10 @@ Result<EngineLease> SessionManager::Acquire(const EngineConfig& config) {
         break;
       }
     }
+    // Counted only when a lease is actually handed out: a refused OPEN
+    // (bad config, guardrail cap) must leave the acquire/release balance
+    // intact — tests assert leases_released == leases_acquired.
+    if (pooled != nullptr) ++stats_.leases_acquired;
   }
   if (pooled != nullptr) {
     // NewSession (an O(n) color reset) runs outside the manager-wide
@@ -93,6 +104,7 @@ Result<EngineLease> SessionManager::Acquire(const EngineConfig& config) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.engines_created;
+    ++stats_.leases_acquired;
   }
   return EngineLease(this, std::move(key), std::move(engine),
                      /*reused=*/false);

@@ -147,6 +147,51 @@ TEST(DiscCliSmokeTest, RejectsUnknownAlgorithm) {
   EXPECT_NE(r.output.find("unknown algorithm"), std::string::npos) << r.output;
 }
 
+TEST(DiscCliSmokeTest, LshBackendYieldsAVerifiedSubset) {
+  CommandResult r = RunCli(
+      "--dataset=clustered --n=500 --dim=2 --seed=7 --radius=0.1 "
+      "--neighbor-backend=lsh --algorithm=greedy");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("OK"), std::string::npos) << r.output;
+  long size = ExtractCount(r.output, "solution size");
+  EXPECT_GT(size, 0) << r.output;
+}
+
+TEST(DiscCliSmokeTest, ShardedBackendMatchesTheExactSolutionSize) {
+  const std::string workload = "--dataset=clustered --n=400 --dim=2 --seed=7 "
+                               "--radius=0.1 --algorithm=greedy";
+  CommandResult exact = RunCli(workload);
+  CommandResult sharded = RunCli(workload + " --neighbor-backend=sharded");
+  ASSERT_EQ(exact.exit_code, 0) << exact.output;
+  ASSERT_EQ(sharded.exit_code, 0) << sharded.output;
+  // Exact shards reproduce the neighborhood structure exactly, so the two
+  // engine modes report the same (verified) solution size.
+  EXPECT_EQ(ExtractCount(exact.output, "solution size"),
+            ExtractCount(sharded.output, "solution size"))
+      << sharded.output;
+}
+
+TEST(DiscCliSmokeTest, RejectsUnknownNeighborBackendWithUsage) {
+  // The same contract as an unknown flag: usage error, exit 2, never a
+  // silent fall-back to the default backend.
+  CommandResult r =
+      RunCli("--dataset=uniform --n=50 --neighbor-backend=bogus");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown neighbor backend 'bogus'"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST(DiscCliSmokeTest, ZoomWithGraphModeBackendFailsCleanly) {
+  CommandResult r = RunCli(
+      "--dataset=clustered --n=300 --dim=2 --seed=7 --radius=0.1 "
+      "--neighbor-backend=lsh --zoom-to=0.05");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("FailedPrecondition"), std::string::npos)
+      << r.output;
+}
+
 TEST(DiscCliSmokeTest, RejectsUnknownFlagWithUsage) {
   CommandResult r = RunCli("--dataset=uniform --n=50 --no-such-flag=1");
   EXPECT_EQ(r.exit_code, 2);

@@ -425,6 +425,42 @@ TEST(ServerFaultTest, OverloadIsAnsweredWithBusyNotABacklog) {
   ExpectNoLeakedLeases(*server);
 }
 
+TEST(ServerFaultTest, ExactOpenAboveTheCapIsRefusedWithoutTakingTheDaemon) {
+  ServerOptions options;
+  options.max_exact_points = 300;
+  auto server = StartFaultServer(std::move(options));
+  LineClient client = ConnectTo(*server);
+
+  // The oversized exact OPEN is refused with an error line — never an
+  // unbounded index build or an O(n^2) fallback.
+  std::string refused = MustRoundtrip(
+      client, "OPEN dataset=clustered n=400 dim=2 seed=9");
+  EXPECT_NE(refused.find("\"ok\":false"), std::string::npos) << refused;
+  EXPECT_NE(refused.find("\"code\":\"InvalidArgument\""), std::string::npos)
+      << refused;
+  EXPECT_NE(refused.find("lsh-sharded"), std::string::npos) << refused;
+
+  // The daemon is alive and the connection usable: the sharded/LSH kinds
+  // are exempt from the cap, so the same dataset opens in graph mode.
+  std::string opened = MustRoundtrip(
+      client,
+      "OPEN dataset=clustered n=400 dim=2 seed=9 backend=lsh-sharded");
+  EXPECT_NE(opened.find("\"ok\":true"), std::string::npos) << opened;
+  EXPECT_NE(opened.find("\"backend\":\"lsh-sharded\""), std::string::npos)
+      << opened;
+  EXPECT_NE(MustRoundtrip(client, "DIVERSIFY r=0.08").find("\"ok\":true"),
+            std::string::npos);
+  MustRoundtrip(client, "CLOSE");
+
+  // Under-cap exact OPENs are untouched by the guardrail.
+  EXPECT_NE(MustRoundtrip(client,
+                          "OPEN dataset=clustered n=200 dim=2 seed=9")
+                .find("\"ok\":true"),
+            std::string::npos);
+  MustRoundtrip(client, "CLOSE");
+  ExpectNoLeakedLeases(*server);
+}
+
 TEST(ServerFaultTest, ShutdownDrainsTheInFlightComputation) {
   auto server = StartFaultServer(ServerOptions{});
   LineClient client = ConnectTo(*server);
