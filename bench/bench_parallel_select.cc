@@ -1,0 +1,230 @@
+// Speculative parallel greedy selection: the threads-matrix benchmark.
+//
+// CI runs this binary twice — DISC_THREADS=1 and DISC_THREADS=4 — and
+// gates two properties across the legs (bench/diff_bench_json.py):
+//   * determinism: every counter reported here (solution sizes, node
+//     accesses, speculation commit/discard counters, tree checksums) must
+//     be bit-identical across legs. The speculation width is pinned to 4 on
+//     both legs precisely so the counters are leg-independent: the 1-thread
+//     leg evaluates the same batches sequentially.
+//   * speedup: the 4-thread leg must win greedy selection wall time by
+//     >= 1.3x at n >= 10k (the Select/Greedy row; the other algorithm rows
+//     are reported for trend watching but not hard-gated).
+//
+// The benchmarks cover the selection loops rewired onto core/speculation.h
+// (speculative candidate evaluation + parallel maintenance fan-outs), the
+// parallel M-tree bulk load, and the A/B rows for the greedy zoom-in
+// observe-all variant (core/zoom.h) that decide whether observing every
+// neighbor during selection beats recomputing closest-black distances
+// before each chained zoom-in.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/zoom.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
+
+namespace disc {
+namespace bench {
+namespace {
+
+// Pinned on both legs so speculation counters are cross-leg identical.
+constexpr size_t kSpeculationWidth = 4;
+
+// The matrix leg this process runs: worker threads for every parallel pass.
+size_t BenchThreads() {
+  static const size_t threads = [] {
+    const char* env = std::getenv("DISC_THREADS");
+    if (env == nullptr) return size_t{1};
+    const long parsed = std::strtol(env, nullptr, 10);
+    return parsed > 0 ? static_cast<size_t>(parsed) : size_t{1};
+  }();
+  return threads;
+}
+
+// One pool for the whole binary (workers persist across benchmarks, like a
+// served engine's pool). Null at 1 thread so the serial paths run.
+ThreadPool* BenchPool() {
+  static ThreadPool* pool =
+      BenchThreads() > 1 ? new ThreadPool(BenchThreads()) : nullptr;
+  return pool;
+}
+
+// The leg's thread count is deliberately NOT a table column (see
+// bench_parallel_build.cc: cross-leg gates key rows by label).
+TableCollector* SelectTable() {
+  static TableCollector table(
+      "Speculative greedy selection (threads from DISC_THREADS)",
+      "parallel_select.csv",
+      {"pass", "n", "select_ms", "solution", "node_accesses", "committed",
+       "discarded"});
+  return &table;
+}
+
+uint64_t SolutionChecksum(const std::vector<ObjectId>& solution) {
+  uint64_t checksum = 0;
+  for (size_t i = 0; i < solution.size(); ++i) {
+    checksum += static_cast<uint64_t>(solution[i]) * (i + 1);
+  }
+  return checksum;
+}
+
+// Greedy-family selection at n=10k with construction-time counts: the
+// measured region is exactly the selection loop (speculation + maintenance
+// fan-outs), the paper's Figures 7-9 cost center. `speculate` distinguishes
+// the gated parallel row (width 4) from the serial-reference row (width 1,
+// reported on both legs for the overhead trend).
+void BM_Select(benchmark::State& state, Algorithm algorithm, size_t n,
+               size_t speculate) {
+  const Dataset& dataset = Clustered(n, 2);
+  const double radius = 0.03;
+  TreeWithCounts cached = CachedTreeWithCounts(dataset, Euclidean(), radius);
+  AlgorithmRunOptions options;
+  options.speculate = speculate;
+  options.pool = speculate > 1 ? BenchPool() : nullptr;
+  options.initial_counts = cached.counts;
+  DiscResult result;
+  double ms = 0.0;
+  for (auto _ : state) {
+    cached.tree->ResetStats();
+    Stopwatch watch;
+    result = RunAlgorithm(cached.tree, algorithm, radius, options);
+    ms = watch.ElapsedMillis();
+    benchmark::DoNotOptimize(result.solution.data());
+  }
+  state.counters["solution_size"] = static_cast<double>(result.size());
+  state.counters["solution_checksum"] =
+      static_cast<double>(SolutionChecksum(result.solution));
+  state.counters["node_accesses"] =
+      static_cast<double>(result.stats.node_accesses);
+  state.counters["distance_computations"] =
+      static_cast<double>(result.stats.distance_computations);
+  state.counters["spec_batches"] =
+      static_cast<double>(result.speculation.batches);
+  state.counters["spec_committed"] =
+      static_cast<double>(result.speculation.committed);
+  state.counters["spec_discarded"] =
+      static_cast<double>(result.speculation.discarded);
+  const std::string pass = std::string(AlgorithmToString(algorithm)) +
+                           (speculate > 1 ? "" : "-serial");
+  SelectTable()->AddRow({pass, std::to_string(n), FormatDouble(ms, 4),
+                         std::to_string(result.size()),
+                         std::to_string(result.stats.node_accesses),
+                         std::to_string(result.speculation.committed),
+                         std::to_string(result.speculation.discarded)});
+}
+
+// Parallel bulk load: the whole Build through the pool. The tree must be
+// byte-identical to the serial build (num_nodes + order-sensitive leaf
+// checksum pin it across legs).
+void BM_BulkLoad(benchmark::State& state, size_t n) {
+  const Dataset& dataset = Clustered(n, 2);
+  MTreeOptions options;
+  options.build.strategy = BuildStrategy::kBulkLoad;
+  double ms = 0.0;
+  uint64_t num_nodes = 0;
+  uint64_t leaf_checksum = 0;
+  for (auto _ : state) {
+    MTree tree(dataset, Euclidean(), options);
+    Stopwatch watch;
+    bool ok = tree.Build(BenchPool()).ok();
+    ms = watch.ElapsedMillis();
+    benchmark::DoNotOptimize(ok);
+    num_nodes = tree.num_nodes();
+    leaf_checksum = SolutionChecksum(tree.LeafOrder());
+  }
+  state.counters["num_nodes"] = static_cast<double>(num_nodes);
+  state.counters["leaf_checksum"] = static_cast<double>(leaf_checksum);
+  SelectTable()->AddRow({"bulk-load", std::to_string(n), FormatDouble(ms, 4),
+                         "0", std::to_string(num_nodes), "0", "0"});
+}
+
+// The greedy zoom-in quirk, A/B. Both rows run the same chain — pruned
+// Greedy-DisC at r=0.05, then greedy zoom-ins to 0.03 and 0.02 — and must
+// end in the same solution (checksummed). Row A pays
+// RecomputeClosestBlackDistances before the second zoom-in (the engine's
+// current policy after a greedy pass); row B widens the selection queries
+// (observe_all) so the second recompute is skipped. Whichever chain is
+// cheaper decides the engine default; both run serial (zooming is not a
+// parallel pass), so the rows are identical across legs and not
+// speedup-gated.
+void BM_ZoomChain(benchmark::State& state, size_t n, bool observe_all) {
+  const Dataset& dataset = Clustered(n, 2);
+  const double r0 = 0.05, r1 = 0.03, r2 = 0.02;
+  MTree* tree = CachedTree(dataset, Euclidean());
+  RunAlgorithm(tree, Algorithm::kGreedy, r0, {});
+  const MTree::ColorState seeded = tree->SaveColorState();
+  DiscResult final_zoom;
+  double ms = 0.0;
+  for (auto _ : state) {
+    bool ok = tree->RestoreColorState(seeded).ok();
+    benchmark::DoNotOptimize(ok);
+    tree->ResetStats();
+    Stopwatch watch;
+    // The pruned run left stale distances; the first zoom-in always pays.
+    tree->RecomputeClosestBlackDistances(r0);
+    ZoomIn(tree, r1, /*greedy=*/true, observe_all);
+    if (!observe_all) tree->RecomputeClosestBlackDistances(r1);
+    final_zoom = ZoomIn(tree, r2, /*greedy=*/true, observe_all);
+    ms = watch.ElapsedMillis();
+  }
+  state.counters["solution_size"] = static_cast<double>(final_zoom.size());
+  state.counters["solution_checksum"] =
+      static_cast<double>(SolutionChecksum(final_zoom.solution));
+  state.counters["node_accesses"] =
+      static_cast<double>(tree->stats().node_accesses);
+  SelectTable()->AddRow(
+      {observe_all ? "zoom-observe-all" : "zoom-recompute", std::to_string(n),
+       FormatDouble(ms, 4), std::to_string(final_zoom.size()),
+       std::to_string(tree->stats().node_accesses), "0", "0"});
+}
+
+[[maybe_unused]] const bool registered = [] {
+  const size_t kN = 10000;
+  const Algorithm kAlgos[] = {Algorithm::kGreedy, Algorithm::kLazyWhite,
+                              Algorithm::kGreedyC, Algorithm::kFastC};
+  for (Algorithm algorithm : kAlgos) {
+    for (size_t speculate : {kSpeculationWidth, size_t{1}}) {
+      std::string bench_name = "Select/" +
+                               std::string(AlgorithmToString(algorithm)) +
+                               (speculate > 1 ? "" : "-serial") +
+                               "/n=" + std::to_string(kN);
+      benchmark::RegisterBenchmark(
+          bench_name.c_str(),
+          [algorithm, speculate](benchmark::State& state) {
+            BM_Select(state, algorithm, kN, speculate);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::RegisterBenchmark(
+      ("BulkLoad/n=" + std::to_string(kN)).c_str(),
+      [](benchmark::State& state) { BM_BulkLoad(state, kN); })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  for (bool observe_all : {false, true}) {
+    std::string bench_name = std::string("ZoomChain/") +
+                             (observe_all ? "observe-all" : "recompute") +
+                             "/n=" + std::to_string(kN);
+    benchmark::RegisterBenchmark(
+        bench_name.c_str(),
+        [observe_all](benchmark::State& state) {
+          BM_ZoomChain(state, kN, observe_all);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  return true;
+}();
+
+}  // namespace
+}  // namespace bench
+}  // namespace disc
+
+DISC_BENCH_MAIN()

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "core/speculation.h"
 #include "mtree/mtree.h"
 #include "util/status.h"
 
@@ -79,10 +80,14 @@ bool IsDiscFamily(Algorithm algorithm);
 bool AlgorithmUsesNeighborCounts(Algorithm algorithm);
 
 /// The output of a diversification run: the selected objects in selection
-/// order plus the index work the run consumed.
+/// order plus the index work the run consumed. `speculation` reports the
+/// selection-loop speculation outcome (all-zero for non-greedy algorithms
+/// and for width <= 1); it is diagnostics only — never part of the stats,
+/// the wire protocol, or any cache identity.
 struct DiscResult {
   std::vector<ObjectId> solution;
   AccessStats stats;
+  SpeculationStats speculation;
   double wall_ms = 0.0;
 
   size_t size() const { return solution.size(); }
@@ -99,11 +104,19 @@ struct GreedyDiscOptions {
   /// (either build strategy; the counts are identical for both). When null,
   /// a post-build counting pass runs (and is charged to stats).
   const std::vector<uint32_t>* initial_counts = nullptr;
-  /// Fans the initial counting pass (only taken when initial_counts is
-  /// null) out across this pool; the counts and charged stats are exactly
-  /// the serial pass's (see MTree::ComputeNeighborCountsPostBuild). The
-  /// selection loop itself stays serial — it mutates tree color state.
+  /// Parallelizes the run across this pool: the initial counting pass (only
+  /// taken when initial_counts is null), speculative candidate evaluation
+  /// in the selection loop, and the per-step neighborhood-maintenance
+  /// queries (committed in canonical order). Solutions, stats, and the
+  /// tree's end state are byte-identical to a serial run for every thread
+  /// count (core/speculation.h).
   ThreadPool* pool = nullptr;
+  /// Selection-speculation batch width: 0 resolves to the pool's thread
+  /// count (1 without a pool — the exact pre-speculation code path); an
+  /// explicit width forces that batch size even without a pool, which
+  /// evaluates the batch sequentially with identical commit/discard
+  /// counters (ResolveSpeculationWidth).
+  size_t speculate = 0;
 };
 
 /// Basic-DisC. `pruned` additionally skips all-grey leaves during the scan.
@@ -118,25 +131,29 @@ DiscResult GreedyDisc(MTree* tree, double radius,
 /// `initial_counts` (optional) supplies neighborhood sizes computed by
 /// MTree::BuildWithNeighborCounts; otherwise a post-build pass runs (fanned
 /// out across `pool` when given) and is charged to the result's stats.
+/// `speculate` as in GreedyDiscOptions.
 DiscResult GreedyC(MTree* tree, double radius,
                    const std::vector<uint32_t>* initial_counts = nullptr,
-                   ThreadPool* pool = nullptr);
+                   ThreadPool* pool = nullptr, size_t speculate = 0);
 
 /// Fast-C: the cheaper Greedy-C using grey-stopping bottom-up queries and
 /// lazy candidate re-validation instead of exact count maintenance.
 DiscResult FastC(MTree* tree, double radius,
                  const std::vector<uint32_t>* initial_counts = nullptr,
-                 ThreadPool* pool = nullptr);
+                 ThreadPool* pool = nullptr, size_t speculate = 0);
 
 /// Options for RunAlgorithm, the knobs shared by every algorithm. `pruned`
 /// is ignored by Greedy-C / Fast-C (they are never pruned; see GreedyC).
-/// `pool` parallelizes only the initial neighborhood-count pass (taken when
-/// `initial_counts` is null and the algorithm uses counts); results and
-/// stats totals are identical to a serial run for every thread count.
+/// `pool` parallelizes the counting pass, the speculative selection
+/// queries, and the maintenance fan-outs of the greedy algorithms;
+/// solutions and stats totals are identical to a serial run for every
+/// thread count. `speculate` as in GreedyDiscOptions (Basic-DisC has no
+/// selection heap and ignores it).
 struct AlgorithmRunOptions {
   bool pruned = true;
   const std::vector<uint32_t>* initial_counts = nullptr;
   ThreadPool* pool = nullptr;
+  size_t speculate = 0;
 };
 
 /// Runs any Algorithm against the tree — the single dispatch point used by

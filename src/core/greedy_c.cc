@@ -15,7 +15,9 @@
 
 #include "core/disc_algorithms.h"
 #include "core/internal.h"
+#include "core/speculation.h"
 #include "util/indexed_heap.h"
+#include "util/parallel.h"
 
 namespace disc {
 
@@ -24,7 +26,7 @@ namespace {
 // Shared implementation; `fast` toggles the Fast-C query strategy.
 DiscResult CoverageGreedy(MTree* tree, double radius, bool fast,
                           const std::vector<uint32_t>* initial_counts,
-                          ThreadPool* pool) {
+                          ThreadPool* pool, size_t speculate) {
   internal::RunScope scope(tree);
   tree->ResetColors();
   const size_t n = tree->size();
@@ -49,27 +51,29 @@ DiscResult CoverageGreedy(MTree* tree, double radius, bool fast,
   // Selection queries re-measure a candidate's gain; Fast-C uses the
   // grey-stopping bottom-up search there, which exits almost immediately for
   // candidates whose region has gone grey. Greedy-C needs unfiltered queries
-  // because grey candidates' counts must stay exact.
-  auto query_select = [&](ObjectId center, std::vector<Neighbor>* out) {
-    out->clear();
-    if (fast) {
-      tree->RangeQueryBottomUp(center, radius, QueryFilter::kWhiteOnly,
-                               /*pruned=*/true, /*stop_at_grey=*/true, out);
-    } else {
-      tree->RangeQueryAround(center, radius, QueryFilter::kAll,
-                             /*pruned=*/false, out);
-    }
-  };
+  // because grey candidates' counts must stay exact. The speculator mirrors
+  // these queries for the heap's top candidates and commits cached results
+  // whose traces still validate (Greedy-C's are color-independent and never
+  // invalidate; Fast-C's grey-stopping climbs can).
+  const size_t width = ResolveSpeculationWidth(speculate, pool);
+  SelectionSpeculator speculator(
+      tree, radius, fast ? QueryFilter::kWhiteOnly : QueryFilter::kAll,
+      /*pruned=*/fast, fast ? SelectionSpeculator::QueryKind::kFastC
+                            : SelectionSpeculator::QueryKind::kGreedyC,
+      width, pool);
+  ThreadPool* fanout_pool =
+      (pool != nullptr && pool->threads() > 1) ? pool : nullptr;
 
   std::vector<ObjectId> solution;
   std::vector<Neighbor> found, update_found;
   std::vector<ObjectId> newly_grey;
   while (tree->white_count() > 0 && !heap.empty()) {
+    speculator.MaybePrefetch(heap);
     ObjectId pi = heap.PopTop();
     const bool was_white = tree->color(pi) == Color::kWhite;
 
     found.clear();
-    query_select(pi, &found);
+    speculator.Take(pi, &found);
     newly_grey.clear();
     for (const Neighbor& nb : found) {
       if (tree->color(nb.id) == Color::kWhite) newly_grey.push_back(nb.id);
@@ -114,36 +118,76 @@ DiscResult CoverageGreedy(MTree* tree, double radius, bool fast,
     // replaces it with a one-access look at pj's own leaf (most affected
     // candidates are leaf-mates, by M-tree locality) and lets the lazy
     // re-validation above absorb the remaining staleness: this is where its
-    // access savings come from.
-    for (ObjectId pj : newly_grey) {
-      if (heap.contains(pj)) heap.Adjust(pj, -1);
-      update_found.clear();
-      if (fast) {
-        tree->LeafMatesWithin(pj, radius, &update_found);
-      } else {
-        tree->RangeQueryAround(pj, radius, QueryFilter::kAll, /*pruned=*/false,
-                               &update_found);
+    // access savings come from. Colors and heap membership are fixed for the
+    // rest of this step, so the queries fan out read-only; the heap
+    // adjustments apply on the calling thread in newly-grey order.
+    if (fanout_pool == nullptr || newly_grey.size() <= 1) {
+      for (ObjectId pj : newly_grey) {
+        if (heap.contains(pj)) heap.Adjust(pj, -1);
+        update_found.clear();
+        if (fast) {
+          tree->LeafMatesWithin(pj, radius, &update_found);
+        } else {
+          tree->RangeQueryAround(pj, radius, QueryFilter::kAll,
+                                 /*pruned=*/false, &update_found);
+        }
+        for (const Neighbor& nb : update_found) {
+          if (heap.contains(nb.id)) heap.Adjust(nb.id, -1);
+        }
       }
-      for (const Neighbor& nb : update_found) {
-        if (heap.contains(nb.id)) heap.Adjust(nb.id, -1);
-      }
+    } else {
+      struct UpdateResult {
+        std::vector<Neighbor> found;
+        AccessStats cost;
+      };
+      size_t update_index = 0;
+      ParallelOrderedReduce<std::vector<UpdateResult>>(
+          fanout_pool, 0, newly_grey.size(), /*grain=*/1,
+          [&](size_t chunk_begin, size_t chunk_end) {
+            std::vector<UpdateResult> results(chunk_end - chunk_begin);
+            for (size_t j = chunk_begin; j < chunk_end; ++j) {
+              UpdateResult& r = results[j - chunk_begin];
+              MTree::ThreadStatsScope stats_scope(*tree, &r.cost);
+              if (fast) {
+                tree->LeafMatesWithin(newly_grey[j], radius, &r.found);
+              } else {
+                tree->RangeQueryAround(newly_grey[j], radius, QueryFilter::kAll,
+                                       /*pruned=*/false, &r.found);
+              }
+            }
+            return results;
+          },
+          [&](std::vector<UpdateResult>& results) {
+            for (UpdateResult& r : results) {
+              tree->ChargeStats(r.cost);
+              ObjectId pj = newly_grey[update_index++];
+              if (heap.contains(pj)) heap.Adjust(pj, -1);
+              for (const Neighbor& nb : r.found) {
+                if (heap.contains(nb.id)) heap.Adjust(nb.id, -1);
+              }
+            }
+          });
     }
   }
-  return scope.Finish(std::move(solution));
+  DiscResult result = scope.Finish(std::move(solution));
+  result.speculation = speculator.Finish();
+  return result;
 }
 
 }  // namespace
 
 DiscResult GreedyC(MTree* tree, double radius,
                    const std::vector<uint32_t>* initial_counts,
-                   ThreadPool* pool) {
-  return CoverageGreedy(tree, radius, /*fast=*/false, initial_counts, pool);
+                   ThreadPool* pool, size_t speculate) {
+  return CoverageGreedy(tree, radius, /*fast=*/false, initial_counts, pool,
+                        speculate);
 }
 
 DiscResult FastC(MTree* tree, double radius,
                  const std::vector<uint32_t>* initial_counts,
-                 ThreadPool* pool) {
-  return CoverageGreedy(tree, radius, /*fast=*/true, initial_counts, pool);
+                 ThreadPool* pool, size_t speculate) {
+  return CoverageGreedy(tree, radius, /*fast=*/true, initial_counts, pool,
+                        speculate);
 }
 
 }  // namespace disc

@@ -28,7 +28,7 @@ struct Region {
 // closest black representative is farther than the new (smaller) radius.
 // Returns only the *newly added* objects; callers merge with the kept ones.
 std::vector<ObjectId> ZoomInCore(MTree* tree, double r_new, bool greedy,
-                                 const Region& region) {
+                                 bool observe_all, const Region& region) {
   std::vector<ObjectId> added;
   std::vector<Neighbor> found, update_found;
 
@@ -79,15 +79,27 @@ std::vector<ObjectId> ZoomInCore(MTree* tree, double r_new, bool greedy,
     tree->SetColor(pi, Color::kBlack);
     added.push_back(pi);
 
+    // observe_all widens the selection query from pruned/white-only to
+    // unpruned/all-colors: same whites found (so the same selection
+    // sequence and the same heap maintenance), but already-grey neighbors
+    // of the new black also observe their exact distance instead of
+    // keeping an upper bound from some earlier black (see ZoomIn).
     found.clear();
-    tree->RangeQueryAround(pi, r_new, QueryFilter::kWhiteOnly, /*pruned=*/true,
-                           &found);
+    if (observe_all) {
+      tree->RangeQueryAround(pi, r_new, QueryFilter::kAll, /*pruned=*/false,
+                             &found);
+    } else {
+      tree->RangeQueryAround(pi, r_new, QueryFilter::kWhiteOnly,
+                             /*pruned=*/true, &found);
+    }
     newly_grey.clear();
     for (const Neighbor& nb : found) {
-      tree->SetColor(nb.id, Color::kGrey);
+      if (tree->color(nb.id) == Color::kWhite) {
+        tree->SetColor(nb.id, Color::kGrey);
+        newly_grey.push_back(nb.id);
+        if (heap.contains(nb.id)) heap.Remove(nb.id);
+      }
       tree->ObserveBlackNeighbor(nb.id, nb.dist);
-      newly_grey.push_back(nb.id);
-      if (heap.contains(nb.id)) heap.Remove(nb.id);
     }
     for (ObjectId pj : newly_grey) {
       update_found.clear();
@@ -305,12 +317,13 @@ const char* ZoomOutVariantToString(ZoomOutVariant variant) {
   return "unknown";
 }
 
-DiscResult ZoomIn(MTree* tree, double new_radius, bool greedy) {
+DiscResult ZoomIn(MTree* tree, double new_radius, bool greedy,
+                  bool observe_all) {
   internal::RunScope scope(tree);
   // S^r' keeps all of S^r (Lemma 5), then adds the re-exposed objects.
   std::vector<ObjectId> solution = tree->ObjectsWithColor(Color::kBlack);
   std::vector<ObjectId> added =
-      ZoomInCore(tree, new_radius, greedy, Region{});
+      ZoomInCore(tree, new_radius, greedy, observe_all, Region{});
   solution.insert(solution.end(), added.begin(), added.end());
   return scope.Finish(std::move(solution));
 }
@@ -346,7 +359,7 @@ DiscResult LocalZoom(MTree* tree, ObjectId center, double old_radius,
       if (region.contains(id)) solution.push_back(id);
     }
     std::vector<ObjectId> added =
-        ZoomInCore(tree, new_radius, greedy, region);
+        ZoomInCore(tree, new_radius, greedy, /*observe_all=*/false, region);
     solution.insert(solution.end(), added.begin(), added.end());
   } else {
     std::vector<ObjectId> region_solution = ZoomOutCore(

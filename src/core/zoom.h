@@ -54,7 +54,18 @@ const char* ZoomOutVariantToString(ZoomOutVariant variant);
 /// become candidates. `greedy` selects candidates by largest white
 /// neighborhood (Greedy-Zoom-In, Algorithm 2); otherwise leaf order
 /// (Zoom-In). Returns the full new solution.
-DiscResult ZoomIn(MTree* tree, double new_radius, bool greedy);
+///
+/// `observe_all` (greedy only; the non-greedy pass always observes all)
+/// replaces each selection's pruned white-only query with an unpruned
+/// all-colors query, so every neighbor of every added object observes its
+/// exact distance. The selection sequence is identical — the extra
+/// neighbors are grey or black and never candidates — but the pass leaves
+/// exact closest-black distances, letting a chained zoom-in skip
+/// MTree::RecomputeClosestBlackDistances at the cost of wider selection
+/// queries here. Whether that trade wins is workload-dependent; see
+/// bench_parallel_select.cc, which gates the engine default.
+DiscResult ZoomIn(MTree* tree, double new_radius, bool greedy,
+                  bool observe_all = false);
 
 /// Zooming-out (r' > old radius). First pass confirms or drops the old
 /// selection per `variant`; second pass covers any newly exposed areas

@@ -83,7 +83,7 @@ Result<std::unique_ptr<DiscEngine>> DiscEngine::Create(EngineConfig config) {
     engine->tree_ =
         std::make_unique<MTree>(engine->dataset_, *engine->metric_,
                                 config.tree);
-    DISC_RETURN_NOT_OK(engine->tree_->Build());
+    DISC_RETURN_NOT_OK(engine->tree_->Build(engine->pool()));
   } else {
     // Graph mode: the backend computes N_r(p); no tree is ever built (for
     // the sharded/LSH kinds the whole point is that one global index would
@@ -267,11 +267,13 @@ Result<DiversifyResponse> DiscEngine::Diversify(
   const AccessStats before = tree_->stats();
   AlgorithmRunOptions run_options;
   run_options.pruned = key.pruned;
+  // Counts come from the cache (parallel inside CountsForRadius); the pool
+  // additionally drives speculative candidate evaluation and the per-step
+  // maintenance fan-outs inside the greedy loops. Solutions and stats are
+  // byte-identical at any thread count (core/speculation.h), so the cache
+  // key stays thread-independent.
+  run_options.pool = pool();
   if (AlgorithmUsesNeighborCounts(request.algorithm)) {
-    // The parallel work happens here, inside CountsForRadius; the
-    // algorithm itself then never takes its internal counting fallback,
-    // so run_options.pool stays null — touching pool() on that path would
-    // only instantiate workers nothing uses.
     run_options.initial_counts = &CountsForRadius(request.radius);
   }
   DiscResult run =
@@ -455,7 +457,14 @@ Result<DiversifyResponse> DiscEngine::Zoom(const ZoomRequest& request) {
     run = LocalZoom(tree_.get(), *request.center, session_.radius,
                     request.radius, request.greedy);
   } else if (request.radius < session_.radius) {
-    run = ZoomIn(tree_.get(), request.radius, request.greedy);
+    // observe_all: the greedy pass's selection queries observe every
+    // neighbor, leaving exact closest-black distances — a chained zoom-in
+    // then skips RecomputeClosestBlackDistances entirely. Benchmarked
+    // cheaper than the recompute path (bench_parallel_select.cc ZoomChain
+    // rows: fewer node accesses and less wall time), so it is the engine
+    // default; the selection sequence is unchanged either way.
+    run = ZoomIn(tree_.get(), request.radius, request.greedy,
+                 /*observe_all=*/request.greedy);
   } else {
     run = ZoomOut(tree_.get(), request.radius, request.zoom_out_variant);
   }
@@ -492,13 +501,15 @@ Result<DiversifyResponse> DiscEngine::Zoom(const ZoomRequest& request) {
         "a local zoom left a mixed-radius solution; run Diversify to start "
         "a new adaptation chain";
   } else {
-    // The non-greedy passes leave exact closest-black distances; the
-    // greedy ones leave upper bounds that a later zoom-in must not trust
-    // (core/zoom.h). `reads_distances` still holds the zoom direction.
+    // Zoom-in passes always leave exact distances now: the non-greedy pass
+    // observes every neighbor by construction, and the greedy pass runs
+    // with observe_all (above). Greedy zoom-OUT variants still use pruned
+    // white-only queries and leave upper bounds a later zoom-in must not
+    // trust (core/zoom.h). `reads_distances` still holds the zoom
+    // direction.
     const bool greedy_pass =
-        reads_distances
-            ? request.greedy
-            : request.zoom_out_variant != ZoomOutVariant::kArbitrary;
+        !reads_distances &&
+        request.zoom_out_variant != ZoomOutVariant::kArbitrary;
     session_.radius = request.radius;
     session_.distances_exact = !greedy_pass;
   }

@@ -26,6 +26,7 @@
 
 #include "mtree/mtree.h"
 #include "mtree/mtree_internal.h"
+#include "util/parallel.h"
 
 namespace disc {
 
@@ -49,13 +50,22 @@ struct Cluster {
 // Sampled-recursive partitioner. Works on plain object ids, so the same
 // instance clusters dataset objects into leaves and node pivots into
 // internal levels.
+//
+// Parallelism: the nearest-seed assignment — the n*k distance computations
+// that dominate the build — fans out across the pool. Seed sampling stays on
+// the calling thread (it is the sole consumer of the random state, and its
+// draw order must not depend on scheduling), each assignment chunk runs
+// under a private stats sink, and chunk results merge in ascending order, so
+// clusters, the random stream, and stats totals are byte-identical to the
+// serial partitioner at any thread count.
 class SeedPartitioner {
  public:
   using DistFn = double (*)(const MTree&, ObjectId, ObjectId);
 
   SeedPartitioner(const MTree& tree, DistFn dist, size_t max_group,
-                  uint64_t* rng)
-      : tree_(tree), dist_(dist), max_group_(max_group), rng_(rng) {}
+                  uint64_t* rng, ThreadPool* pool)
+      : tree_(tree), dist_(dist), max_group_(max_group), rng_(rng),
+        pool_(pool) {}
 
   std::vector<Cluster> Partition(std::vector<ObjectId> ids) {
     std::vector<Cluster> out;
@@ -87,17 +97,55 @@ class SeedPartitioner {
 
     // Assign every id to its nearest seed (ties toward the earlier seed).
     std::vector<std::vector<Member>> groups(k);
-    for (ObjectId id : ids) {
-      size_t best = 0;
-      double best_dist = std::numeric_limits<double>::infinity();
-      for (size_t s = 0; s < k; ++s) {
-        double d = dist_(tree_, id, ids[s]);
-        if (d < best_dist) {
-          best_dist = d;
-          best = s;
+    if (pool_ == nullptr || pool_->threads() <= 1) {
+      for (ObjectId id : ids) {
+        size_t best = 0;
+        double best_dist = std::numeric_limits<double>::infinity();
+        for (size_t s = 0; s < k; ++s) {
+          double d = dist_(tree_, id, ids[s]);
+          if (d < best_dist) {
+            best_dist = d;
+            best = s;
+          }
         }
+        groups[best].push_back(Member{id, best_dist});
       }
-      groups[best].push_back(Member{id, best_dist});
+    } else {
+      // Per-id seed choices are independent; compute them on the workers
+      // under private stats sinks, then append to the groups (and sum the
+      // sinks) in ascending chunk order — exactly the serial loop's result.
+      struct Choice {
+        std::vector<std::pair<size_t, double>> best;  // (seed index, dist)
+        AccessStats stats;
+      };
+      const size_t grain = RecommendedGrain(n, pool_->threads());
+      size_t next = 0;  // consume sees chunks in order: ids[next] advances
+      ParallelOrderedReduce<Choice>(
+          pool_, 0, n, grain,
+          [&](size_t chunk_begin, size_t chunk_end) {
+            Choice choice;
+            MTree::ThreadStatsScope scope(tree_, &choice.stats);
+            choice.best.reserve(chunk_end - chunk_begin);
+            for (size_t i = chunk_begin; i < chunk_end; ++i) {
+              size_t best = 0;
+              double best_dist = std::numeric_limits<double>::infinity();
+              for (size_t s = 0; s < k; ++s) {
+                double d = dist_(tree_, ids[i], ids[s]);
+                if (d < best_dist) {
+                  best_dist = d;
+                  best = s;
+                }
+              }
+              choice.best.emplace_back(best, best_dist);
+            }
+            return choice;
+          },
+          [&](Choice& choice) {
+            tree_.stats() += choice.stats;
+            for (const auto& [best, dist] : choice.best) {
+              groups[best].push_back(Member{ids[next++], dist});
+            }
+          });
     }
 
     for (size_t s = 0; s < k; ++s) {
@@ -140,6 +188,7 @@ class SeedPartitioner {
   DistFn dist_;
   size_t max_group_;
   uint64_t* rng_;
+  ThreadPool* pool_;
 };
 
 double TreeDistance(const MTree& tree, ObjectId a, ObjectId b) {
@@ -148,7 +197,7 @@ double TreeDistance(const MTree& tree, ObjectId a, ObjectId b) {
 
 }  // namespace
 
-Status MTree::BulkLoad() {
+Status MTree::BulkLoad(ThreadPool* pool) {
   DISC_RETURN_NOT_OK(CheckBuildPreconditions());
   InitObjectState();
   const size_t n = dataset_.size();
@@ -172,7 +221,8 @@ Status MTree::BulkLoad() {
     return Status::OK();
   }
 
-  SeedPartitioner partitioner(*this, &TreeDistance, capacity, &rng_state_);
+  SeedPartitioner partitioner(*this, &TreeDistance, capacity, &rng_state_,
+                              pool);
 
   // ---- Phase 1: cluster objects into leaf-sized groups ----
   std::vector<ObjectId> ids(n);
@@ -180,32 +230,52 @@ Status MTree::BulkLoad() {
   std::vector<Cluster> clusters = partitioner.Partition(std::move(ids));
 
   // ---- Phase 2a: materialize the leaf level (and the leaf chain) ----
+  // Each cluster becomes one leaf, built independently on the workers (the
+  // clusters partition the objects, so the leaf_of_ writes are disjoint);
+  // the chunk-ordered merge then threads the leaf chain and the counters in
+  // cluster order, identical to the serial loop.
   std::vector<std::unique_ptr<Node>> level;
   level.reserve(clusters.size());
   Node* prev_leaf = nullptr;
-  for (Cluster& cluster : clusters) {
-    auto leaf = std::make_unique<Node>(/*leaf=*/true);
-    ++num_nodes_;
-    ++stats_.node_accesses;  // the new leaf is written
-    leaf->pivot = cluster.seed;
-    double radius = 0.0;
-    leaf->objects.reserve(cluster.members.size());
-    for (const Member& m : cluster.members) {
-      leaf->objects.push_back(LeafEntry{m.id, m.dist_to_seed});
-      leaf_of_[m.id] = leaf.get();
-      radius = std::max(radius, m.dist_to_seed);
-    }
-    leaf->radius = radius;
-    leaf->white_count = static_cast<uint32_t>(cluster.members.size());
-    leaf->prev_leaf = prev_leaf;
-    if (prev_leaf != nullptr) {
-      prev_leaf->next_leaf = leaf.get();
-    } else {
-      first_leaf_ = leaf.get();
-    }
-    prev_leaf = leaf.get();
-    level.push_back(std::move(leaf));
-  }
+  const size_t leaf_grain =
+      pool == nullptr ? clusters.size()
+                      : RecommendedGrain(clusters.size(), pool->threads());
+  ParallelOrderedReduce<std::vector<std::unique_ptr<Node>>>(
+      pool, 0, clusters.size(), leaf_grain,
+      [&](size_t chunk_begin, size_t chunk_end) {
+        std::vector<std::unique_ptr<Node>> built;
+        built.reserve(chunk_end - chunk_begin);
+        for (size_t c = chunk_begin; c < chunk_end; ++c) {
+          Cluster& cluster = clusters[c];
+          auto leaf = std::make_unique<Node>(/*leaf=*/true);
+          leaf->pivot = cluster.seed;
+          double radius = 0.0;
+          leaf->objects.reserve(cluster.members.size());
+          for (const Member& m : cluster.members) {
+            leaf->objects.push_back(LeafEntry{m.id, m.dist_to_seed});
+            leaf_of_[m.id] = leaf.get();
+            radius = std::max(radius, m.dist_to_seed);
+          }
+          leaf->radius = radius;
+          leaf->white_count = static_cast<uint32_t>(cluster.members.size());
+          built.push_back(std::move(leaf));
+        }
+        return built;
+      },
+      [&](std::vector<std::unique_ptr<Node>>& built) {
+        for (std::unique_ptr<Node>& leaf : built) {
+          ++num_nodes_;
+          ++stats_.node_accesses;  // the new leaf is written
+          leaf->prev_leaf = prev_leaf;
+          if (prev_leaf != nullptr) {
+            prev_leaf->next_leaf = leaf.get();
+          } else {
+            first_leaf_ = leaf.get();
+          }
+          prev_leaf = leaf.get();
+          level.push_back(std::move(leaf));
+        }
+      });
 
   // ---- Phase 2b: assemble internal levels bottom-up ----
   // Each pass clusters the current level's pivots and wraps every cluster in

@@ -164,7 +164,9 @@ class MTree {
 
   /// Builds the tree with the strategy selected in options().build.
   /// Returns InvalidArgument for capacity < 2 or an empty dataset.
-  Status Build();
+  /// `pool` parallelizes the bulk-load path (see BulkLoad); the
+  /// insert-at-a-time path is inherently sequential and ignores it.
+  Status Build(ThreadPool* pool = nullptr);
 
   /// Bulk-loads the tree regardless of the configured strategy: objects are
   /// recursively clustered around randomly sampled seeds into leaf-sized
@@ -173,7 +175,16 @@ class MTree {
   /// intact. The resulting tree answers every query identically to an
   /// insert-built tree (exact index, different shape); it is cheaper to
   /// build and typically better clustered. Same preconditions as Build().
-  Status BulkLoad();
+  ///
+  /// With a pool of more than one thread the distance-dominated passes fan
+  /// out: the nearest-seed assignment of every clustering step and the
+  /// per-cluster leaf builds run on the workers, while seed sampling (the
+  /// only consumer of the random state) stays on the calling thread in the
+  /// serial recursion order. The decomposition is a pure function of the
+  /// input (util/parallel.h) and results are committed in chunk order, so
+  /// the resulting tree — shape, leaf chain, node count, stats() — is
+  /// byte-identical to the single-threaded build at any thread count.
+  Status BulkLoad(ThreadPool* pool = nullptr);
 
   /// Build() plus white-neighborhood-size computation. Under the
   /// insert-at-a-time strategy the counts are folded into the insert loop
@@ -181,8 +192,10 @@ class MTree {
   /// initializes count[p_i] and increments counts of already-present
   /// neighbors — cheaper than a post-build pass (ablation in bench/). Under
   /// the bulk-load strategy the tree is built first and a counting pass
-  /// follows; the counts are identical either way.
-  Status BuildWithNeighborCounts(double radius, std::vector<uint32_t>* counts);
+  /// follows; the counts are identical either way. `pool` parallelizes the
+  /// bulk path only (build and counting pass; see BulkLoad).
+  Status BuildWithNeighborCounts(double radius, std::vector<uint32_t>* counts,
+                                 ThreadPool* pool = nullptr);
 
   /// Computes all white-neighborhood sizes with one range query per object
   /// over the complete tree (the baseline the build-time variant beats).
@@ -227,6 +240,51 @@ class MTree {
   void RangeQueryBottomUp(ObjectId center, double radius, QueryFilter filter,
                           bool pruned, bool stop_at_grey,
                           std::vector<Neighbor>* out) const;
+
+  // -- Speculative queries (core/speculation.h) --------------------------
+
+  struct Node;  // opaque outside mtree.cc; trace entries point at live nodes
+
+  /// Everything a range query's outcome depends on besides the immutable
+  /// tree geometry: the children it descended into *because* their white
+  /// counter was positive, and the leaf objects whose distance it computed
+  /// *because* they were white. During a greedy forward pass colors only
+  /// move away from white (and white counters only decrease), so a trace
+  /// recorded against an earlier color snapshot stays checkable forever:
+  /// SpeculationValid() compares it against the current state.
+  struct QueryTrace {
+    std::vector<const Node*> nodes;  // descended only because white_count > 0
+    std::vector<ObjectId> whites;    // distance computed only because white
+  };
+
+  /// RangeQueryAround plus a trace of every color-dependent decision. With
+  /// `assume_black`, the query behaves exactly as if `center` had already
+  /// been recolored black (its contribution is subtracted from the white
+  /// counter of each of its ancestors) — mirroring Greedy-DisC, which
+  /// blackens the selected object *before* its neighborhood query. If
+  /// SpeculationValid(trace) still holds later, `out` and the charged
+  /// AccessStats are byte-identical to running the plain query at that
+  /// later moment (with `center` black when assume_black was set).
+  void RangeQueryAroundSpeculative(ObjectId center, double radius,
+                                   QueryFilter filter, bool pruned,
+                                   bool assume_black,
+                                   std::vector<Neighbor>* out,
+                                   QueryTrace* trace) const;
+
+  /// RangeQueryBottomUp plus the same trace; the grey-stopping climb
+  /// decisions are traced too. No assume_black flavor: the coverage-greedy
+  /// callers query before recoloring the candidate.
+  void RangeQueryBottomUpSpeculative(ObjectId center, double radius,
+                                     QueryFilter filter, bool pruned,
+                                     bool stop_at_grey,
+                                     std::vector<Neighbor>* out,
+                                     QueryTrace* trace) const;
+
+  /// True while every decision the trace records would be taken the same
+  /// way against the current colors: all recorded nodes still hold white
+  /// objects and all recorded objects are still white. Sound only under the
+  /// forward-pass color monotonicity described at QueryTrace.
+  bool SpeculationValid(const QueryTrace& trace) const;
 
   // -- Colors (shared state with the DisC algorithms) -------------------
 
@@ -301,6 +359,12 @@ class MTree {
   AccessStats& stats() const { return stats_; }
   void ResetStats() const { stats_ = AccessStats{}; }
 
+  /// Adds a batch of externally accounted accesses to the calling thread's
+  /// live counters (ThreadStatsScope-aware, like every per-access
+  /// increment). The speculation layer publishes a committed evaluation's
+  /// privately-sunk cost through this.
+  void ChargeStats(const AccessStats& delta) const { LiveStats() += delta; }
+
   /// RAII redirect: while alive, every access this *thread* charges against
   /// this tree lands in `sink` instead of stats(). The enabling primitive
   /// for parallel read-only query fan-outs (ComputeNeighborCountsPostBuild
@@ -337,9 +401,11 @@ class MTree {
   Status Validate() const;
 
  private:
-  struct Node;
   struct RoutingEntry;
   struct LeafEntry;
+  // Speculation bookkeeping threaded through RangeSearchNode: the trace to
+  // fill plus the assume_black ancestor path (mtree.cc).
+  struct SpecState;
 
   Status CheckBuildPreconditions() const;
   /// The AccessStats the calling thread currently charges: the
@@ -357,8 +423,12 @@ class MTree {
                            std::vector<Neighbor>* out) const;
   void RangeSearchNode(const Node* node, const Point& center, double radius,
                        double dist_center_to_node_pivot, QueryFilter filter,
-                       bool pruned, ObjectId exclude,
-                       std::vector<Neighbor>* out) const;
+                       bool pruned, ObjectId exclude, std::vector<Neighbor>* out,
+                       SpecState* spec = nullptr) const;
+  /// A child's white counter as the speculative query must see it: the
+  /// actual counter, minus one on the assume_black candidate's ancestor
+  /// path. Equals node->white_count when spec carries no assumption.
+  uint32_t EffectiveWhiteCount(const Node* node, const SpecState* spec) const;
   void AdjustWhiteCount(Node* leaf, int delta);
   uint32_t RecomputeWhiteCounts(Node* node);
   double DistanceToPoint(const Point& q, ObjectId b) const;

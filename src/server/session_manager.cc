@@ -116,7 +116,12 @@ Status SessionManager::Prewarm(const std::vector<EngineConfig>& configs,
   // One engine build per task; every build runs on its own worker, so a
   // list of hot datasets warms in max(build time), not sum. Each slot is
   // written by exactly one task — results are collected after the pool
-  // joins (no locking needed).
+  // joins (no locking needed). Engines with threads > 1 additionally
+  // parallelize their own bulk load on their own internal pools; that
+  // nesting is safe because each engine's pool is a separate instance from
+  // this prewarm pool (ThreadPool::Run only serializes per pool), and
+  // harmless to determinism because the built tree is byte-identical at
+  // any thread count (MTree::BulkLoad).
   std::vector<std::optional<Result<std::unique_ptr<DiscEngine>>>> built(
       configs.size());
   const size_t resolved = threads == 0 ? DefaultThreads() : threads;

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -21,6 +22,7 @@
 #include "graph/properties.h"
 #include "metric/metric.h"
 #include "mtree/mtree.h"
+#include "util/parallel.h"
 
 namespace disc {
 namespace {
@@ -246,6 +248,45 @@ TEST(MTreeBulkLoad, DeterministicForFixedSeed) {
   ASSERT_TRUE(b.Build().ok());
   EXPECT_EQ(a.num_nodes(), b.num_nodes());
   EXPECT_EQ(a.LeafOrder(), b.LeafOrder());
+}
+
+// The parallel bulk load (seed-assignment and per-cluster leaf fan-outs over
+// a ThreadPool) must produce the *same tree* as the serial build — node
+// count, leaf chain, fat-factor, and construction stats all pinned identical
+// at every thread count. Seed sampling stays on the calling thread in the
+// serial draw order, so this holds structurally, not just statistically.
+TEST(MTreeBulkLoad, ParallelBuildIsByteIdenticalAtAnyThreadCount) {
+  EuclideanMetric metric;
+  for (uint64_t seed : {13u, 99u}) {
+    for (size_t n : {120u, 700u}) {
+      for (size_t capacity : {4u, 25u}) {
+        const Dataset dataset = MakeClusteredDataset(n, 2, seed);
+        MTree serial(dataset, metric, BulkOptions(capacity, seed));
+        ASSERT_TRUE(serial.Build().ok());
+        ASSERT_TRUE(serial.Validate().ok()) << serial.Validate().ToString();
+        for (size_t threads : {1u, 2u, 4u, 8u}) {
+          ThreadPool pool(threads);
+          MTree parallel(dataset, metric, BulkOptions(capacity, seed));
+          ASSERT_TRUE(parallel.Build(&pool).ok());
+          const std::string label = "seed=" + std::to_string(seed) +
+                                    " n=" + std::to_string(n) +
+                                    " cap=" + std::to_string(capacity) +
+                                    " threads=" + std::to_string(threads);
+          EXPECT_EQ(serial.num_nodes(), parallel.num_nodes()) << label;
+          EXPECT_EQ(serial.LeafOrder(), parallel.LeafOrder()) << label;
+          EXPECT_EQ(serial.FatFactor(), parallel.FatFactor()) << label;
+          EXPECT_TRUE(serial.stats() == parallel.stats())
+              << label << ": construction stats diverged (node_accesses "
+              << serial.stats().node_accesses << " vs "
+              << parallel.stats().node_accesses << ", distances "
+              << serial.stats().distance_computations << " vs "
+              << parallel.stats().distance_computations << ")";
+          EXPECT_TRUE(parallel.Validate().ok())
+              << label << ": " << parallel.Validate().ToString();
+        }
+      }
+    }
+  }
 }
 
 // Colors, the §5.1 pruning rule, and the greedy algorithms must behave on a

@@ -197,6 +197,51 @@ TEST(ZoomChainTest, InThenOutThenInRemainsValid) {
       VerifyDisCDiverse(fx.dataset, fx.metric, 0.06, in2.solution).ok());
 }
 
+// The observe_all selection queries widen what a greedy zoom-in *observes*
+// but never what it *selects*: the chain with observe_all (which skips the
+// RecomputeClosestBlackDistances between zoom-ins) must reproduce the
+// recompute chain's solutions exactly, and must leave every object's
+// closest-black distance exact (equal to what a full recompute produces).
+// This is the correctness side of the bench_parallel_select.cc ZoomChain
+// A/B rows; the engine adopts observe_all based on those rows.
+TEST(ZoomChainTest, ObserveAllChainMatchesRecomputeChain) {
+  const Dataset dataset = MakeClusteredDataset(800, 2, 23);
+
+  ZoomFixture recompute(dataset, 0.08);
+  DiscResult a1 = ZoomIn(&recompute.tree, 0.04, /*greedy=*/true);
+  recompute.tree.RecomputeClosestBlackDistances(0.04);
+  DiscResult a2 = ZoomIn(&recompute.tree, 0.02, /*greedy=*/true);
+
+  ZoomFixture observe(dataset, 0.08);
+  DiscResult b1 =
+      ZoomIn(&observe.tree, 0.04, /*greedy=*/true, /*observe_all=*/true);
+  // No recompute: the observe_all pass left the distances exact.
+  DiscResult b2 =
+      ZoomIn(&observe.tree, 0.02, /*greedy=*/true, /*observe_all=*/true);
+
+  EXPECT_EQ(a1.solution, b1.solution);
+  EXPECT_EQ(a2.solution, b2.solution);
+  ASSERT_TRUE(
+      VerifyDisCDiverse(dataset, observe.metric, 0.02, b2.solution).ok());
+
+  // Distances after the observe_all chain are exact: recomputing from
+  // scratch at the final radius changes nothing.
+  std::vector<double> before;
+  for (ObjectId id = 0; id < dataset.size(); ++id) {
+    before.push_back(observe.tree.closest_black_dist(id));
+  }
+  observe.tree.RecomputeClosestBlackDistances(0.02);
+  for (ObjectId id = 0; id < dataset.size(); ++id) {
+    // Exact within the final radius; beyond it both values mean "not
+    // covered" and the recompute may not see them at all.
+    if (before[id] <= 0.02 ||
+        observe.tree.closest_black_dist(id) <= 0.02) {
+      EXPECT_EQ(before[id], observe.tree.closest_black_dist(id))
+          << "id=" << id;
+    }
+  }
+}
+
 TEST(LocalZoomTest, LocalZoomInRefinesOnlyTheRegion) {
   ZoomFixture fx(MakeCitiesDataset(), 0.05);
   ObjectId center = fx.old_result.solution.front();
