@@ -1,11 +1,13 @@
 // Serving throughput: the transport-matrix benchmark (ISSUE 6; HTTP leg
 // from ISSUE 7).
 //
-// CI runs this binary three times — DISC_SERVE_LOOP=blocking,
-// DISC_SERVE_LOOP=event, and DISC_SERVE_LOOP=http (the event loop's
+// CI runs this binary four times — DISC_SERVE_LOOP=blocking,
+// DISC_SERVE_LOOP=event, DISC_SERVE_LOOP=http (the event loop's
 // HTTP/1.1 transport: same commands as POST /diversify bodies over
-// keep-alive connections) — and gates across the legs
-// (bench/diff_bench_json.py):
+// keep-alive connections), and DISC_SERVE_LOOP=batch (the event loop's
+// BATCH envelope: each client ships all its rounds as ONE frame, so
+// `req_ms` is the per-command latency *amortized* over the unit) — and
+// gates across the legs (bench/diff_bench_json.py):
 //   * correctness: `mismatches` must be 0 in every leg — every response a
 //     client received, coalesced or not, and whatever the transport, is
 //     byte-identical (minus the trailing wall_ms) to a direct DiscEngine
@@ -57,22 +59,28 @@ constexpr uint64_t kSeed = 5;
 
 // The matrix leg this process runs. "blocking" and "event" pick the
 // transport loop; "http" runs the event loop but speaks its HTTP/1.1
-// framing from the clients (the server auto-detects per connection).
+// framing from the clients (the server auto-detects per connection);
+// "batch" runs the event loop with each client shipping all its rounds as
+// one BATCH envelope.
 struct BenchLeg {
   ServeLoop loop = ServeLoop::kEventLoop;
   bool http = false;
+  bool batch = false;
 };
 
 BenchLeg BenchLoop() {
   static const BenchLeg leg = [] {
     const char* env = std::getenv("DISC_SERVE_LOOP");
     if (env != nullptr && std::strcmp(env, "blocking") == 0) {
-      return BenchLeg{ServeLoop::kBlocking, false};
+      return BenchLeg{ServeLoop::kBlocking, false, false};
     }
     if (env != nullptr && std::strcmp(env, "http") == 0) {
-      return BenchLeg{ServeLoop::kEventLoop, true};
+      return BenchLeg{ServeLoop::kEventLoop, true, false};
     }
-    return BenchLeg{ServeLoop::kEventLoop, false};
+    if (env != nullptr && std::strcmp(env, "batch") == 0) {
+      return BenchLeg{ServeLoop::kEventLoop, false, true};
+    }
+    return BenchLeg{ServeLoop::kEventLoop, false, false};
   }();
   return leg;
 }
@@ -111,6 +119,24 @@ class BenchClient {
     std::string body = std::move(response.body);
     if (!body.empty() && body.back() == '\n') body.pop_back();
     return body;
+  }
+
+  /// Ships `commands` as one BATCH frame (line framing only) and reads the
+  /// one-response-per-command lines back.
+  Result<std::vector<std::string>> Batch(
+      const std::vector<std::string>& commands) {
+    DISC_RETURN_NOT_OK(
+        line_->SendLine("BATCH n=" + std::to_string(commands.size())));
+    for (const std::string& command : commands) {
+      DISC_RETURN_NOT_OK(line_->SendLine(command));
+    }
+    std::vector<std::string> responses;
+    responses.reserve(commands.size());
+    for (size_t i = 0; i < commands.size(); ++i) {
+      DISC_ASSIGN_OR_RETURN(std::string line, line_->RecvLine());
+      responses.push_back(std::move(line));
+    }
+    return responses;
   }
 
  private:
@@ -236,7 +262,16 @@ void BM_ServeThroughput(benchmark::State& state) {
   for (auto _ : state) {
     std::vector<std::vector<double>> per_client_ms(kClients);
     Stopwatch total;
-    for (const RoundSpec& round : rounds) {
+    if (leg.batch) {
+      // One BATCH frame per client carrying every round's command: the
+      // whole session costs one envelope and one admission slot, and the
+      // per-command latency is the frame's wall time amortized over its
+      // commands. Responses must still match the replica round by round.
+      std::vector<std::string> commands;
+      commands.reserve(rounds.size());
+      for (const RoundSpec& round : rounds) {
+        commands.push_back(round.command);
+      }
       std::latch start(static_cast<ptrdiff_t>(kClients));
       std::vector<std::thread> threads;
       threads.reserve(kClients);
@@ -244,18 +279,47 @@ void BM_ServeThroughput(benchmark::State& state) {
         threads.emplace_back([&, i] {
           start.arrive_and_wait();
           Stopwatch watch;
-          auto response = clients[i]->Roundtrip(round.command);
+          auto responses = clients[i]->Batch(commands);
           const double ms = watch.ElapsedMillis();
-          requests.fetch_add(1);
-          if (!response.ok() ||
-              response->rfind(round.expected_prefix, 0) != 0) {
-            mismatches.fetch_add(1);
+          requests.fetch_add(rounds.size());
+          if (!responses.ok() || responses->size() != rounds.size()) {
+            mismatches.fetch_add(rounds.size());
             return;
           }
-          per_client_ms[i].push_back(ms);
+          const double amortized_ms =
+              ms / static_cast<double>(rounds.size());
+          for (size_t k = 0; k < rounds.size(); ++k) {
+            if ((*responses)[k].rfind(rounds[k].expected_prefix, 0) != 0) {
+              mismatches.fetch_add(1);
+            } else {
+              per_client_ms[i].push_back(amortized_ms);
+            }
+          }
         });
       }
       for (std::thread& thread : threads) thread.join();
+    } else {
+      for (const RoundSpec& round : rounds) {
+        std::latch start(static_cast<ptrdiff_t>(kClients));
+        std::vector<std::thread> threads;
+        threads.reserve(kClients);
+        for (size_t i = 0; i < kClients; ++i) {
+          threads.emplace_back([&, i] {
+            start.arrive_and_wait();
+            Stopwatch watch;
+            auto response = clients[i]->Roundtrip(round.command);
+            const double ms = watch.ElapsedMillis();
+            requests.fetch_add(1);
+            if (!response.ok() ||
+                response->rfind(round.expected_prefix, 0) != 0) {
+              mismatches.fetch_add(1);
+              return;
+            }
+            per_client_ms[i].push_back(ms);
+          });
+        }
+        for (std::thread& thread : threads) thread.join();
+      }
     }
     total_ms = total.ElapsedMillis();
     request_ms.clear();

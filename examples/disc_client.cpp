@@ -24,9 +24,17 @@
 // JSON lines — the HTTP response body is the line protocol's response —
 // so transcripts compare byte-for-byte across transports.
 //
+// --batch collects every stdin command first and ships them as BATCH
+// units (the line protocol's "BATCH n=<k>" envelope, or POST /batch with
+// a JSON array body under --http) of at most 64 commands each, printing
+// the response lines in command order. stdout is byte-identical to
+// running the same commands without --batch — that equivalence is what
+// the daemon smoke test pins.
+//
 // --timing prints per-request wall time to stderr ("12.345 ms  <cmd>"),
 // keeping stdout byte-clean for transcript comparison.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -34,8 +42,10 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "server/net.h"
+#include "server/protocol.h"
 #include "util/flags.h"
 
 namespace {
@@ -44,11 +54,13 @@ using namespace disc;
 
 constexpr const char* kUsage =
     "usage: disc_client [--host=<ipv4>] [--port=<port>] [--http] "
-    "[--timing] [--help]\n"
+    "[--batch] [--timing] [--help]\n"
     "reads protocol lines from stdin; see disc_serve --help for the "
     "command vocabulary\n"
     "--http: speak the HTTP transport (POST /verb per command) instead "
     "of the line protocol; stdout is unchanged\n"
+    "--batch: ship the commands as BATCH units (<=64 commands each; "
+    "POST /batch under --http); stdout is unchanged\n"
     "--timing: per-request wall time on stderr (stdout stays byte-clean)\n";
 
 // "VERB args" -> {"/verb", "args"}: the HTTP transport's request mapping
@@ -70,11 +82,37 @@ std::pair<std::string, std::string> SplitHttpCommand(const std::string& line) {
   return {"/" + verb, args};
 }
 
+// Minimal JSON string quoting for the POST /batch array body (command
+// lines are ASCII protocol text; anything else is escaped numerically).
+std::string JsonQuote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto flags_or =
-      ParseFlagArgs(argc, argv, {"host", "port", "http", "timing", "help"});
+  auto flags_or = ParseFlagArgs(
+      argc, argv, {"host", "port", "http", "batch", "timing", "help"});
   if (!flags_or.ok()) {
     std::fprintf(stderr, "%s\n%s", flags_or.status().message().c_str(),
                  kUsage);
@@ -88,6 +126,7 @@ int main(int argc, char** argv) {
   const std::string host = FlagOr(flags, "host", "127.0.0.1");
   const bool timing = flags.count("timing") > 0;
   const bool http = flags.count("http") > 0;
+  const bool batch = flags.count("batch") > 0;
   auto port = FlagInt(flags, "port", 4817);
   if (!port.ok()) {
     std::fprintf(stderr, "%s\n%s", port.status().message().c_str(), kUsage);
@@ -129,27 +168,115 @@ int main(int argc, char** argv) {
   bool all_ok = true;
   size_t errors = 0;
   size_t busy = 0;
-  for (std::string line; std::getline(std::cin, line);) {
-    if (line.find_first_not_of(" \t") == std::string::npos) continue;
-    const auto started = std::chrono::steady_clock::now();
-    auto response = roundtrip(line);
-    const double wall_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - started)
-            .count();
-    if (!response.ok()) {
-      std::fprintf(stderr, "error: %s\n",
-                   response.status().ToString().c_str());
-      return 2;
-    }
-    if (timing) std::fprintf(stderr, "%.3f ms  %s\n", wall_ms, line.c_str());
-    std::printf("%s\n", response->c_str());
-    if (response->rfind("{\"ok\":true", 0) != 0) {
+  // Prints a response line and folds it into the exit-code accounting.
+  auto emit = [&](const std::string& response) {
+    std::printf("%s\n", response.c_str());
+    if (response.rfind("{\"ok\":true", 0) != 0) {
       all_ok = false;
       ++errors;
       // The protocol serializes the status code as "code":"Busy" for
       // admission-control rejections.
-      if (response->find("\"code\":\"Busy\"") != std::string::npos) ++busy;
+      if (response.find("\"code\":\"Busy\"") != std::string::npos) ++busy;
+    }
+  };
+
+  // Ships one BATCH unit and returns its response lines. Envelope-level
+  // failures (the only one a well-formed client-built envelope can draw
+  // is a Busy admission refusal) come back as a single line under cmd
+  // "BATCH"; the line transport detects that from the first response to
+  // know no further lines are owed.
+  auto run_batch = [&](const std::vector<std::string>& chunk)
+      -> Result<std::vector<std::string>> {
+    std::vector<std::string> responses;
+    responses.reserve(chunk.size());
+    if (http) {
+      std::string body = "[";
+      for (size_t i = 0; i < chunk.size(); ++i) {
+        if (i > 0) body += ",";
+        body += JsonQuote(chunk[i]);
+      }
+      body += "]";
+      DISC_ASSIGN_OR_RETURN(HttpResponse response,
+                            http_client->Post("/batch", body));
+      // The body is the response lines (one on envelope failure).
+      size_t start = 0;
+      while (start < response.body.size()) {
+        size_t end = response.body.find('\n', start);
+        if (end == std::string::npos) end = response.body.size();
+        responses.push_back(response.body.substr(start, end - start));
+        start = end + 1;
+      }
+      return responses;
+    }
+    DISC_RETURN_NOT_OK(
+        line_client->SendLine("BATCH n=" + std::to_string(chunk.size())));
+    for (const std::string& command : chunk) {
+      DISC_RETURN_NOT_OK(line_client->SendLine(command));
+    }
+    DISC_ASSIGN_OR_RETURN(std::string first, line_client->RecvLine());
+    const bool envelope_refused =
+        first.rfind("{\"ok\":false", 0) == 0 &&
+        first.find("\"cmd\":\"BATCH\"") != std::string::npos &&
+        first.find("\"code\":\"Busy\"") != std::string::npos;
+    responses.push_back(std::move(first));
+    if (!envelope_refused) {
+      for (size_t i = 1; i < chunk.size(); ++i) {
+        DISC_ASSIGN_OR_RETURN(std::string next, line_client->RecvLine());
+        responses.push_back(std::move(next));
+      }
+    }
+    return responses;
+  };
+
+  if (batch) {
+    std::vector<std::string> commands;
+    for (std::string line; std::getline(std::cin, line);) {
+      // Same blank-line tolerance as the lockstep path, so the two modes
+      // see identical command streams (and print identical responses).
+      if (line.find_first_not_of(" \t") == std::string::npos) continue;
+      commands.push_back(std::move(line));
+    }
+    for (size_t offset = 0; offset < commands.size();
+         offset += kMaxBatchCommands) {
+      const std::vector<std::string> chunk(
+          commands.begin() + offset,
+          commands.begin() +
+              std::min(commands.size(), offset + kMaxBatchCommands));
+      const auto started = std::chrono::steady_clock::now();
+      auto responses = run_batch(chunk);
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - started)
+              .count();
+      if (!responses.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     responses.status().ToString().c_str());
+        return 2;
+      }
+      if (timing) {
+        std::fprintf(stderr, "%.3f ms  BATCH n=%zu\n", wall_ms,
+                     chunk.size());
+      }
+      for (const std::string& response : *responses) emit(response);
+    }
+  } else {
+    for (std::string line; std::getline(std::cin, line);) {
+      if (line.find_first_not_of(" \t") == std::string::npos) continue;
+      const auto started = std::chrono::steady_clock::now();
+      auto response = roundtrip(line);
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - started)
+              .count();
+      if (!response.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     response.status().ToString().c_str());
+        return 2;
+      }
+      if (timing) {
+        std::fprintf(stderr, "%.3f ms  %s\n", wall_ms, line.c_str());
+      }
+      emit(*response);
     }
   }
   if (!all_ok) {

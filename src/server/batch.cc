@@ -1,0 +1,199 @@
+#include "server/batch.h"
+
+#include <cmath>
+#include <exception>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace disc {
+
+namespace {
+
+/// A cold DisC-family DIVERSIFY solve retained for the rest of the batch:
+/// the family anchor(s) later family members adapt from when the manager's
+/// memo cannot seed them (e.g. LRU eviction mid-batch).
+struct BatchSeed {
+  std::shared_ptr<DiscEngine::SessionCapsule> capsule;
+  double radius = 0.0;
+};
+
+/// Nearest-radius seed among the batch's retained cold solves for
+/// `family`, never at an equal radius; later entries win ties (most
+/// recently solved) — the same selection rule FindAdaptableSeed applies to
+/// the memo, so the two sources can substitute for each other byte-for-
+/// byte.
+const BatchSeed* NearestBatchSeed(
+    const std::map<std::string, std::vector<BatchSeed>>& seeds,
+    const std::string& family, double radius) {
+  auto it = seeds.find(family);
+  if (it == seeds.end()) return nullptr;
+  const BatchSeed* best = nullptr;
+  for (const BatchSeed& seed : it->second) {
+    if (seed.radius == radius) continue;
+    if (best == nullptr || std::abs(seed.radius - radius) <=
+                               std::abs(best->radius - radius)) {
+      best = &seed;
+    }
+  }
+  return best;
+}
+
+/// The planner's seed selection for an adapt-eligible DIVERSIFY about to
+/// compute, memo first: in sequential execution every earlier cold solve
+/// of this family was memoized before this command ran, so consulting the
+/// memo here reproduces the per-command bytes AND the per-command
+/// flights_adapted accounting. The retained in-batch anchors only catch
+/// what the LRU already evicted.
+void SelectSeed(const CommandContext& ctx, ComputePlan* plan,
+                const std::map<std::string, std::vector<BatchSeed>>&
+                    batch_seeds) {
+  if (!plan->adapt || plan->seed != nullptr) return;
+  FlightOutcome seed;
+  double seed_radius = 0.0;
+  if (ctx.manager->FindAdaptableSeed(plan->adapt_family,
+                                     plan->diversify.radius, &seed,
+                                     &seed_radius)) {
+    plan->seed = std::move(seed.capsule);
+    plan->seed_radius = seed_radius;
+    return;
+  }
+  if (const BatchSeed* anchor = NearestBatchSeed(
+          batch_seeds, plan->adapt_family, plan->diversify.radius)) {
+    plan->seed = anchor->capsule;
+    plan->seed_radius = anchor->radius;
+  }
+}
+
+/// One coalescing-path compute (DIVERSIFY/ZOOM with preconditions already
+/// checked): the planner's seed selection plus the single-flight dance a
+/// per-command leader performs, minus the waiting — see the header on why
+/// a batch never parks behind another connection's flight.
+std::string ExecutePlannedCompute(
+    const CommandContext& ctx, ComputePlan plan, DiscEngine& engine,
+    std::map<std::string, std::vector<BatchSeed>>* batch_seeds) {
+  if (plan.flight_key.empty()) {
+    // Not coalescable (own-cache hit or unpoolable engine; such plans are
+    // never adapt-eligible): same direct path as a per-command request.
+    return RunCompute(plan, engine).response;
+  }
+  FlightOutcome cached;
+  // The family advertisement is optimistic — the leader may yet find a
+  // seed and produce a (non-seedable) adapted outcome, in which case any
+  // adapt-follower that joined meanwhile falls back to a cold compute.
+  const FlightJoin join = ctx.manager->JoinFlight(
+      plan.flight_key, [](const FlightOutcome&) {}, &cached,
+      plan.adapt_family, plan.diversify.radius);
+  switch (join) {
+    case FlightJoin::kCached: {
+      if (cached.capsule != nullptr) {
+        const Status adopted = engine.AdoptSession(*cached.capsule);
+        if (!adopted.ok()) {
+          return SerializeError(VerbToString(plan.verb), adopted);
+        }
+      }
+      return cached.response;
+    }
+    case FlightJoin::kFollower: {
+      // Another connection is computing this key right now. Waiting would
+      // park this worker (deadlock with a saturated pool), so compute on
+      // our own engine — equal flight keys guarantee identical bytes. The
+      // no-op waiter registered above fires later and touches nothing.
+      SelectSeed(ctx, &plan, *batch_seeds);
+      return RunCompute(plan, engine).response;
+    }
+    case FlightJoin::kLeader: {
+      SelectSeed(ctx, &plan, *batch_seeds);
+      if (plan.seed != nullptr) {
+        // The outcome will be adapted, hence non-seedable: withdraw the
+        // optimistic advertisement so no adapt-follower chains onto it.
+        ctx.manager->RetractAdaptFlight(plan.flight_key);
+      }
+      ComputeResult result;
+      FlightOutcome outcome;
+      try {
+        result = RunCompute(plan, engine);
+        outcome.response = result.response;
+        if (result.ok) {
+          outcome.capsule = std::make_shared<DiscEngine::SessionCapsule>(
+              engine.ExportSession());
+          if (result.seedable) {
+            outcome.adapt_family = plan.adapt_family;
+            outcome.radius = plan.diversify.radius;
+          }
+        }
+      } catch (...) {
+        // Keep the flight honest: followers get released with the same
+        // error line the per-command barrier would produce; the rethrow is
+        // caught by ExecuteBatch's per-command isolation.
+        outcome = FlightOutcome{};
+        outcome.response = SerializeError(
+            VerbToString(plan.verb),
+            Status::IOError("internal error during batch compute"));
+        ctx.manager->FinishFlight(plan.flight_key, std::move(outcome),
+                                  /*memoize=*/false);
+        throw;
+      }
+      ctx.manager->FinishFlight(plan.flight_key, outcome,
+                                /*memoize=*/result.ok);
+      if (result.seedable) {
+        (*batch_seeds)[plan.adapt_family].push_back(
+            BatchSeed{outcome.capsule, plan.diversify.radius});
+      }
+      return result.response;
+    }
+  }
+  return SerializeError(VerbToString(plan.verb),
+                        Status::InvalidArgument("unhandled flight join"));
+}
+
+}  // namespace
+
+std::vector<std::string> ExecuteBatch(const CommandContext& ctx,
+                                      const std::vector<std::string>& lines,
+                                      EngineLease* lease, bool coalesce) {
+  std::vector<std::string> responses;
+  responses.reserve(lines.size());
+  // Cold DisC-family solves this batch produced, by family: the planner's
+  // anchors. Retained until the batch ends so every later family member
+  // can adapt even if the memo LRU turned over.
+  std::map<std::string, std::vector<BatchSeed>> batch_seeds;
+  for (const std::string& line : lines) {
+    std::string response;
+    try {
+      Result<Request> request = ParseRequest(line);
+      if (!request.ok()) {
+        // Includes blank lines: unlike the streaming transports (which
+        // skip them without answering), a batch owes one response per
+        // slot, so an empty command is answered with its parse error.
+        response = SerializeError("?", request.status());
+      } else if (!coalesce) {
+        response = DispatchCommand(ctx, *request, lease);
+      } else if (DispatchFastPath(ctx, *request, lease, &response)) {
+        // Precondition failure, STATS, CLOSE, or nested BATCH: answered.
+      } else if (request->verb == Verb::kOpen) {
+        response = ExecuteOpen(ctx, *request, lease);
+      } else {
+        Result<ComputePlan> plan = PlanCompute(*request, *lease);
+        if (!plan.ok()) {
+          response = SerializeError(VerbToString(request->verb),
+                                    plan.status());
+        } else {
+          response = ExecutePlannedCompute(ctx, std::move(*plan),
+                                           lease->engine(), &batch_seeds);
+        }
+      }
+    } catch (const std::exception& e) {
+      // Per-command isolation: the same barrier line the transports emit,
+      // then on to the next command.
+      response = SerializeError(
+          "?", Status::IOError(std::string("internal error: ") + e.what()));
+    }
+    responses.push_back(std::move(response));
+  }
+  return responses;
+}
+
+}  // namespace disc

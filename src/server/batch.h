@@ -1,0 +1,58 @@
+// The batch planner/executor behind the BATCH envelope and POST /batch.
+//
+// A batch is an ordered list of protocol command lines executed as one
+// request unit on one connection: exactly one response line per command,
+// in command order, with per-command error isolation — a malformed or
+// failing command yields its error line without aborting its siblings.
+// The contract the server tests pin: a batch's response lines are
+// byte-identical to issuing the same commands sequentially on the same
+// connection of the same transport.
+//
+// Behind that surface sits a planner (the coalescing variant): DIVERSIFY
+// commands are grouped by adapt family (pool key + algorithm + pruning —
+// handlers.h's ComputePlan::adapt_family), and each family pays for at
+// most ONE cold solve per batch. The family's first adapt-eligible command
+// executes cold (its outcome is memoized and retained as the family
+// anchor); every later family member at another radius is served through
+// DiscEngine::AdaptFrom — adopt the nearest-radius seed, zoom to the
+// requested radius — which the engine guarantees byte-identical to running
+// that chain cold. Seed selection mirrors the per-command path exactly
+// (SessionManager::FindAdaptableSeed: nearest radius, most recent on
+// ties), so the same commands produce the same bytes batched or not; the
+// retained in-batch anchors additionally guarantee the one-cold-solve
+// property even when the manager's memo LRU evicts under pressure.
+//
+// Cold solves inside a batch still flow through the session manager's
+// single-flight table: they memoize, advertise their family, and fan out
+// to concurrent same-key requests from other connections. A batch never
+// *waits* on another connection's flight, though — parking the worker that
+// executes the batch could deadlock a fully loaded pool — it computes on
+// its own engine instead (byte-identical by the flight-key contract).
+
+#ifndef DISC_SERVER_BATCH_H_
+#define DISC_SERVER_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "server/handlers.h"
+
+namespace disc {
+
+/// Executes a batch's command lines in order against the connection state
+/// `lease` (mutated in place: an OPEN installs into it, a CLOSE releases
+/// it) and returns exactly one response line per command. `coalesce`
+/// selects the transport semantics: true for the event loop (planner +
+/// single-flight table + §5.2 adaptation, matching its per-command path),
+/// false for the blocking transport (plain sequential dispatch, always
+/// cold, matching ITS per-command path). Never throws: a command whose
+/// execution throws is answered with the same internal-error line the
+/// transports' per-command exception barriers produce, and its siblings
+/// still run.
+std::vector<std::string> ExecuteBatch(const CommandContext& ctx,
+                                      const std::vector<std::string>& lines,
+                                      EngineLease* lease, bool coalesce);
+
+}  // namespace disc
+
+#endif  // DISC_SERVER_BATCH_H_

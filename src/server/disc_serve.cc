@@ -90,7 +90,12 @@ constexpr const char* kUsage =
     "       greedy-b|greedy-c] [center=<id>] [distances=auto|exact]\n"
     "       [quality=<bool>]\n"
     "  STATS\n"
-    "  CLOSE\n";
+    "  CLOSE\n"
+    "  BATCH n=<k>   (envelope: the next k lines execute as one unit —\n"
+    "       k responses in order, per-command error isolation; the event\n"
+    "       loop plans one cold solve per adapt family and adapts the\n"
+    "       rest. HTTP: POST /batch with a JSON array of command "
+    "strings)\n";
 
 [[noreturn]] void Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());

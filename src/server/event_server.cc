@@ -61,6 +61,24 @@
 // chain cold. Successful cold DisC-family DIVERSIFY outcomes carry their
 // family + radius into the memo so later compatible requests can adapt.
 //
+// Proactive adaptation across requests: a DIVERSIFY that leads its flight
+// but misses the memo additionally checks the in-flight table — a flight
+// in the same family at a different radius, advertised at JoinFlight time,
+// takes it on as an adapt-follower (SessionManager::JoinAdaptFollower).
+// The request then runs nothing: when that leader completes, the waiter
+// adapts the leader's capsule to the requested radius on the leader's
+// thread and finishes the request's own flight, so the whole family pays
+// for one cold solve even when its members are all airborne at once.
+//
+// BATCH: "BATCH n=<k>" frames the next k lines as one request unit
+// (POST /batch with a JSON string-array body is the HTTP equivalent). The
+// frame becomes one job under one admission slot; a worker executes it
+// through server/batch.h's planner (one cold solve per adapt family, the
+// rest adapted) and the completion carries k response lines written in
+// command order — as a 200-status joined body over HTTP. Envelope-level
+// failures (bad n, busy admission, malformed JSON) answer a single error
+// line under cmd "BATCH".
+//
 // Shutdown drains: accepting stops, idle connections close immediately,
 // queued and executing jobs run to completion, their responses are
 // flushed (bounded by kDrainDeadline for clients that will not read), and
@@ -86,6 +104,7 @@
 #include <utility>
 #include <vector>
 
+#include "server/batch.h"
 #include "server/handlers.h"
 #include "server/http.h"
 #include "server/net.h"
@@ -174,8 +193,13 @@ class EventLoopServer final : public DiscServer {
   /// request's resolved Connection semantics, and `prefailed` marks an
   /// entry whose `line` already holds the serialized error response (a
   /// framing or endpoint-mapping failure that never reaches HandleLine).
+  /// `is_batch` marks a complete BATCH envelope (line protocol) or a
+  /// POST /batch (HTTP): `batch` holds its command lines and `line` is
+  /// unused — the unit is answered with one response line per command.
   struct Pending {
     std::string line;
+    std::vector<std::string> batch;
+    bool is_batch = false;
     bool keep_alive = true;
     bool prefailed = false;
   };
@@ -204,23 +228,36 @@ class EventLoopServer final : public DiscServer {
     bool dead = false;
     /// EPOLLOUT currently registered.
     bool want_write = false;
+    /// Line-protocol BATCH framing: while batch_expect > 0, arriving lines
+    /// are collected into batch_lines instead of becoming individual
+    /// Pendings; the frame closes into one is_batch Pending when full. EOF
+    /// mid-frame drops the incomplete batch (like a partial line).
+    size_t batch_expect = 0;
+    std::vector<std::string> batch_lines;
   };
 
   struct Job {
-    enum class Kind { kOpen, kCompute, kLeader, kAdopt };
+    enum class Kind { kOpen, kCompute, kLeader, kAdopt, kBatch };
     Kind kind = Kind::kCompute;
     uint64_t conn_id = 0;
     Request request;                // kOpen
     ComputePlan plan;               // kCompute / kLeader
-    DiscEngine* engine = nullptr;   // all but kOpen
+    DiscEngine* engine = nullptr;   // kCompute / kLeader / kAdopt
     std::string flight_key;         // kLeader
     FlightOutcome outcome;          // kAdopt
+    std::vector<std::string> batch;  // kBatch: the command lines
+    /// kBatch: the connection's lease, mutated in place (OPEN installs,
+    /// CLOSE releases). The pointer is stable: Conns are heap-allocated
+    /// and never destroyed while busy.
+    EngineLease* lease = nullptr;
   };
 
   struct Completion {
     uint64_t conn_id = 0;
     std::string response;
+    std::vector<std::string> batch;  // is_batch: one line per command
     EngineLease lease;       // valid => install (a successful OPEN)
+    bool is_batch = false;
     bool coalesced = false;  // produced by another connection's flight
     bool counts = false;     // consumed an admission slot
   };
@@ -414,12 +451,16 @@ class EventLoopServer final : public DiscServer {
           http_requests_.fetch_add(1);
           Pending pending;
           pending.keep_alive = request.keep_alive;
-          Result<std::string> line = HttpRequestToCommandLine(request);
-          if (line.ok()) {
-            pending.line = std::move(*line);
+          if (request.target == "/batch") {
+            MakeHttpBatchPending(request, &pending);
           } else {
-            pending.prefailed = true;
-            pending.line = SerializeError("?", line.status());
+            Result<std::string> line = HttpRequestToCommandLine(request);
+            if (line.ok()) {
+              pending.line = std::move(*line);
+            } else {
+              pending.prefailed = true;
+              pending.line = SerializeError("?", line.status());
+            }
           }
           conn->lines.push_back(std::move(pending));
           if (conn->lines.size() >= kMaxQueuedLines) {
@@ -444,6 +485,40 @@ class EventLoopServer final : public DiscServer {
     }
   }
 
+  /// POST /batch: the JSON string-array body becomes the batch's command
+  /// lines. Envelope-level failures (wrong method, malformed JSON, size
+  /// out of bounds) are answered with ONE error line under cmd "BATCH" —
+  /// mapped to a 4xx status by HttpStatusForProtocolLine like any other
+  /// error line; per-command failures stay in the 200 body.
+  static void MakeHttpBatchPending(const HttpRequest& request,
+                                   Pending* pending) {
+    if (request.method != "POST") {
+      pending->prefailed = true;
+      pending->line = SerializeError(
+          "BATCH", Status::InvalidArgument("/batch requires POST"));
+      return;
+    }
+    Result<std::vector<std::string>> lines =
+        ParseJsonStringArray(request.body);
+    if (!lines.ok()) {
+      pending->prefailed = true;
+      pending->line = SerializeError("BATCH", lines.status());
+      return;
+    }
+    if (lines->empty() || lines->size() > kMaxBatchCommands) {
+      pending->prefailed = true;
+      pending->line = SerializeError(
+          "BATCH",
+          Status::InvalidArgument(
+              "/batch body must contain between 1 and " +
+              std::to_string(kMaxBatchCommands) + " commands, got " +
+              std::to_string(lines->size())));
+      return;
+    }
+    pending->is_batch = true;
+    pending->batch = std::move(*lines);
+  }
+
   /// Moves complete lines out of the read buffer; tears down on the
   /// no-newline memory cap.
   void SplitLines(Conn* conn) {
@@ -453,7 +528,7 @@ class EventLoopServer final : public DiscServer {
       if (newline == std::string::npos) break;
       std::string line = conn->in.substr(start, newline - start);
       if (!line.empty() && line.back() == '\r') line.pop_back();
-      conn->lines.push_back(Pending{std::move(line), true, false});
+      AddLine(conn, std::move(line));
       start = newline + 1;
       if (conn->lines.size() >= kMaxQueuedLines) {
         conn->read_paused = true;
@@ -461,6 +536,57 @@ class EventLoopServer final : public DiscServer {
     }
     conn->in.erase(0, start);
     if (conn->in.size() > kMaxLineBytes) Teardown(conn);
+  }
+
+  /// True when the line's first token is the BATCH envelope verb.
+  static bool IsBatchEnvelope(const std::string& line) {
+    const size_t begin = line.find_first_not_of(" \t");
+    if (begin == std::string::npos) return false;
+    size_t end = line.find_first_of(" \t", begin);
+    if (end == std::string::npos) end = line.size();
+    return line.compare(begin, end - begin, "BATCH") == 0;
+  }
+
+  /// Routes one complete line: into an open BATCH frame, as a new BATCH
+  /// envelope, or as an ordinary pending command.
+  void AddLine(Conn* conn, std::string line) {
+    if (conn->batch_expect > 0) {
+      // Inside a frame every line is a slot — including blank ones, which
+      // a batch answers with their parse error instead of skipping (the
+      // envelope owes exactly n responses).
+      conn->batch_lines.push_back(std::move(line));
+      if (conn->batch_lines.size() == conn->batch_expect) {
+        Pending pending;
+        pending.is_batch = true;
+        pending.batch = std::move(conn->batch_lines);
+        conn->batch_lines.clear();
+        conn->batch_expect = 0;
+        conn->lines.push_back(std::move(pending));
+      }
+      return;
+    }
+    if (IsBatchEnvelope(line)) {
+      // BATCH n=<k> frames the next k lines. A bad envelope never starts
+      // the frame, so no per-command responses are owed: it is answered
+      // with ONE error line under cmd "BATCH".
+      const Result<Request> request = ParseRequest(line);
+      const Result<size_t> n = request.ok()
+                                   ? DecodeBatchSize(*request)
+                                   : Result<size_t>(request.status());
+      if (!n.ok()) {
+        Pending pending;
+        pending.prefailed = true;
+        pending.line = SerializeError("BATCH", n.status());
+        conn->lines.push_back(std::move(pending));
+        return;
+      }
+      conn->batch_expect = *n;
+      conn->batch_lines.reserve(*n);
+      return;
+    }
+    Pending pending;
+    pending.line = std::move(line);
+    conn->lines.push_back(std::move(pending));
   }
 
   void ProcessLines(Conn* conn) {
@@ -473,6 +599,10 @@ class EventLoopServer final : public DiscServer {
         // waited here so responses stay in request order.
         Respond(conn, pending.line);
         continue;
+      }
+      if (pending.is_batch) {
+        HandleBatch(conn, std::move(pending.batch));
+        continue;  // BUSY answered, or busy set — the loop guard breaks
       }
       const std::string line = std::move(pending.line);
       // Skip blank lines so `printf '...\n\n'`-style drivers are harmless.
@@ -556,9 +686,38 @@ class EventLoopServer final : public DiscServer {
         Respond(conn, SerializeClose());
         return;
       }
+      case Verb::kBatch: {
+        // Unreachable in practice — AddLine intercepts BATCH envelopes
+        // before they become pending commands — but mirror the shared
+        // pipeline's nested-BATCH answer for robustness.
+        Respond(conn, SerializeError(
+                          cmd, Status::InvalidArgument(
+                                   "BATCH is a framing envelope and "
+                                   "cannot be nested")));
+        return;
+      }
     }
     Respond(conn, SerializeError(cmd, Status::InvalidArgument(
                                           "unhandled verb")));
+  }
+
+  /// Dispatches a complete batch as ONE job: the envelope buys one
+  /// admission slot however many commands it carries (the amortization a
+  /// batch exists for), and refusal is envelope-level — a single BUSY line
+  /// under cmd "BATCH", since none of the commands started. The worker
+  /// runs server/batch.h's planner-backed executor against the conn's
+  /// lease; the `busy` flag makes that worker the lease's only toucher.
+  void HandleBatch(Conn* conn, std::vector<std::string> lines) {
+    if (!Admit()) {
+      RejectBusy(conn, "BATCH");
+      return;
+    }
+    Job job;
+    job.kind = Job::Kind::kBatch;
+    job.conn_id = conn->id;
+    job.batch = std::move(lines);
+    job.lease = &conn->lease;
+    Dispatch(conn, std::move(job));
   }
 
   void DispatchCompute(Conn* conn, ComputePlan plan) {
@@ -586,12 +745,17 @@ class EventLoopServer final : public DiscServer {
     FlightOutcome cached;
     const uint64_t conn_id = conn->id;
     const Verb verb = plan.verb;
+    // The trailing arguments advertise this flight to JoinAdaptFollower
+    // (meaningful only if we lead; empty family for ZOOM and non-DisC
+    // plans). Optimistic: if the leader itself finds a seed below, it
+    // retracts the advertisement — its outcome will be adapted, hence not
+    // seedable.
     const FlightJoin join = manager_.JoinFlight(
         plan.flight_key,
         [this, conn_id, engine, verb](const FlightOutcome& outcome) {
           AdoptAndComplete(conn_id, engine, verb, outcome);
         },
-        &cached);
+        &cached, plan.adapt_family, plan.diversify.radius);
     switch (join) {
       case FlightJoin::kLeader: {
         if (!Admit()) {
@@ -620,6 +784,24 @@ class EventLoopServer final : public DiscServer {
                                          &seed_radius)) {
             plan.seed = std::move(seed.capsule);
             plan.seed_radius = seed_radius;
+            manager_.RetractAdaptFlight(plan.flight_key);
+          } else if (manager_.JoinAdaptFollower(
+                         plan.adapt_family, plan.diversify.radius,
+                         [this, conn_id, engine,
+                          plan](const FlightOutcome& outcome) {
+                           AdaptFollowerComplete(conn_id, engine, plan,
+                                                 outcome);
+                         })) {
+            // Proactive §5.2 adaptation ACROSS requests: a flight in the
+            // same family at another radius is in the air right now. We
+            // stay the leader of OUR flight (same-key requests keep
+            // coalescing onto us) but run nothing: when that leader
+            // finishes, AdaptFollowerComplete — on its thread, exempt
+            // from admission like any follower — adapts its capsule to
+            // our radius and finishes our flight. Our own advertisement
+            // is retracted for the same reason as the memo-seed path.
+            manager_.RetractAdaptFlight(plan.flight_key);
+            return;  // conn stays busy until the waiter's completion
           }
         }
         Job job;
@@ -698,7 +880,11 @@ class EventLoopServer final : public DiscServer {
         Destroy(conn->id);
         continue;
       }
-      Respond(conn, completion.response);
+      if (completion.is_batch) {
+        RespondBatch(conn, completion.batch);
+      } else {
+        Respond(conn, completion.response);
+      }
       if (draining) {
         conn->no_more_input = true;
         conn->lines.clear();
@@ -742,6 +928,34 @@ class EventLoopServer final : public DiscServer {
     } else {
       conn->out += line;
       conn->out += '\n';
+    }
+    FlushOut(conn);
+    if (!conn->dead && conn->out.size() > kMaxOutBytes) Teardown(conn);
+  }
+
+  /// Writes a batch's response unit: the line protocol appends each line
+  /// in command order; HTTP wraps the joined lines as one 200 body — the
+  /// envelope succeeded, and per-command failures stay in-body exactly as
+  /// the line protocol reports them (an envelope-level failure never
+  /// reaches here; it is a prefailed single line with a mapped status).
+  void RespondBatch(Conn* conn, const std::vector<std::string>& lines) {
+    if (conn->proto == Proto::kHttp) {
+      std::string body;
+      for (const std::string& line : lines) {
+        body += line;
+        body += '\n';
+      }
+      conn->out +=
+          WriteHttpResponse(200, body, conn->cur_keep_alive, 0);
+      if (!conn->cur_keep_alive) {
+        conn->no_more_input = true;
+        conn->lines.clear();
+      }
+    } else {
+      for (const std::string& line : lines) {
+        conn->out += line;
+        conn->out += '\n';
+      }
     }
     FlushOut(conn);
     if (!conn->dead && conn->out.size() > kMaxOutBytes) Teardown(conn);
@@ -871,6 +1085,14 @@ class EventLoopServer final : public DiscServer {
           completion.coalesced = true;
           break;
         }
+        case Job::Kind::kBatch: {
+          // ExecuteBatch never throws (per-command isolation happens
+          // inside it) and finishes every flight it leads.
+          completion.batch = ExecuteBatch(ctx, job.batch, job.lease,
+                                          /*coalesce=*/true);
+          completion.is_batch = true;
+          break;
+        }
       }
     } catch (const std::exception& e) {
       // Keep the flight honest even when the leader's computation threw:
@@ -879,8 +1101,9 @@ class EventLoopServer final : public DiscServer {
           "?",
           Status::IOError(std::string("internal error: ") + e.what()));
       if (job.kind == Job::Kind::kLeader) {
-        manager_.FinishFlight(job.flight_key,
-                              FlightOutcome{completion.response, nullptr},
+        FlightOutcome failed;
+        failed.response = completion.response;
+        manager_.FinishFlight(job.flight_key, std::move(failed),
                               /*memoize=*/false);
       }
     }
@@ -915,6 +1138,55 @@ class EventLoopServer final : public DiscServer {
       completion.response = SerializeError(
           VerbToString(verb),
           Status::IOError(std::string("internal error: ") + e.what()));
+    }
+    PushCompletion(std::move(completion));
+  }
+
+  /// The proactive-adaptation waiter (§5.2 across requests): this conn
+  /// leads its own flight but registered as an adapt-follower of an
+  /// in-flight family leader at another radius instead of computing cold.
+  /// Runs on that leader's worker thread once it finishes: when the
+  /// leader's outcome is a seedable cold solve, adopt its capsule and zoom
+  /// to our radius (DiscEngine::AdaptFrom — one computation instead of
+  /// two); otherwise (leader failed, or itself adapted) compute cold. Then
+  /// finish OUR flight so same-key followers and the memo see the result.
+  /// Exempt from admission like any follower — the work rides the leader's
+  /// slot.
+  void AdaptFollowerComplete(uint64_t conn_id, DiscEngine* engine,
+                             ComputePlan plan,
+                             const FlightOutcome& leader) {
+    Completion completion;
+    completion.conn_id = conn_id;
+    completion.coalesced = true;
+    completion.counts = false;
+    try {
+      if (leader.capsule != nullptr && !leader.adapt_family.empty()) {
+        plan.seed = leader.capsule;
+        plan.seed_radius = leader.radius;
+      }
+      const ComputeResult result = RunCompute(plan, *engine);
+      FlightOutcome outcome;
+      outcome.response = result.response;
+      if (result.ok) {
+        outcome.capsule = std::make_shared<DiscEngine::SessionCapsule>(
+            engine->ExportSession());
+        if (result.seedable) {
+          // The cold-fallback path can itself seed later adaptations.
+          outcome.adapt_family = plan.adapt_family;
+          outcome.radius = plan.diversify.radius;
+        }
+      }
+      manager_.FinishFlight(plan.flight_key, std::move(outcome),
+                            /*memoize=*/result.ok);
+      completion.response = result.response;
+    } catch (const std::exception& e) {
+      completion.response = SerializeError(
+          VerbToString(plan.verb),
+          Status::IOError(std::string("internal error: ") + e.what()));
+      FlightOutcome failed;
+      failed.response = completion.response;
+      manager_.FinishFlight(plan.flight_key, std::move(failed),
+                            /*memoize=*/false);
     }
     PushCompletion(std::move(completion));
   }

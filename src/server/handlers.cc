@@ -157,49 +157,80 @@ ComputeResult RunCompute(const ComputePlan& plan, DiscEngine& engine) {
   return result;
 }
 
-std::string ExecuteLine(const CommandContext& ctx, const std::string& line,
-                        EngineLease* lease) {
-  Result<Request> request = ParseRequest(line);
-  if (!request.ok()) return SerializeError("?", request.status());
-  const char* cmd = VerbToString(request->verb);
-
-  switch (request->verb) {
+bool DispatchFastPath(const CommandContext& ctx, const Request& request,
+                      EngineLease* lease, std::string* response) {
+  (void)ctx;
+  const char* cmd = VerbToString(request.verb);
+  switch (request.verb) {
     case Verb::kOpen: {
       if (lease->valid()) {
-        return SerializeError(
+        *response = SerializeError(
             cmd, Status::FailedPrecondition(
                      "a session is already open on this connection; CLOSE "
                      "it first"));
+        return true;
       }
-      return ExecuteOpen(ctx, *request, lease);
+      return false;
     }
     case Verb::kDiversify:
     case Verb::kZoom: {
       if (!lease->valid()) {
-        return SerializeError(
+        *response = SerializeError(
             cmd, Status::FailedPrecondition("no session open; OPEN first"));
+        return true;
       }
-      Result<ComputePlan> plan = PlanCompute(*request, *lease);
-      if (!plan.ok()) return SerializeError(cmd, plan.status());
-      return RunCompute(*plan, lease->engine()).response;
+      return false;
     }
     case Verb::kStats: {
       if (!lease->valid()) {
-        return SerializeError(
+        *response = SerializeError(
             cmd, Status::FailedPrecondition("no session open; OPEN first"));
+        return true;
       }
-      return SerializeSnapshot(lease->engine().Snapshot());
+      *response = SerializeSnapshot(lease->engine().Snapshot());
+      return true;
     }
     case Verb::kClose: {
       if (!lease->valid()) {
-        return SerializeError(
-            cmd, Status::FailedPrecondition("no session open"));
+        *response =
+            SerializeError(cmd, Status::FailedPrecondition("no session open"));
+        return true;
       }
       lease->Release();
-      return SerializeClose();
+      *response = SerializeClose();
+      return true;
+    }
+    case Verb::kBatch: {
+      // The transports intercept BATCH at framing time; one reaching
+      // per-command dispatch is a batch inside a batch (or a caller
+      // bypassing framing).
+      *response = SerializeError(
+          cmd, Status::InvalidArgument(
+                   "BATCH is a framing envelope and cannot be nested"));
+      return true;
     }
   }
-  return SerializeError(cmd, Status::InvalidArgument("unhandled verb"));
+  *response = SerializeError(cmd, Status::InvalidArgument("unhandled verb"));
+  return true;
+}
+
+std::string DispatchCommand(const CommandContext& ctx, const Request& request,
+                            EngineLease* lease) {
+  std::string response;
+  if (DispatchFastPath(ctx, request, lease, &response)) return response;
+  if (request.verb == Verb::kOpen) return ExecuteOpen(ctx, request, lease);
+  Result<ComputePlan> plan = PlanCompute(request, *lease);
+  if (!plan.ok()) {
+    return SerializeError(VerbToString(request.verb), plan.status());
+  }
+  return RunCompute(*plan, lease->engine()).response;
+}
+
+std::string ExecuteLine(const CommandContext& ctx, const std::string& line,
+                        EngineLease* lease) {
+  Result<Request> request = ParseRequest(line);
+  if (!request.ok()) return SerializeError("?", request.status());
+  return DispatchCommand(ctx, *request, lease);
 }
 
 }  // namespace disc

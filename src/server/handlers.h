@@ -98,9 +98,27 @@ struct ComputeResult {
 /// Runs the planned computation on `engine` and serializes the outcome.
 ComputeResult RunCompute(const ComputePlan& plan, DiscEngine& engine);
 
-/// The complete request path for one line with no coalescing: parse,
-/// check preconditions, dispatch per verb, serialize. Used by the blocking
-/// transport wholesale; the event loop composes the pieces above instead.
+/// The synchronous half of per-command dispatch, shared verbatim by the
+/// line, HTTP, and batch paths: answers every command that needs no engine
+/// job — precondition failures (OPEN with a session open, compute/STATS/
+/// CLOSE without one), STATS, CLOSE, and a stray BATCH envelope reaching
+/// single-command execution — and returns true with `*response` set.
+/// Returns false (response untouched) exactly when the command is an OPEN
+/// or a DIVERSIFY/ZOOM whose preconditions hold: the caller runs
+/// ExecuteOpen or PlanCompute+RunCompute, inline or on a worker.
+bool DispatchFastPath(const CommandContext& ctx, const Request& request,
+                      EngineLease* lease, std::string* response);
+
+/// The complete per-command request->handler->response pipeline with no
+/// coalescing: DispatchFastPath, else ExecuteOpen / PlanCompute+RunCompute
+/// inline. The single entry point the blocking transport and the batch
+/// executor's sequential path consume; the event loop composes
+/// DispatchFastPath with its own job dispatch instead.
+std::string DispatchCommand(const CommandContext& ctx, const Request& request,
+                            EngineLease* lease);
+
+/// ParseRequest + DispatchCommand: the complete request path for one raw
+/// line. Used by the blocking transport wholesale.
 std::string ExecuteLine(const CommandContext& ctx, const std::string& line,
                         EngineLease* lease);
 

@@ -380,8 +380,11 @@ Result<std::string> HttpRequestToCommandLine(const HttpRequest& request) {
   } else if (request.target == "/close") {
     verb = "CLOSE";
   } else {
+    // /batch never reaches this mapping: the event loop frames it into a
+    // batch unit before the one-command translation applies.
     return Status::NotFound(
-        "no such endpoint (want /open /diversify /zoom /stats /close): " +
+        "no such endpoint (want /open /diversify /zoom /stats /close "
+        "/batch): " +
         request.target);
   }
   const bool method_ok =

@@ -41,6 +41,7 @@ constexpr VerbInfo kVerbs[] = {
      "to"},
     {Verb::kStats, "STATS", {nullptr}, nullptr},
     {Verb::kClose, "CLOSE", {nullptr}, nullptr},
+    {Verb::kBatch, "BATCH", {"n", nullptr}, "n"},
 };
 
 const VerbInfo* FindVerb(const std::string& upper) {
@@ -128,7 +129,7 @@ Result<Request> ParseRequest(const std::string& line) {
   if (info == nullptr) {
     return Status::InvalidArgument(
         "unknown command '" + tokens[0] +
-        "' (want OPEN|DIVERSIFY|ZOOM|STATS|CLOSE)");
+        "' (want OPEN|DIVERSIFY|ZOOM|STATS|CLOSE|BATCH)");
   }
 
   Request request;
@@ -283,6 +284,123 @@ Result<ZoomRequest> DecodeZoom(const Request& request) {
                           ParseBoolArg("quality", *text));
   }
   return decoded;
+}
+
+Result<size_t> DecodeBatchSize(const Request& request) {
+  DISC_ASSIGN_OR_RETURN(uint64_t n, ParseUintArg("n", *FindArg(request, "n")));
+  if (n == 0) {
+    return Status::InvalidArgument("BATCH n must be positive");
+  }
+  if (n > kMaxBatchCommands) {
+    return Status::InvalidArgument(
+        "BATCH n=" + std::to_string(n) + " exceeds the limit of " +
+        std::to_string(kMaxBatchCommands) +
+        " commands per batch (pipeline multiple batches instead)");
+  }
+  return static_cast<size_t>(n);
+}
+
+Result<std::vector<std::string>> ParseJsonStringArray(
+    const std::string& text) {
+  size_t pos = 0;
+  const auto skip_ws = [&] {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  };
+  skip_ws();
+  if (pos >= text.size() || text[pos] != '[') {
+    return Status::InvalidArgument(
+        "batch body must be a JSON array of command strings");
+  }
+  ++pos;
+  std::vector<std::string> elements;
+  skip_ws();
+  if (pos < text.size() && text[pos] == ']') {
+    ++pos;
+  } else {
+    while (true) {
+      skip_ws();
+      if (pos >= text.size() || text[pos] != '"') {
+        return Status::InvalidArgument(
+            "batch array elements must be JSON strings");
+      }
+      ++pos;
+      std::string element;
+      while (true) {
+        if (pos >= text.size()) {
+          return Status::InvalidArgument("unterminated JSON string");
+        }
+        const char c = text[pos++];
+        if (c == '"') break;
+        if (c != '\\') {
+          if (static_cast<unsigned char>(c) < 0x20) {
+            return Status::InvalidArgument(
+                "unescaped control character in JSON string");
+          }
+          element += c;
+          continue;
+        }
+        if (pos >= text.size()) {
+          return Status::InvalidArgument("unterminated JSON escape");
+        }
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"': element += '"'; break;
+          case '\\': element += '\\'; break;
+          case '/': element += '/'; break;
+          case 'b': element += '\b'; break;
+          case 'f': element += '\f'; break;
+          case 'n': element += '\n'; break;
+          case 'r': element += '\r'; break;
+          case 't': element += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) {
+              return Status::InvalidArgument("truncated \\u escape");
+            }
+            unsigned code = 0;
+            const auto [end, ec] = std::from_chars(
+                text.data() + pos, text.data() + pos + 4, code, /*base=*/16);
+            if (ec != std::errc() || end != text.data() + pos + 4) {
+              return Status::InvalidArgument("malformed \\u escape");
+            }
+            // Command lines are ASCII; decoding multi-byte code points would
+            // only smuggle bytes ParseRequest rejects anyway.
+            if (code > 0x7F) {
+              return Status::InvalidArgument(
+                  "non-ASCII \\u escapes are not supported");
+            }
+            pos += 4;
+            element += static_cast<char>(code);
+            break;
+          }
+          default:
+            return Status::InvalidArgument("unknown JSON escape");
+        }
+      }
+      elements.push_back(std::move(element));
+      skip_ws();
+      if (pos >= text.size()) {
+        return Status::InvalidArgument("unterminated JSON array");
+      }
+      if (text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (text[pos] == ']') {
+        ++pos;
+        break;
+      }
+      return Status::InvalidArgument("malformed JSON array");
+    }
+  }
+  skip_ws();
+  if (pos != text.size()) {
+    return Status::InvalidArgument("trailing bytes after JSON array");
+  }
+  return elements;
 }
 
 // ---------------------------------------------------------------------------

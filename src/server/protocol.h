@@ -28,6 +28,7 @@
 #ifndef DISC_SERVER_PROTOCOL_H_
 #define DISC_SERVER_PROTOCOL_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -39,17 +40,22 @@
 
 namespace disc {
 
-/// The five session commands. kClose both answers and ends the lease; a
-/// client dropping the connection is an implicit CLOSE.
+/// The five session commands plus the BATCH framing envelope. kClose both
+/// answers and ends the lease; a client dropping the connection is an
+/// implicit CLOSE. kBatch is not a session command: it frames the next n
+/// command lines as one request unit (the transports intercept it before
+/// per-command dispatch; a BATCH line reaching single-command execution —
+/// e.g. nested inside another batch — is an error).
 enum class Verb {
   kOpen,
   kDiversify,
   kZoom,
   kStats,
   kClose,
+  kBatch,
 };
 
-/// "OPEN" / "DIVERSIFY" / "ZOOM" / "STATS" / "CLOSE".
+/// "OPEN" / "DIVERSIFY" / "ZOOM" / "STATS" / "CLOSE" / "BATCH".
 const char* VerbToString(Verb verb);
 
 /// A parsed command line: the verb plus its key=value arguments. Keys are
@@ -104,6 +110,22 @@ Result<bool> DecodeDiversifyAdapt(const Request& request);
 /// ZOOM -> ZoomRequest. greedy defaults to true, variant to greedy-a
 /// (kGreedyMostRed), distances to auto; center switches to local zooming.
 Result<ZoomRequest> DecodeZoom(const Request& request);
+
+/// Commands one BATCH envelope may frame (DoS bound: a batch consumes one
+/// admission slot, so its compute work must stay bounded; larger workloads
+/// pipeline multiple batches).
+inline constexpr size_t kMaxBatchCommands = 64;
+
+/// BATCH n= -> the framed command count. InvalidArgument when n is 0 or
+/// exceeds kMaxBatchCommands.
+Result<size_t> DecodeBatchSize(const Request& request);
+
+/// Parses a JSON array of strings — the POST /batch request body, each
+/// element one protocol command line. Strict about shape (top-level array,
+/// string elements, standard escapes; \uXXXX only for ASCII code points —
+/// command lines are ASCII) but tolerant of whitespace. InvalidArgument on
+/// anything else.
+Result<std::vector<std::string>> ParseJsonStringArray(const std::string& text);
 
 /// Minimal JSON-object builder for one response line. Fields keep insertion
 /// order; no nesting beyond the flat object plus integer arrays (all the

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "server/batch.h"
 #include "server/handlers.h"
 #include "server/net.h"
 #include "server/protocol.h"
@@ -60,6 +61,44 @@ Status DiscServer::Listen() {
 
 namespace internal {
 namespace {
+
+/// True when the line's first token is the BATCH envelope verb.
+bool IsBatchEnvelope(const std::string& line) {
+  const size_t begin = line.find_first_not_of(" \t");
+  if (begin == std::string::npos) return false;
+  size_t end = line.find_first_of(" \t", begin);
+  if (end == std::string::npos) end = line.size();
+  return line.compare(begin, end - begin, "BATCH") == 0;
+}
+
+/// Blocking-transport BATCH: reads the n framed lines off the channel and
+/// executes them as one unit through server/batch.h — with coalesce=false,
+/// a plain sequential dispatch, because this transport never coalesces
+/// per-command either. A bad envelope answers ONE error line under cmd
+/// "BATCH" and skips no input (the frame never started). Returns false
+/// when the connection should end (EOF mid-frame or a write error).
+bool HandleBatchFrame(LineChannel& channel, const CommandContext& ctx,
+                      const std::string& envelope, EngineLease* lease) {
+  const Result<Request> request = ParseRequest(envelope);
+  const Result<size_t> n = request.ok()
+                               ? DecodeBatchSize(*request)
+                               : Result<size_t>(request.status());
+  if (!n.ok()) {
+    return channel.WriteLine(SerializeError("BATCH", n.status())).ok();
+  }
+  std::vector<std::string> lines;
+  lines.reserve(*n);
+  for (size_t i = 0; i < *n; ++i) {
+    Result<std::string> line = channel.ReadLine();
+    if (!line.ok()) return false;  // EOF mid-frame: drop the batch
+    lines.push_back(std::move(*line));
+  }
+  for (const std::string& response :
+       ExecuteBatch(ctx, lines, lease, /*coalesce=*/false)) {
+    if (!channel.WriteLine(response).ok()) return false;
+  }
+  return true;
+}
 
 /// The original transport: a blocking accept loop feeds accepted
 /// connections to a fixed pool of worker threads; each worker speaks the
@@ -161,6 +200,10 @@ class BlockingServer final : public DiscServer {
       if (!line.ok()) return;  // EOF or socket error: implicit CLOSE
       // Skip blank lines so `printf '...\n\n'`-style drivers are harmless.
       if (line->find_first_not_of(" \t") == std::string::npos) continue;
+      if (IsBatchEnvelope(*line)) {
+        if (!HandleBatchFrame(channel, ctx, *line, &lease)) return;
+        continue;
+      }
       std::string response;
       try {
         response = ExecuteLine(ctx, *line, &lease);

@@ -149,7 +149,9 @@ Status SessionManager::Prewarm(const std::vector<EngineConfig>& configs,
 
 FlightJoin SessionManager::JoinFlight(const std::string& key,
                                       FlightWaiter waiter,
-                                      FlightOutcome* cached) {
+                                      FlightOutcome* cached,
+                                      const std::string& adapt_family,
+                                      double radius) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto it = results_.begin(); it != results_.end(); ++it) {
     if (it->key == key) {
@@ -161,12 +163,54 @@ FlightJoin SessionManager::JoinFlight(const std::string& key,
   }
   auto [it, inserted] = flights_.try_emplace(key);
   if (inserted) {
+    // Advertise the in-progress computation to JoinAdaptFollower: a
+    // compatible request at another radius can ride it instead of leading
+    // its own cold solve.
+    it->second.adapt_family = adapt_family;
+    it->second.radius = radius;
+    it->second.seq = next_flight_seq_++;
     ++stats_.flights_led;
     return FlightJoin::kLeader;
   }
   it->second.waiters.push_back(std::move(waiter));
   ++stats_.flights_coalesced;
   return FlightJoin::kFollower;
+}
+
+bool SessionManager::JoinAdaptFollower(const std::string& family,
+                                       double radius, FlightWaiter waiter) {
+  if (family.empty()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto best = flights_.end();
+  for (auto it = flights_.begin(); it != flights_.end(); ++it) {
+    const Flight& flight = it->second;
+    if (flight.adapt_family != family) continue;
+    // Equal-radius flights coalesce through the exact flight key (or, off
+    // by a non-family knob like quality, must not pretend to zoom to the
+    // same radius) — same rule as FindAdaptableSeed over the memo.
+    if (flight.radius == radius) continue;
+    if (best == flights_.end()) {
+      best = it;
+      continue;
+    }
+    const double delta = std::abs(flight.radius - radius);
+    const double best_delta = std::abs(best->second.radius - radius);
+    // Closest radius wins; ties go to the most recently led flight.
+    if (delta < best_delta ||
+        (delta == best_delta && flight.seq > best->second.seq)) {
+      best = it;
+    }
+  }
+  if (best == flights_.end()) return false;
+  best->second.waiters.push_back(std::move(waiter));
+  ++stats_.flights_adapt_followed;
+  return true;
+}
+
+void SessionManager::RetractAdaptFlight(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = flights_.find(key);
+  if (it != flights_.end()) it->second.adapt_family.clear();
 }
 
 void SessionManager::FinishFlight(const std::string& key,

@@ -26,6 +26,7 @@
 #define DISC_SERVER_SESSION_MANAGER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
@@ -148,6 +149,11 @@ struct SessionManagerStats {
   /// Requests served by adapting a memoized outcome at a different radius
   /// (FindAdaptableSeed hits).
   size_t flights_adapted = 0;
+  /// Requests that registered as adapt-followers of an *in-flight* leader
+  /// in the same family at a different radius (JoinAdaptFollower hits):
+  /// proactive §5.2 adaptation — the queued flight adopts the leader's
+  /// capsule on completion instead of recomputing cold.
+  size_t flights_adapt_followed = 0;
 };
 
 class SessionManager {
@@ -185,8 +191,17 @@ class SessionManager {
   /// Returns kLeader when the caller should run the computation, kFollower
   /// when `waiter` was attached to an in-progress flight, or kCached when a
   /// memoized outcome was copied into `*cached` (waiter dropped).
+  ///
+  /// A caller that becomes leader of a DIVERSIFY whose outcome could seed
+  /// §5.2 radius adaptation passes the plan's `adapt_family` and radius:
+  /// the in-progress flight is then *advertised* to JoinAdaptFollower, so a
+  /// compatible request at another radius can ride this computation instead
+  /// of starting its own. Followers' family arguments are ignored (the
+  /// leader already advertised).
   FlightJoin JoinFlight(const std::string& key, FlightWaiter waiter,
-                        FlightOutcome* cached);
+                        FlightOutcome* cached,
+                        const std::string& adapt_family = "",
+                        double radius = 0.0);
 
   /// Completes the flight `key`: removes the flight and (when `memoize`)
   /// inserts the outcome into the LRU memo under one lock, then invokes
@@ -205,6 +220,29 @@ class SessionManager {
   /// engine's zoom adaptation toward its own radius (DiscEngine::AdaptFrom).
   bool FindAdaptableSeed(const std::string& family, double radius,
                          FlightOutcome* seed, double* seed_radius);
+
+  /// Proactive §5.2 adaptation across requests: when a flight advertising
+  /// `family` (see JoinFlight) is in progress at a radius other than
+  /// `radius`, attaches `waiter` to it and returns true — the caller then
+  /// does NOT run its own computation; on the leader's completion the
+  /// waiter receives the leader's outcome and (when it is a seedable cold
+  /// solve: non-empty outcome.adapt_family, non-null capsule) adapts its
+  /// capsule to the caller's radius via DiscEngine::AdaptFrom, falling back
+  /// to a cold computation otherwise. Among several in-flight candidates
+  /// the closest radius wins, most recently led on ties — mirroring
+  /// FindAdaptableSeed over the memo. Counts flights_adapt_followed.
+  /// Returns false (waiter dropped) when no compatible flight is in
+  /// progress.
+  bool JoinAdaptFollower(const std::string& family, double radius,
+                         FlightWaiter waiter);
+
+  /// Withdraws the flight `key` from JoinAdaptFollower matching. A leader
+  /// calls this the moment it decides its outcome will NOT be a seedable
+  /// cold solve — it found a seed itself (memo or in-flight) and will
+  /// produce an *adapted* outcome — so a would-be adapt-follower prefers a
+  /// genuinely cold flight (or the memo) over chaining onto an adapted one
+  /// and falling back cold. No-op when the flight already finished.
+  void RetractAdaptFlight(const std::string& key);
 
   SessionManagerStats stats() const;
 
@@ -230,6 +268,15 @@ class SessionManager {
 
   struct Flight {
     std::vector<FlightWaiter> waiters;
+    /// Advertised by the leader (JoinFlight's trailing arguments): the
+    /// radius-compatibility family and radius of a DIVERSIFY whose outcome
+    /// may seed adaptation, so JoinAdaptFollower can find this flight while
+    /// it is still in the air. Empty family = not adaptable-from.
+    std::string adapt_family;
+    double radius = 0.0;
+    /// Monotonic lead order; breaks JoinAdaptFollower distance ties toward
+    /// the most recently led flight (mirroring the memo's LRU tie-break).
+    uint64_t seq = 0;
   };
   struct CachedResult {
     std::string key;
@@ -241,6 +288,7 @@ class SessionManager {
   std::list<IdleEngine> idle_;
   /// In-progress computations keyed by flight key.
   std::unordered_map<std::string, Flight> flights_;
+  uint64_t next_flight_seq_ = 0;
   /// Completed-flight outcomes, most recently finished at the front.
   std::list<CachedResult> results_;
   SessionManagerStats stats_;

@@ -34,6 +34,7 @@ TEST(ParseRequestTest, ParsesEveryVerb) {
   EXPECT_EQ(MustParse("ZOOM to=0.01").verb, Verb::kZoom);
   EXPECT_EQ(MustParse("STATS").verb, Verb::kStats);
   EXPECT_EQ(MustParse("CLOSE").verb, Verb::kClose);
+  EXPECT_EQ(MustParse("BATCH n=4").verb, Verb::kBatch);
 }
 
 TEST(ParseRequestTest, VerbIsCaseInsensitive) {
@@ -230,6 +231,68 @@ TEST(DecodeZoomTest, RejectsBadValues) {
   EXPECT_FALSE(DecodeZoom(MustParse("ZOOM to=0.1 variant=greedy-z")).ok());
   EXPECT_FALSE(DecodeZoom(MustParse("ZOOM to=0.1 center=-3")).ok());
   EXPECT_FALSE(DecodeZoom(MustParse("ZOOM to=0.1 distances=maybe")).ok());
+}
+
+// ---------------------------------------------------------------------------
+// The BATCH envelope: DecodeBatchSize and the POST /batch body parser
+// ---------------------------------------------------------------------------
+
+TEST(DecodeBatchSizeTest, DecodesWithinBounds) {
+  auto one = DecodeBatchSize(MustParse("BATCH n=1"));
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  EXPECT_EQ(*one, 1u);
+  auto max = DecodeBatchSize(
+      MustParse("BATCH n=" + std::to_string(kMaxBatchCommands)));
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(*max, kMaxBatchCommands);
+}
+
+TEST(DecodeBatchSizeTest, RejectsZeroOversizeAndMalformedCounts) {
+  auto zero = DecodeBatchSize(MustParse("BATCH n=0"));
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.status().code(), StatusCode::kInvalidArgument);
+
+  auto oversize = DecodeBatchSize(
+      MustParse("BATCH n=" + std::to_string(kMaxBatchCommands + 1)));
+  ASSERT_FALSE(oversize.ok());
+  EXPECT_NE(oversize.status().message().find("exceeds the limit"),
+            std::string::npos)
+      << oversize.status().ToString();
+
+  EXPECT_FALSE(DecodeBatchSize(MustParse("BATCH n=four")).ok());
+  // n is required, and the envelope takes no other keys.
+  EXPECT_FALSE(ParseRequest("BATCH").ok());
+  EXPECT_FALSE(ParseRequest("BATCH n=2 r=0.1").ok());
+}
+
+TEST(ParseJsonStringArrayTest, ParsesCommandsWithEscapesAndWhitespace) {
+  auto commands = ParseJsonStringArray(
+      " [ \"OPEN dataset=cities\" ,\n\t\"DIVERSIFY r=0.05\" ] ");
+  ASSERT_TRUE(commands.ok()) << commands.status().ToString();
+  ASSERT_EQ(commands->size(), 2u);
+  EXPECT_EQ((*commands)[0], "OPEN dataset=cities");
+  EXPECT_EQ((*commands)[1], "DIVERSIFY r=0.05");
+
+  auto escaped = ParseJsonStringArray(R"(["a\"b\\cA\t"])");
+  ASSERT_TRUE(escaped.ok()) << escaped.status().ToString();
+  ASSERT_EQ(escaped->size(), 1u);
+  EXPECT_EQ((*escaped)[0], "a\"b\\cA\t");
+
+  auto empty = ParseJsonStringArray("[]");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(ParseJsonStringArrayTest, RejectsNonArrayShapes) {
+  for (const char* bad :
+       {"", "not json", "{\"a\":1}", "[1,2]", "[\"a\",]", "[\"a\"",
+        "[\"a\"] trailing", "[\"unterminated]", R"(["bad \x escape"])"}) {
+    auto parsed = ParseJsonStringArray(bad);
+    EXPECT_FALSE(parsed.ok()) << bad;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << bad;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

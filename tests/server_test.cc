@@ -17,6 +17,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -75,6 +76,15 @@ std::string AdaptedPrefix(const DiversifyResponse& response,
   std::string line = SerializeAdaptedResponse(response, seed_radius,
                                               /*include_wall_ms=*/false);
   return line.substr(0, line.size() - 1);  // drop the closing brace
+}
+
+/// Everything before the machine-dependent trailing wall_ms field (the
+/// whole line when it carries none) — for comparing full transcripts
+/// produced by two different runs, where the replica-prefix helpers above
+/// do not apply.
+std::string StripWallMs(const std::string& line) {
+  const size_t pos = line.find(",\"wall_ms\":");
+  return pos == std::string::npos ? line : line.substr(0, pos);
 }
 
 EngineConfig TestConfig(size_t n = 400, uint64_t seed = 9) {
@@ -663,6 +673,166 @@ TEST(ServerAdaptTest, AdaptWithoutCompatibleSeedComputesCold) {
 }
 
 // ---------------------------------------------------------------------------
+// Proactive adaptation *across* requests: a flight queued at r' while a
+// same-family solve at r is still in the air rides that computation
+// instead of leading its own.
+// ---------------------------------------------------------------------------
+
+/// A memoizable seedable outcome for driving the manager's radius-aware
+/// paths directly (the capsule contents never matter for selection).
+FlightOutcome SeedOutcome(const std::string& family, double radius,
+                          const std::string& response) {
+  FlightOutcome outcome;
+  outcome.response = response;
+  outcome.capsule = std::make_shared<DiscEngine::SessionCapsule>();
+  outcome.adapt_family = family;
+  outcome.radius = radius;
+  return outcome;
+}
+
+TEST(SessionManagerTest, FindAdaptableSeedPrefersMostRecentOnEqualDistance) {
+  // Exactly representable radii, so 0.5 really is equidistant from both.
+  SessionManager manager(/*max_idle_engines=*/0, /*max_cached_results=*/8);
+  manager.FinishFlight("k-old", SeedOutcome("fam", 0.25, "older"), true);
+
+  // With a single memoized outcome: equal radius never matches (that is
+  // the exact single-flight/memo path), and neither does a foreign family.
+  FlightOutcome seed;
+  double seed_radius = 0.0;
+  EXPECT_FALSE(manager.FindAdaptableSeed("fam", 0.25, &seed, &seed_radius));
+  EXPECT_FALSE(manager.FindAdaptableSeed("other", 0.5, &seed, &seed_radius));
+
+  // The tie goes to the most recently finished outcome (its caches are the
+  // warmer bet).
+  manager.FinishFlight("k-new", SeedOutcome("fam", 0.75, "newer"), true);
+  ASSERT_TRUE(manager.FindAdaptableSeed("fam", 0.5, &seed, &seed_radius));
+  EXPECT_EQ(seed_radius, 0.75);
+  EXPECT_EQ(seed.response, "newer");
+  EXPECT_EQ(manager.stats().flights_adapted, 1u);
+}
+
+TEST(SessionManagerTest, FindAdaptableSeedTouchKeepsTheHitWarmInTheLru) {
+  // Cap of two: memoizing a third outcome evicts the LRU entry. The seed
+  // hit must have touched its entry to the front, so the eviction falls on
+  // the newer-but-untouched outcome instead.
+  SessionManager manager(/*max_idle_engines=*/0, /*max_cached_results=*/2);
+  manager.FinishFlight("k-old", SeedOutcome("fam", 0.04, "old"), true);
+  manager.FinishFlight("k-new", SeedOutcome("fam", 0.08, "new"), true);
+
+  FlightOutcome seed;
+  double seed_radius = 0.0;
+  // 0.03 selects the older entry (|0.01| beats |0.05|) and LRU-touches it.
+  ASSERT_TRUE(manager.FindAdaptableSeed("fam", 0.03, &seed, &seed_radius));
+  EXPECT_EQ(seed_radius, 0.04);
+
+  manager.FinishFlight("k-third", SeedOutcome("other", 0.5, "third"), true);
+  // Without the touch, 0.04 would be the entry that just got evicted.
+  ASSERT_TRUE(manager.FindAdaptableSeed("fam", 0.07, &seed, &seed_radius));
+  EXPECT_EQ(seed_radius, 0.04);
+}
+
+TEST(SessionManagerTest, AdaptFollowerPicksClosestInFlightRadius) {
+  SessionManager manager(/*max_idle_engines=*/0);
+  FlightOutcome cached;
+  ASSERT_EQ(manager.JoinFlight("fa", nullptr, &cached, "fam", 0.25),
+            FlightJoin::kLeader);
+
+  // With a single in-flight candidate: no same-radius ride-along, no
+  // cross-family ride-along.
+  EXPECT_FALSE(
+      manager.JoinAdaptFollower("fam", 0.25, [](const FlightOutcome&) {}));
+  EXPECT_FALSE(
+      manager.JoinAdaptFollower("other", 0.5, [](const FlightOutcome&) {}));
+
+  // 0.375 rides the closest in-flight radius (0.25, not 1.0) and receives
+  // that leader's outcome on completion.
+  ASSERT_EQ(manager.JoinFlight("fb", nullptr, &cached, "fam", 1.0),
+            FlightJoin::kLeader);
+  std::string got;
+  ASSERT_TRUE(manager.JoinAdaptFollower(
+      "fam", 0.375, [&](const FlightOutcome& o) { got = o.response; }));
+  EXPECT_EQ(manager.stats().flights_adapt_followed, 1u);
+  manager.FinishFlight("fa", SeedOutcome("fam", 0.25, "lead-a"), false);
+  EXPECT_EQ(got, "lead-a");
+  manager.FinishFlight("fb", SeedOutcome("fam", 1.0, "lead-b"), false);
+}
+
+TEST(SessionManagerTest, AdaptFollowerTieBreaksTowardTheNewestLeader) {
+  SessionManager manager(/*max_idle_engines=*/0);
+  FlightOutcome cached;
+  ASSERT_EQ(manager.JoinFlight("fa", nullptr, &cached, "fam", 0.25),
+            FlightJoin::kLeader);
+  ASSERT_EQ(manager.JoinFlight("fb", nullptr, &cached, "fam", 0.75),
+            FlightJoin::kLeader);
+
+  // 0.5 is (exactly) equidistant from both in-flight radii: the most
+  // recently led flight wins, mirroring the memo's tie-break.
+  std::string got;
+  ASSERT_TRUE(manager.JoinAdaptFollower(
+      "fam", 0.5, [&](const FlightOutcome& o) { got = o.response; }));
+  manager.FinishFlight("fb", SeedOutcome("fam", 0.75, "lead-b"), false);
+  EXPECT_EQ(got, "lead-b");
+
+  // A retracted flight no longer matches: its outcome will be adapted, not
+  // a seedable cold solve, so chaining onto it would only fall back cold.
+  manager.RetractAdaptFlight("fa");
+  EXPECT_FALSE(
+      manager.JoinAdaptFollower("fam", 0.5, [](const FlightOutcome&) {}));
+  manager.FinishFlight("fa", SeedOutcome("fam", 0.25, "lead-a"), false);
+}
+
+TEST(ServerAdaptTest, QueuedFlightAdoptsInFlightLeaderAcrossRequests) {
+  // A DIVERSIFY adapt=true queued at r' while a same-family solve at r is
+  // still *in flight* must not lead its own cold computation: it registers
+  // as an adapt-follower, adopts the leader's capsule on completion, and
+  // zooms to r' — byte-identical to the adopt-then-zoom chain run cold,
+  // with exactly one computation on the follower's engine (the cold chain
+  // costs two).
+  auto server = StartServer();
+
+  EngineConfig config = TestConfig(20000, 9);
+  auto engine = DiscEngine::Create(config);
+  ASSERT_TRUE(engine.ok());
+  DiversifyRequest seed_request;
+  seed_request.radius = 0.004;
+  ASSERT_TRUE((*engine)->Diversify(seed_request).ok());
+  ZoomRequest adapt_zoom;
+  adapt_zoom.radius = 0.003;
+  auto expected = (*engine)->Zoom(adapt_zoom);
+  ASSERT_TRUE(expected.ok());
+
+  LineClient leader = ConnectTo(*server);
+  LineClient follower = ConnectTo(*server);
+  MustRoundtrip(leader, "OPEN dataset=clustered n=20000 dim=2 seed=9");
+  MustRoundtrip(follower, "OPEN dataset=clustered n=20000 dim=2 seed=9");
+
+  // The leader's cold solve takes >100ms at this n (sanitizers only widen
+  // the window); the follower's request lands well inside it.
+  std::string leader_wire;
+  std::thread leader_thread(
+      [&] { leader_wire = MustRoundtrip(leader, "DIVERSIFY r=0.004"); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::string adapted =
+      MustRoundtrip(follower, "DIVERSIFY r=0.003 adapt=true");
+  leader_thread.join();
+
+  EXPECT_NE(leader_wire.find("\"ok\":true"), std::string::npos)
+      << leader_wire;
+  EXPECT_EQ(adapted.rfind(AdaptedPrefix(*expected, 0.004), 0), 0u) << adapted;
+
+  std::string stats = MustRoundtrip(follower, "STATS");
+  EXPECT_EQ(ExtractUint(stats, "computations"), 1u) << stats;
+  EXPECT_EQ(ExtractUint(stats, "coalesced"), 1u) << stats;
+
+  SessionManagerStats manager = server->manager_stats();
+  EXPECT_EQ(manager.flights_adapt_followed, 1u);
+  EXPECT_EQ(manager.flights_adapted, 0u);  // never reached the memo path
+
+  MustRoundtrip(leader, "CLOSE");
+  MustRoundtrip(follower, "CLOSE");
+}
+
+// ---------------------------------------------------------------------------
 // The HTTP/1.1 transport (ISSUE 7): same commands, same JSON bodies, one
 // POST per command over a keep-alive connection (= one session).
 // ---------------------------------------------------------------------------
@@ -852,6 +1022,269 @@ TEST(ServerHttpTest, BusyRejectionIsA503WithRetryAfter) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// The BATCH envelope (the batch-first API): k commands, one unit, k
+// responses in order — byte-identical to running the commands one at a
+// time, with per-command error isolation and a planner that runs one cold
+// solve per adapt family.
+// ---------------------------------------------------------------------------
+
+/// Ships one well-formed BATCH frame over the line transport and reads the
+/// k response lines it owes.
+std::vector<std::string> RunLineBatch(
+    LineClient& client, const std::vector<std::string>& commands) {
+  EXPECT_TRUE(
+      client.SendLine("BATCH n=" + std::to_string(commands.size())).ok());
+  for (const std::string& command : commands) {
+    EXPECT_TRUE(client.SendLine(command).ok());
+  }
+  std::vector<std::string> responses;
+  responses.reserve(commands.size());
+  for (size_t i = 0; i < commands.size(); ++i) {
+    auto line = client.RecvLine();
+    EXPECT_TRUE(line.ok()) << "response " << i << ": "
+                           << line.status().ToString();
+    responses.push_back(line.ok() ? *line : "");
+  }
+  return responses;
+}
+
+/// Splits an HTTP /batch response body into its protocol lines.
+std::vector<std::string> SplitResponseLines(const std::string& body) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < body.size()) {
+    size_t end = body.find('\n', start);
+    if (end == std::string::npos) end = body.size();
+    lines.push_back(body.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+/// The transcript both byte-identity tests replay: a session that exercises
+/// cold, adapted, zoom, stats, and close responses.
+const std::vector<std::string>& BatchTranscript() {
+  static const std::vector<std::string> commands = {
+      "OPEN dataset=clustered n=400 dim=2 seed=9",
+      "DIVERSIFY r=0.08",
+      "DIVERSIFY r=0.05 adapt=true",
+      "ZOOM to=0.03",
+      "STATS",
+      "CLOSE",
+  };
+  return commands;
+}
+
+/// Runs the transcript one command at a time on its own fresh server (so
+/// pool and memo state match a fresh batch server) and returns the lines.
+std::vector<std::string> SequentialReference(
+    const std::vector<std::string>& commands) {
+  auto server = StartServer();
+  LineClient client = ConnectTo(*server);
+  std::vector<std::string> responses;
+  responses.reserve(commands.size());
+  for (const std::string& command : commands) {
+    responses.push_back(MustRoundtrip(client, command));
+  }
+  return responses;
+}
+
+TEST(ServerBatchTest, BatchMatchesSequentialExecutionByteForByte) {
+  const std::vector<std::string>& commands = BatchTranscript();
+  const std::vector<std::string> expected = SequentialReference(commands);
+
+  auto server = StartServer();
+  LineClient client = ConnectTo(*server);
+  const std::vector<std::string> responses = RunLineBatch(client, commands);
+  ASSERT_EQ(responses.size(), expected.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(StripWallMs(responses[i]), StripWallMs(expected[i]))
+        << commands[i];
+  }
+
+  // The envelope is pure framing: the same connection keeps working in
+  // plain lockstep afterwards.
+  std::string open = MustRoundtrip(client, commands[0]);
+  EXPECT_NE(open.find("\"ok\":true"), std::string::npos) << open;
+}
+
+TEST(ServerBatchTest, HttpBatchMatchesSequentialExecutionByteForByte) {
+  const std::vector<std::string>& commands = BatchTranscript();
+  const std::vector<std::string> expected = SequentialReference(commands);
+
+  auto server = StartServer();
+  HttpClient client = HttpConnectTo(*server);
+  std::string body = "[";
+  for (size_t i = 0; i < commands.size(); ++i) {
+    if (i > 0) body += ",";
+    body += "\"" + commands[i] + "\"";  // no quoting needed: plain ASCII
+  }
+  body += "]";
+  auto response = client.Post("/batch", body);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200) << response->body;
+  ASSERT_FALSE(response->body.empty());
+  EXPECT_EQ(response->body.back(), '\n');
+
+  const std::vector<std::string> lines = SplitResponseLines(response->body);
+  ASSERT_EQ(lines.size(), expected.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(StripWallMs(lines[i]), StripWallMs(expected[i])) << commands[i];
+  }
+}
+
+TEST(ServerBatchTest, PlannerRunsOneColdSolvePerAdaptFamily) {
+  auto server = StartServer();
+
+  // Replica of the planner's contract: ONE cold solve at the first radius
+  // of the family, every other member adapted from that anchor's capsule.
+  auto engine = DiscEngine::Create(TestConfig());
+  ASSERT_TRUE(engine.ok());
+  DiversifyRequest anchor;
+  anchor.radius = 0.08;
+  auto cold = (*engine)->Diversify(anchor);
+  ASSERT_TRUE(cold.ok());
+  auto capsule = (*engine)->ExportSession();
+  ZoomRequest to_005;
+  to_005.radius = 0.05;
+  auto adapted_005 = (*engine)->AdaptFrom(capsule, to_005);
+  ASSERT_TRUE(adapted_005.ok());
+  ZoomRequest to_006;
+  to_006.radius = 0.06;
+  auto adapted_006 = (*engine)->AdaptFrom(capsule, to_006);
+  ASSERT_TRUE(adapted_006.ok());
+
+  LineClient client = ConnectTo(*server);
+  const std::vector<std::string> responses = RunLineBatch(
+      client, {
+                  "OPEN dataset=clustered n=400 dim=2 seed=9",
+                  "DIVERSIFY r=0.08 adapt=true",
+                  "DIVERSIFY r=0.05 adapt=true",
+                  "DIVERSIFY r=0.06 adapt=true",
+                  "STATS",
+                  "CLOSE",
+              });
+  ASSERT_EQ(responses.size(), 6u);
+
+  // The family's first member computes cold — no adapted fields...
+  EXPECT_EQ(responses[1].rfind(DeterministicPrefix(Verb::kDiversify, *cold),
+                               0),
+            0u)
+      << responses[1];
+  EXPECT_EQ(responses[1].find("\"adapted\""), std::string::npos)
+      << responses[1];
+
+  // ...and every other member zooms from the 0.08 anchor (the memo keeps
+  // only cold solves seedable, so both adapt from 0.08, not from each
+  // other).
+  EXPECT_EQ(responses[2].rfind(AdaptedPrefix(*adapted_005, 0.08), 0), 0u)
+      << responses[2];
+  EXPECT_EQ(responses[3].rfind(AdaptedPrefix(*adapted_006, 0.08), 0), 0u)
+      << responses[3];
+
+  // One cold solve + two zoom adaptations on the session's engine.
+  EXPECT_EQ(ExtractUint(responses[4], "computations"), 3u) << responses[4];
+  EXPECT_EQ(ExtractUint(responses[4], "coalesced"), 2u) << responses[4];
+  EXPECT_EQ(server->manager_stats().flights_adapted, 2u);
+}
+
+TEST(ServerBatchTest, BatchIsolatesPerCommandErrors) {
+  auto server = StartServer();
+  LineClient client = ConnectTo(*server);
+  const std::vector<std::string> responses = RunLineBatch(
+      client, {
+                  "OPEN dataset=clustered n=300 dim=2 seed=5",
+                  "DIVERSIFY",  // missing r= — fails alone
+                  "DIVERSIFY r=0.1",
+                  "CLOSE",
+              });
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_NE(responses[0].find("\"ok\":true"), std::string::npos)
+      << responses[0];
+  EXPECT_NE(responses[1].find("\"ok\":false"), std::string::npos)
+      << responses[1];
+  EXPECT_NE(responses[1].find("\"code\":\"InvalidArgument\""),
+            std::string::npos)
+      << responses[1];
+  EXPECT_NE(responses[2].find("\"ok\":true"), std::string::npos)
+      << responses[2];
+  EXPECT_EQ(responses[3], "{\"ok\":true,\"cmd\":\"CLOSE\"}");
+}
+
+TEST(ServerBatchTest, EnvelopeErrorsAnswerOneLineAndNestingIsRejected) {
+  auto server = StartServer();
+  LineClient client = ConnectTo(*server);
+
+  // Envelope-level failures owe ONE line under cmd "BATCH" — no command
+  // slots follow, and the connection stays usable.
+  ASSERT_TRUE(client.SendLine("BATCH n=0").ok());
+  auto zero = client.RecvLine();
+  ASSERT_TRUE(zero.ok());
+  EXPECT_NE(zero->find("\"cmd\":\"BATCH\""), std::string::npos) << *zero;
+  EXPECT_NE(zero->find("\"code\":\"InvalidArgument\""), std::string::npos)
+      << *zero;
+
+  ASSERT_TRUE(client.SendLine("BATCH n=65").ok());
+  auto oversize = client.RecvLine();
+  ASSERT_TRUE(oversize.ok());
+  EXPECT_NE(oversize->find("exceeds the limit"), std::string::npos)
+      << *oversize;
+
+  // A BATCH line *inside* a frame is a per-command error (the envelope is
+  // framing, not a command), and a blank slot owes its response too — a
+  // batch answers one line per slot, unlike the streaming blank-line skip.
+  const std::vector<std::string> responses =
+      RunLineBatch(client, {"BATCH n=2", "", "STATS"});
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_NE(responses[0].find("cannot be nested"), std::string::npos)
+      << responses[0];
+  EXPECT_NE(responses[1].find("\"ok\":false"), std::string::npos)
+      << responses[1];
+  EXPECT_NE(responses[2].find("\"cmd\":\"STATS\""), std::string::npos)
+      << responses[2];
+
+  // Still a working lockstep connection afterwards.
+  std::string open =
+      MustRoundtrip(client, "OPEN dataset=uniform n=100 dim=2 seed=1");
+  EXPECT_NE(open.find("\"ok\":true"), std::string::npos) << open;
+}
+
+TEST(ServerBatchTest, HttpBatchEnvelopeFailuresAnswerOneErrorLine) {
+  auto server = StartServer();
+  HttpClient client = HttpConnectTo(*server);
+
+  auto bad_json = client.Post("/batch", "not json");
+  ASSERT_TRUE(bad_json.ok());
+  EXPECT_EQ(bad_json->status, 400) << bad_json->body;
+  EXPECT_NE(bad_json->body.find("\"cmd\":\"BATCH\""), std::string::npos)
+      << bad_json->body;
+
+  auto empty = client.Post("/batch", "[]");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->status, 400) << empty->body;
+
+  auto get = client.Get("/batch");
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(get->status, 400) << get->body;
+  EXPECT_NE(get->body.find("requires POST"), std::string::npos) << get->body;
+
+  // Error isolation holds over HTTP too: a bad middle command answers in
+  // place, the envelope still succeeds with one line per slot.
+  auto mixed = client.Post(
+      "/batch",
+      "[\"OPEN dataset=clustered n=300 dim=2 seed=5\",\"BOGUS\","
+      "\"DIVERSIFY r=0.1\",\"CLOSE\"]");
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(mixed->status, 200) << mixed->body;
+  const std::vector<std::string> lines = SplitResponseLines(mixed->body);
+  ASSERT_EQ(lines.size(), 4u) << mixed->body;
+  EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("\"ok\":false"), std::string::npos) << lines[1];
+  EXPECT_NE(lines[2].find("\"ok\":true"), std::string::npos) << lines[2];
+  EXPECT_EQ(lines[3], "{\"ok\":true,\"cmd\":\"CLOSE\"}");
+}
+
 TEST(ServerTest, ShutdownDisconnectsClientsAndJoins) {
   auto server = StartServer();
   LineClient client = ConnectTo(*server);
@@ -981,6 +1414,54 @@ TEST(DaemonSmokeTest, HttpTranscriptThroughDiscClient) {
     ++ok_count;
   }
   EXPECT_EQ(ok_count, 5u) << output;
+}
+
+TEST(DaemonSmokeTest, BatchTranscriptMatchesSequentialThroughDiscClient) {
+  // The --batch contract: stdout is byte-identical to running the same
+  // commands without --batch. Two fresh daemons, so both runs see identical
+  // pool/memo state; only the machine-dependent wall_ms field may differ.
+  const char* transcript =
+      "OPEN dataset=clustered n=300 dim=2 seed=5\\n"
+      "DIVERSIFY r=0.1\\nDIVERSIFY r=0.07 adapt=true\\n"
+      "ZOOM to=0.05\\nSTATS\\nCLOSE\\n";
+  auto run = [&](const Daemon& daemon, const char* extra_flags,
+                 int* exit_code) {
+    std::string cmd = std::string("printf '") + transcript + "' | " +
+                      DISC_CLIENT_PATH + extra_flags +
+                      " --port=" + std::to_string(daemon.port) +
+                      " 2>/dev/null";
+    FILE* pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string output;
+    char buffer[512];
+    while (pipe != nullptr &&
+           std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+      output += buffer;
+    }
+    *exit_code = pipe != nullptr ? pclose(pipe) : -1;
+    return output;
+  };
+
+  Daemon sequential_daemon = SpawnDaemon();
+  Daemon batch_daemon = SpawnDaemon();
+  ASSERT_GT(sequential_daemon.port, 0);
+  ASSERT_GT(batch_daemon.port, 0);
+  int sequential_exit = 0;
+  int batch_exit = 0;
+  const std::string sequential = run(sequential_daemon, "", &sequential_exit);
+  const std::string batched = run(batch_daemon, " --batch", &batch_exit);
+  StopDaemon(sequential_daemon);
+  StopDaemon(batch_daemon);
+
+  EXPECT_EQ(WEXITSTATUS(sequential_exit), 0) << sequential;
+  EXPECT_EQ(WEXITSTATUS(batch_exit), 0) << batched;
+  const std::vector<std::string> expected = SplitResponseLines(sequential);
+  const std::vector<std::string> lines = SplitResponseLines(batched);
+  ASSERT_EQ(expected.size(), 6u) << sequential;
+  ASSERT_EQ(lines.size(), expected.size()) << batched;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(StripWallMs(lines[i]), StripWallMs(expected[i])) << i;
+  }
 }
 
 TEST(DaemonSmokeTest, DaemonServesConcurrentClients) {

@@ -22,6 +22,13 @@ Command extraction:
     ignored. All requests in one transcript ride ONE keep-alive
     connection, i.e. one session.
 
+Batch framing (docs/PROTOCOL.md section 9) is understood on both sides:
+a line-transcript `BATCH n=<k>` envelope ships the next k commands as
+one frame and expects k response lines for it, and an http response
+whose body holds several lines (POST /batch) contributes one expected
+line per body line. Multi-line bodies skip the per-line status check —
+the envelope's single status is not a per-slot statement.
+
 Each transcript gets a FRESH daemon (engine-pool state such as `reused`
 and `sessions_served` must match a cold start). Matching is exact bytes
 except: `"wall_ms":<number>` is wildcarded on both sides, and a literal
@@ -194,14 +201,32 @@ def recv_line(sock, buffered):
     return line.decode(), rest
 
 
+BATCH_RE = re.compile(r"BATCH\s+n=(\d+)")
+
+
 def run_line_transcript(host, port, commands):
     responses = []
     with socket.create_connection((host, port), timeout=30) as sock:
         buffered = b""
-        for command in commands:
+        i = 0
+        while i < len(commands):
+            command = commands[i]
             sock.sendall(command.encode() + b"\n")
-            line, buffered = recv_line(sock, buffered)
-            responses.append((None, line))
+            i += 1
+            match = BATCH_RE.fullmatch(command.strip())
+            frame = int(match.group(1)) if match else 0
+            expect = 1  # a bare command — or a malformed envelope — answers 1
+            if 1 <= frame <= 64:
+                if i + frame > len(commands):
+                    sys.exit(f"BATCH n={frame} frame runs past the end of "
+                             "the transcript")
+                payload = "".join(c + "\n" for c in commands[i:i + frame])
+                sock.sendall(payload.encode())
+                i += frame
+                expect = frame
+            for _ in range(expect):
+                line, buffered = recv_line(sock, buffered)
+                responses.append((None, line))
     return responses
 
 
@@ -215,7 +240,11 @@ def run_http_transcript(host, port, requests):
                     f"Content-Length: {len(payload)}\r\n\r\n")
             sock.sendall(head.encode() + payload)
             status, body_text = read_http_response(reader)
-            responses.append((status, body_text.rstrip("\n")))
+            lines = body_text.rstrip("\n").split("\n")
+            if len(lines) > 1:  # a batch body: one expected line per slot
+                responses.extend((None, line) for line in lines)
+            else:
+                responses.append((status, lines[0]))
     return responses
 
 
